@@ -1,0 +1,119 @@
+//! Ablation benches for the design choices DESIGN.md calls out: lingering
+//! queries vs one-shot interests, mixedcast on/off, en-route rewriting
+//! on/off, and min-max vs greedy chunk assignment. Each bench measures the
+//! *message overhead* (the paper's cost metric) of a fixed scenario under
+//! both settings and reports the run; the printed ratio is the ablation
+//! result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pds_bench::scenario::{GridScenario, Workload};
+use pds_core::{AssignStrategy, PdsConfig};
+use pds_sim::SimTime;
+use std::hint::black_box;
+
+/// Discovery overhead (bytes) on a 5×5 grid with the given protocol config.
+fn discovery_overhead(pds: PdsConfig, seed: u64) -> u64 {
+    let mut sc = GridScenario::paper_default(seed);
+    sc.rows = 5;
+    sc.cols = 5;
+    sc.pds = pds;
+    let wl = Workload::new(sc.node_count()).with_metadata(800, 2, seed);
+    let mut built = sc.build(&wl);
+    let consumer = built.consumer;
+    built.start_discovery(consumer);
+    built.run_until_done(&[consumer], SimTime::from_secs_f64(60.0));
+    built.world.stats().bytes_sent
+}
+
+/// Retrieval overhead (bytes) of a 2 MB item, redundancy 3.
+fn retrieval_overhead(pds: PdsConfig, seed: u64) -> u64 {
+    let mut sc = GridScenario::paper_default(seed);
+    sc.rows = 5;
+    sc.cols = 5;
+    sc.pds = pds;
+    let center = pds_mobility::grid::center_index(5, 5);
+    let wl = Workload::new(sc.node_count()).with_chunked_item(
+        "clip",
+        2_000_000,
+        256 * 1024,
+        3,
+        center,
+        seed,
+    );
+    let mut built = sc.build(&wl);
+    let consumer = built.consumer;
+    built.start_retrieval(consumer);
+    built.run_until_done(&[consumer], SimTime::from_secs_f64(120.0));
+    built.world.stats().bytes_sent
+}
+
+fn ablation_lingering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/lingering-queries");
+    g.sample_size(10);
+    g.bench_function("lingering(paper)", |b| {
+        b.iter(|| black_box(discovery_overhead(PdsConfig::default(), 1)));
+    });
+    g.bench_function("one-shot(ndn-style)", |b| {
+        let cfg = PdsConfig {
+            one_shot_queries: true,
+            ..PdsConfig::default()
+        };
+        b.iter(|| black_box(discovery_overhead(cfg.clone(), 1)));
+    });
+    g.finish();
+}
+
+fn ablation_mixedcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/mixedcast");
+    g.sample_size(10);
+    g.bench_function("mixedcast(paper)", |b| {
+        b.iter(|| black_box(discovery_overhead(PdsConfig::default(), 2)));
+    });
+    g.bench_function("per-consumer", |b| {
+        let cfg = PdsConfig {
+            mixedcast: false,
+            ..PdsConfig::default()
+        };
+        b.iter(|| black_box(discovery_overhead(cfg.clone(), 2)));
+    });
+    g.finish();
+}
+
+fn ablation_rewriting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/en-route-rewriting");
+    g.sample_size(10);
+    g.bench_function("rewriting(paper)", |b| {
+        b.iter(|| black_box(discovery_overhead(PdsConfig::default(), 3)));
+    });
+    g.bench_function("no-rewriting", |b| {
+        let cfg = PdsConfig {
+            rewrite: false,
+            ..PdsConfig::default()
+        };
+        b.iter(|| black_box(discovery_overhead(cfg.clone(), 3)));
+    });
+    g.finish();
+}
+
+fn ablation_assignment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/chunk-assignment");
+    g.sample_size(10);
+    g.bench_function("minmax(paper)", |b| {
+        b.iter(|| black_box(retrieval_overhead(PdsConfig::default(), 4)));
+    });
+    g.bench_function("greedy", |b| {
+        let cfg = PdsConfig {
+            assign: AssignStrategy::Greedy,
+            ..PdsConfig::default()
+        };
+        b.iter(|| black_box(retrieval_overhead(cfg.clone(), 4)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = ablation_lingering, ablation_mixedcast, ablation_rewriting, ablation_assignment
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion wrappers over the figure experiments at reduced (quick) scale:
+//! one bench per table/figure of the paper, so regressions in protocol
+//! performance (not just wall-clock) show up in CI history. Each bench
+//! asserts the experiment still produces non-empty tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pds_bench::experiments::{self, RunConfig};
+use std::hint::black_box;
+
+fn bench_experiment(c: &mut Criterion, name: &'static str) {
+    let cfg = RunConfig::quick();
+    let exp = experiments::all()
+        .into_iter()
+        .find(|e| e.name == name)
+        .unwrap_or_else(|| panic!("unknown experiment {name}"));
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function(name, |b| {
+        b.iter(|| {
+            let tables = (exp.run)(&cfg);
+            assert!(!tables.is_empty() && tables.iter().all(|t| !t.rows.is_empty()));
+            black_box(tables.len())
+        });
+    });
+    group.finish();
+}
+
+fn fig03(c: &mut Criterion) {
+    bench_experiment(c, "fig3");
+}
+fn leaky(c: &mut Criterion) {
+    bench_experiment(c, "leaky-sweep");
+}
+fn ack(c: &mut Criterion) {
+    bench_experiment(c, "ack-sweep");
+}
+fn saturation(c: &mut Criterion) {
+    bench_experiment(c, "saturation");
+}
+fn fig04(c: &mut Criterion) {
+    bench_experiment(c, "fig4");
+}
+fn fig05(c: &mut Criterion) {
+    bench_experiment(c, "fig5");
+}
+fn fig06(c: &mut Criterion) {
+    bench_experiment(c, "fig6");
+}
+fn fig07(c: &mut Criterion) {
+    bench_experiment(c, "fig7");
+}
+fn fig08(c: &mut Criterion) {
+    bench_experiment(c, "fig8");
+}
+fn fig09(c: &mut Criterion) {
+    bench_experiment(c, "fig9");
+}
+fn fig11(c: &mut Criterion) {
+    bench_experiment(c, "fig11");
+}
+fn fig12(c: &mut Criterion) {
+    bench_experiment(c, "fig12");
+}
+fn fig13(c: &mut Criterion) {
+    bench_experiment(c, "fig13");
+}
+fn fig15(c: &mut Criterion) {
+    bench_experiment(c, "fig15");
+}
+fn fig16(c: &mut Criterion) {
+    bench_experiment(c, "fig16");
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = fig03, leaky, ack, saturation, fig04, fig05, fig06, fig07, fig08, fig09,
+        fig11, fig12, fig13, fig15, fig16
+);
+criterion_main!(benches);

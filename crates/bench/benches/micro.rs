@@ -1,0 +1,143 @@
+//! Micro-benchmarks of the hot data structures: Bloom filters, descriptor
+//! codecs, predicate matching, the GAP heuristic and the event kernel.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pds_bloom::{BloomFilter, BloomParams};
+use pds_core::{
+    min_max_assign, AssignStrategy, AttrValue, ChunkId, DataDescriptor, NodeId, PdsMessage,
+    Predicate, QueryFilter, Relation, ResponseId, ResponseKind, ResponseMessage,
+};
+use std::hint::black_box;
+
+fn descriptor(i: usize) -> DataDescriptor {
+    DataDescriptor::builder()
+        .attr("ns", "e")
+        .attr("type", "no2")
+        .attr("time", AttrValue::Time(1_480_000_000 + i as i64))
+        .build()
+}
+
+fn bloom_benches(c: &mut Criterion) {
+    let params = BloomParams::optimal(5_000, 0.01);
+    c.bench_function("bloom/insert_5k", |b| {
+        b.iter_batched(
+            || BloomFilter::new(params),
+            |mut f| {
+                for i in 0..5_000u32 {
+                    f.insert(&i.to_le_bytes());
+                }
+                f
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    let mut filled = BloomFilter::new(params);
+    for i in 0..5_000u32 {
+        filled.insert(&i.to_le_bytes());
+    }
+    c.bench_function("bloom/contains", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(filled.contains(&i.to_le_bytes()))
+        });
+    });
+    c.bench_function("bloom/encode_decode", |b| {
+        b.iter(|| {
+            let bytes = filled.encode();
+            black_box(BloomFilter::decode(&bytes).expect("roundtrip"))
+        });
+    });
+}
+
+fn codec_benches(c: &mut Criterion) {
+    let entries: Vec<DataDescriptor> = (0..1_000).map(descriptor).collect();
+    let response = PdsMessage::Response(ResponseMessage {
+        id: ResponseId(1),
+        sender: NodeId(0),
+        kind: ResponseKind::Metadata { entries },
+    });
+    c.bench_function("codec/encode_1k_entries", |b| {
+        b.iter(|| black_box(response.encode()));
+    });
+    let bytes = response.encode();
+    c.bench_function("codec/decode_1k_entries", |b| {
+        b.iter(|| black_box(PdsMessage::decode(&bytes).expect("decodes")));
+    });
+}
+
+fn predicate_benches(c: &mut Criterion) {
+    let filter = QueryFilter::new(vec![
+        Predicate::new("type", Relation::Eq, "no2"),
+        Predicate::range("time", AttrValue::Time(1_480_000_000), AttrValue::Time(1_480_010_000)),
+    ]);
+    let entries: Vec<DataDescriptor> = (0..1_000).map(descriptor).collect();
+    c.bench_function("predicate/match_1k", |b| {
+        b.iter(|| {
+            let n = entries.iter().filter(|d| filter.matches(d)).count();
+            black_box(n)
+        });
+    });
+}
+
+fn assign_benches(c: &mut Criterion) {
+    // The paper's regime: |N| and |C| ~ 10 per query.
+    let chunks: Vec<(ChunkId, Vec<(NodeId, u32)>)> = (0..10)
+        .map(|i| {
+            (
+                ChunkId(i),
+                (0..10).map(|n| (NodeId(n), 1 + (i + n) % 4)).collect(),
+            )
+        })
+        .collect();
+    c.bench_function("assign/minmax_10x10", |b| {
+        b.iter(|| black_box(min_max_assign(&chunks, AssignStrategy::MinMax)));
+    });
+    // A large wave: 80 chunks, 8 neighbors (a 20 MB item).
+    let big: Vec<(ChunkId, Vec<(NodeId, u32)>)> = (0..80)
+        .map(|i| {
+            (
+                ChunkId(i),
+                (0..8).map(|n| (NodeId(n), 1 + (i * 7 + n) % 5)).collect(),
+            )
+        })
+        .collect();
+    c.bench_function("assign/minmax_80x8", |b| {
+        b.iter(|| black_box(min_max_assign(&big, AssignStrategy::MinMax)));
+    });
+}
+
+fn kernel_benches(c: &mut Criterion) {
+    use bytes::Bytes;
+    use pds_sim::{Application, Context, MessageMeta, Position, SimConfig, SimTime, World};
+    struct Chatter;
+    impl Application for Chatter {
+        fn on_start(&mut self, ctx: &mut Context) {
+            ctx.set_timer(pds_sim::SimDuration::from_millis(10), 0);
+        }
+        fn on_message(&mut self, _: &mut Context, _: MessageMeta, _: Bytes) {}
+        fn on_timer(&mut self, ctx: &mut Context, _tag: u64) {
+            ctx.broadcast(Bytes::from_static(&[0u8; 200]), &[]);
+            ctx.set_timer(pds_sim::SimDuration::from_millis(10), 0);
+        }
+    }
+    c.bench_function("kernel/25_nodes_1s_chatter", |b| {
+        b.iter(|| {
+            let mut w = World::new(SimConfig::default(), 1);
+            for i in 0..25 {
+                let x = f64::from(i % 5) * 50.0;
+                let y = f64::from(i / 5) * 50.0;
+                w.add_node(Position::new(x, y), Box::new(Chatter));
+            }
+            w.run_until(SimTime::from_secs_f64(1.0));
+            black_box(w.stats().frames_sent)
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bloom_benches, codec_benches, predicate_benches, assign_benches, kernel_benches
+);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Mobility experiments (§VI-B-2/3): Figs. 9/10 (PDD under Student Center /
+//! Classroom mobility) and Fig. 12 (PDR under Student Center mobility).
+
+use super::RunConfig;
+use crate::metrics::{average_runs, run_seeds, RunMetrics};
+use crate::report::{f2, pct, Table};
+use crate::scenario::{MobilityScenario, Workload};
+use pds_core::PdsConfig;
+use pds_mobility::{presets, ObservationParams};
+use pds_sim::{SimConfig, SimDuration, SimTime};
+
+fn scenario(
+    params: ObservationParams,
+    multiplier: f64,
+    duration_s: u64,
+    seed: u64,
+) -> MobilityScenario {
+    MobilityScenario {
+        params,
+        multiplier,
+        duration: SimDuration::from_secs(duration_s),
+        sim: SimConfig::paper_multi_hop(),
+        pds: PdsConfig::default(),
+        seed,
+    }
+}
+
+fn pdd_mobility_run(
+    params: ObservationParams,
+    multiplier: f64,
+    entries: usize,
+    seed: u64,
+) -> RunMetrics {
+    let sc = scenario(params, multiplier, 300, seed);
+    let wl = Workload::new(params.population).with_metadata(entries, 1, seed);
+    let mut built = sc.build(&wl);
+    // Let the trace churn a little before the consumer asks.
+    built.world.run_until(SimTime::from_secs_f64(5.0));
+    let before = built.world.stats().clone();
+    let consumer = built.consumer;
+    built.start_discovery(consumer);
+    built.run_until_done(&[consumer], SimTime::from_secs_f64(200.0));
+    built.discovery_metrics(consumer, &before)
+}
+
+/// Figs. 9/10: PDD recall and latency under Student Center and Classroom
+/// mobility, with the join/leave/move rates scaled 0.5×–2×. The paper finds
+/// recall ≈ 100 % throughout and latency within a couple of seconds.
+///
+/// Note: departing nodes carry away data that may not have been replicated
+/// yet, so recall is measured against what was seeded — a node leaving with
+/// the only copy before any query reaches it legitimately costs recall.
+pub fn fig09_10_mobility_pdd(cfg: &RunConfig) -> Vec<Table> {
+    let entries = if cfg.quick { 200 } else { 1_000 };
+    let multipliers: &[f64] = if cfg.quick {
+        &[1.0]
+    } else {
+        &[0.5, 1.0, 1.5, 2.0]
+    };
+    let mut out = Vec::new();
+    for (label, params) in [
+        ("Student Center", presets::student_center()),
+        ("Classroom", presets::classroom()),
+    ] {
+        let mut t = Table::new(
+            format!("Figs. 9/10 — PDD under {label} mobility ({entries} entries)"),
+            &["multiplier", "recall", "latency_s", "overhead_mb"],
+        );
+        for &m in multipliers {
+            let runs = run_seeds(&cfg.seeds, |seed| {
+                pdd_mobility_run(params, m, entries, seed)
+            });
+            let avg = average_runs(&runs);
+            t.push_row(vec![
+                f2(m),
+                pct(avg.recall),
+                f2(avg.latency_s),
+                f2(avg.overhead_mb),
+            ]);
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// Fig. 12: PDR of a 20 MB item under Student Center mobility; latency
+/// stays roughly flat across mobility multipliers.
+pub fn fig12_mobility_pdr(cfg: &RunConfig) -> Vec<Table> {
+    let size = if cfg.quick { 2_000_000 } else { 20_000_000 };
+    let multipliers: &[f64] = if cfg.quick {
+        &[1.0]
+    } else {
+        &[0.5, 1.0, 1.5, 2.0]
+    };
+    let params = presets::student_center();
+    let mut t = Table::new(
+        format!(
+            "Fig. 12 — PDR under Student Center mobility ({} MB)",
+            size / 1_000_000
+        ),
+        &["multiplier", "recall", "latency_s", "overhead_mb"],
+    );
+    for &m in multipliers {
+        let runs = run_seeds(&cfg.seeds, |seed| {
+            let sc = scenario(params, m, 600, seed);
+            // Chunks seeded on initial people, never on the consumer
+            // (index 0).
+            let wl = Workload::new(params.population).with_chunked_item(
+                "clip",
+                size,
+                256 * 1024,
+                1,
+                0,
+                seed,
+            );
+            let mut built = sc.build(&wl);
+            built.world.run_until(SimTime::from_secs_f64(5.0));
+            let before = built.world.stats().clone();
+            let consumer = built.consumer;
+            built.start_retrieval(consumer);
+            built.run_until_done(&[consumer], SimTime::from_secs_f64(500.0));
+            built.retrieval_metrics(consumer, &before)
+        });
+        let avg = average_runs(&runs);
+        t.push_row(vec![
+            f2(m),
+            pct(avg.recall),
+            f2(avg.latency_s),
+            f2(avg.overhead_mb),
+        ]);
+    }
+    vec![t]
+}

@@ -1,0 +1,124 @@
+//! The paper's evaluation metrics (§VI-A): recall, latency, message
+//! overhead.
+
+/// Metrics of one experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct RunMetrics {
+    /// Fraction of distinct metadata entries or chunks received.
+    pub recall: f64,
+    /// Seconds from sending the query to the last returned entry/chunk.
+    pub latency_s: f64,
+    /// Megabytes of all messages transmitted during the operation
+    /// (data, retransmissions and acks alike).
+    pub overhead_mb: f64,
+    /// Discovery rounds (or chunk-query waves) issued.
+    pub rounds: f64,
+    /// Whether the operation terminated within the horizon.
+    pub finished: bool,
+}
+
+impl RunMetrics {
+    /// A zeroed, unfinished run (placeholder for failed horizons).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            recall: 0.0,
+            latency_s: 0.0,
+            overhead_mb: 0.0,
+            rounds: 0.0,
+            finished: false,
+        }
+    }
+}
+
+/// Averages runs component-wise (the paper averages over 5 runs);
+/// `finished` becomes the conjunction.
+///
+/// # Panics
+///
+/// Panics if `runs` is empty.
+#[must_use]
+pub fn average_runs(runs: &[RunMetrics]) -> RunMetrics {
+    assert!(!runs.is_empty(), "cannot average zero runs");
+    let n = runs.len() as f64;
+    RunMetrics {
+        recall: runs.iter().map(|r| r.recall).sum::<f64>() / n,
+        latency_s: runs.iter().map(|r| r.latency_s).sum::<f64>() / n,
+        overhead_mb: runs.iter().map(|r| r.overhead_mb).sum::<f64>() / n,
+        rounds: runs.iter().map(|r| r.rounds).sum::<f64>() / n,
+        finished: runs.iter().all(|r| r.finished),
+    }
+}
+
+/// Runs `f` once per seed on parallel threads (each run builds its own
+/// world) and collects the results in seed order.
+pub fn run_seeds<F>(seeds: &[u64], f: F) -> Vec<RunMetrics>
+where
+    F: Fn(u64) -> RunMetrics + Sync,
+{
+    let mut results: Vec<Option<RunMetrics>> = vec![None; seeds.len()];
+    crossbeam::thread::scope(|scope| {
+        for (slot, &seed) in results.iter_mut().zip(seeds.iter()) {
+            let f = &f;
+            scope.spawn(move |_| {
+                *slot = Some(f(seed));
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_is_componentwise() {
+        let a = RunMetrics {
+            recall: 1.0,
+            latency_s: 2.0,
+            overhead_mb: 4.0,
+            rounds: 2.0,
+            finished: true,
+        };
+        let b = RunMetrics {
+            recall: 0.5,
+            latency_s: 4.0,
+            overhead_mb: 8.0,
+            rounds: 4.0,
+            finished: true,
+        };
+        let avg = average_runs(&[a, b]);
+        assert!((avg.recall - 0.75).abs() < 1e-12);
+        assert!((avg.latency_s - 3.0).abs() < 1e-12);
+        assert!((avg.overhead_mb - 6.0).abs() < 1e-12);
+        assert!(avg.finished);
+    }
+
+    #[test]
+    fn unfinished_run_poisons_average_flag() {
+        let ok = RunMetrics {
+            finished: true,
+            ..RunMetrics::empty()
+        };
+        let bad = RunMetrics::empty();
+        assert!(!average_runs(&[ok, bad]).finished);
+    }
+
+    #[test]
+    fn run_seeds_preserves_order() {
+        let out = run_seeds(&[1, 2, 3], |seed| RunMetrics {
+            recall: seed as f64,
+            ..RunMetrics::empty()
+        });
+        let recalls: Vec<f64> = out.iter().map(|r| r.recall).collect();
+        assert_eq!(recalls, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero runs")]
+    fn average_empty_panics() {
+        let _ = average_runs(&[]);
+    }
+}

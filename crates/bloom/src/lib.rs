@@ -1,0 +1,40 @@
+//! Bloom filters for PDS redundancy detection.
+//!
+//! The Peer Data Discovery protocol ([PDS paper], §III-B-2 and §V-3) appends
+//! a Bloom filter of already-received metadata entries to each discovery
+//! query so that en-route nodes can *rewrite* responses and queries, pruning
+//! entries the consumer already holds. Two properties of that usage shape
+//! this crate:
+//!
+//! * **Sizing from targets** — the consumer knows how many entries it has
+//!   received and picks the smallest filter achieving a target false-positive
+//!   probability ([`BloomParams::optimal`]).
+//! * **Per-round hash families** — each discovery round uses an independent
+//!   hash family (a different seed), so an entry that is a false positive in
+//!   one round is unlikely to remain one in the next; the residual
+//!   false-positive probability decays geometrically with rounds
+//!   ([`BloomFilter::with_round`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use pds_bloom::{BloomFilter, BloomParams};
+//!
+//! let params = BloomParams::optimal(1_000, 0.01);
+//! let mut filter = BloomFilter::new(params);
+//! filter.insert(b"no2-sample-42");
+//! assert!(filter.contains(b"no2-sample-42"));
+//! ```
+//!
+//! [PDS paper]: https://doi.org/10.1109/ICDCS.2017.26
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod filter;
+mod hash;
+mod params;
+
+pub use filter::{BloomFilter, DecodeBloomError};
+pub use hash::double_hash_indices;
+pub use params::BloomParams;

@@ -1,0 +1,442 @@
+//! The Lingering Query Table (§III-A).
+//!
+//! Unlike a CCN/NDN Interest — consumed by its first matching Data — a
+//! lingering query stays in the table until its expiration and keeps routing
+//! the continuing stream of responses back toward its sender. The table also
+//! holds each query's Bloom filter (cached at insertion, §III-B-2) which
+//! en-route rewriting mutates, and the per-query bookkeeping PDR needs
+//! (remaining requested chunks, best CDI distances already reported).
+
+use crate::ids::{ChunkId, ItemName, QueryId};
+use crate::message::{QueryKind, QueryMessage};
+use pds_bloom::BloomFilter;
+use pds_sim::{NodeId, SimTime};
+use std::collections::{BTreeSet, HashMap};
+
+/// Canonical Bloom-filter / dedup key for a chunk of an item (used by MDR
+/// redundancy detection and consumer-side chunk tracking).
+#[must_use]
+pub fn chunk_key(item: &ItemName, chunk: ChunkId) -> Vec<u8> {
+    let mut k = Vec::with_capacity(item.as_str().len() + 5);
+    k.extend_from_slice(item.as_str().as_bytes());
+    k.push(0);
+    k.extend_from_slice(&chunk.0.to_le_bytes());
+    k
+}
+
+/// One lingering query and its mutable en-route state.
+#[derive(Debug)]
+pub struct Lingering {
+    /// The query as last received.
+    pub query: QueryMessage,
+    /// The neighbor that transmitted it — where responses are routed.
+    pub upstream: NodeId,
+    /// The query's Bloom filter, decoded once and rewritten en-route.
+    pub bloom: Option<BloomFilter>,
+    /// For [`QueryKind::Chunks`]: chunks still owed upstream; relaying a
+    /// chunk removes it so later copies are not re-relayed.
+    pub remaining_chunks: BTreeSet<ChunkId>,
+    /// For [`QueryKind::Cdi`]: best hop count already reported upstream per
+    /// chunk; only improvements are forwarded.
+    pub reported_cdi: HashMap<ChunkId, u32>,
+    /// One-shot ablation: set after the first forwarded response.
+    pub exhausted: bool,
+}
+
+impl Lingering {
+    /// Whether the query is still alive at `now`.
+    #[must_use]
+    pub fn unexpired(&self, now: SimTime) -> bool {
+        self.query.expires_at > now
+    }
+
+    /// Whether `key` is already covered by the query's Bloom filter (i.e.
+    /// the consumer has it, or it was already sent toward them).
+    #[must_use]
+    pub fn bloom_contains(&self, key: &[u8]) -> bool {
+        self.bloom.as_ref().is_some_and(|b| b.contains(key))
+    }
+
+    /// Records that `key` has been sent toward the consumer.
+    pub fn bloom_insert(&mut self, key: &[u8]) {
+        if let Some(b) = &mut self.bloom {
+            b.insert(key);
+        }
+    }
+}
+
+/// The table of lingering queries, keyed by query id.
+///
+/// # Examples
+///
+/// ```
+/// use pds_core::{
+///     LingeringQueryTable, NodeId, QueryFilter, QueryId, QueryKind, QueryMessage,
+/// };
+/// use pds_sim::SimTime;
+///
+/// let mut lqt = LingeringQueryTable::new();
+/// let q = QueryMessage {
+///     id: QueryId(1),
+///     kind: QueryKind::Metadata,
+///     sender: NodeId(7),
+///     expires_at: SimTime::from_secs_f64(20.0),
+///     filter: QueryFilter::match_all(),
+///     bloom: None,
+///     round: 0,
+///     ttl_hops: 0,
+/// };
+/// assert!(lqt.insert(q.clone(), NodeId(7)));
+/// assert!(lqt.seen(QueryId(1)), "redundant copies are detected");
+/// assert_eq!(lqt.match_metadata(SimTime::ZERO).len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct LingeringQueryTable {
+    entries: HashMap<QueryId, Lingering>,
+}
+
+impl LingeringQueryTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a query with this id has been received (and is still held).
+    #[must_use]
+    pub fn seen(&self, id: QueryId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Inserts a freshly received query. The Bloom filter is decoded and
+    /// cached; malformed filters are treated as absent (the query still
+    /// works, just without pruning). For bloom-less metadata / small-data /
+    /// MDR queries an empty filter is created, so en-route rewriting can
+    /// still suppress duplicate replies from different providers
+    /// (§III-B-2). Returns `false` (and leaves the table unchanged) if the
+    /// id is already present.
+    pub fn insert(&mut self, query: QueryMessage, upstream: NodeId) -> bool {
+        if self.entries.contains_key(&query.id) {
+            return false;
+        }
+        let bloom = query
+            .bloom
+            .as_deref()
+            .and_then(|b| BloomFilter::decode(b).ok())
+            .or_else(|| {
+                let capacity = match &query.kind {
+                    QueryKind::Metadata | QueryKind::SmallData => Some(4096),
+                    QueryKind::MdrChunks { total_chunks, .. } => {
+                        Some((*total_chunks as usize * 2).max(64))
+                    }
+                    _ => None,
+                };
+                capacity.map(|n| {
+                    BloomFilter::with_round(pds_bloom::BloomParams::optimal(n, 0.01), query.round)
+                })
+            });
+        let remaining_chunks = match &query.kind {
+            QueryKind::Chunks { chunks, .. } => chunks.iter().copied().collect(),
+            _ => BTreeSet::new(),
+        };
+        self.entries.insert(
+            query.id,
+            Lingering {
+                query,
+                upstream,
+                bloom,
+                remaining_chunks,
+                reported_cdi: HashMap::new(),
+                exhausted: false,
+            },
+        );
+        true
+    }
+
+    /// Mutable access to one entry.
+    pub fn get_mut(&mut self, id: QueryId) -> Option<&mut Lingering> {
+        self.entries.get_mut(&id)
+    }
+
+    /// Shared access to one entry.
+    #[must_use]
+    pub fn get(&self, id: QueryId) -> Option<&Lingering> {
+        self.entries.get(&id)
+    }
+
+    /// Removes one entry (one-shot ablation, or consumer-side cleanup).
+    pub fn remove(&mut self, id: QueryId) -> Option<Lingering> {
+        self.entries.remove(&id)
+    }
+
+    /// Unexpired, non-exhausted metadata queries.
+    pub fn match_metadata(&mut self, now: SimTime) -> Vec<&mut Lingering> {
+        self.match_kind(now, |k| matches!(k, QueryKind::Metadata))
+    }
+
+    /// Unexpired, non-exhausted small-data queries.
+    pub fn match_small_data(&mut self, now: SimTime) -> Vec<&mut Lingering> {
+        self.match_kind(now, |k| matches!(k, QueryKind::SmallData))
+    }
+
+    /// Unexpired CDI queries for `item`.
+    pub fn match_cdi(&mut self, item: &ItemName, now: SimTime) -> Vec<&mut Lingering> {
+        self.match_kind(
+            now,
+            |k| matches!(k, QueryKind::Cdi { descriptor } if descriptor.item_name().as_ref() == Some(item)),
+        )
+    }
+
+    /// Unexpired queries that still want chunk `chunk` of `item`: directed
+    /// chunk queries with the chunk outstanding, and MDR queries whose Bloom
+    /// filter does not cover it.
+    pub fn match_chunk(
+        &mut self,
+        item: &ItemName,
+        chunk: ChunkId,
+        now: SimTime,
+    ) -> Vec<&mut Lingering> {
+        let key = chunk_key(item, chunk);
+        self.entries
+            .values_mut()
+            .filter(|l| l.unexpired(now) && !l.exhausted)
+            .filter(|l| match &l.query.kind {
+                QueryKind::Chunks { item: i, .. } => {
+                    i == item && l.remaining_chunks.contains(&chunk)
+                }
+                QueryKind::MdrChunks { item: i, .. } => {
+                    i == item && !l.bloom_contains(&key)
+                }
+                _ => false,
+            })
+            .collect()
+    }
+
+    fn match_kind(
+        &mut self,
+        now: SimTime,
+        pred: impl Fn(&QueryKind) -> bool,
+    ) -> Vec<&mut Lingering> {
+        self.entries
+            .values_mut()
+            .filter(|l| l.unexpired(now) && !l.exhausted && pred(&l.query.kind))
+            .collect()
+    }
+
+    /// Iterates all held entries (diagnostics, tests).
+    pub fn iter(&self) -> impl Iterator<Item = &Lingering> {
+        self.entries.values()
+    }
+
+    /// Drops expired queries.
+    pub fn gc(&mut self, now: SimTime) {
+        self.entries.retain(|_, l| l.unexpired(now));
+    }
+
+    /// Number of held queries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::QueryFilter;
+    use pds_bloom::BloomParams;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn query(id: u64, kind: QueryKind, expires: f64) -> QueryMessage {
+        QueryMessage {
+            id: QueryId(id),
+            kind,
+            sender: NodeId(1),
+            expires_at: t(expires),
+            filter: QueryFilter::match_all(),
+            bloom: None,
+            round: 0,
+            ttl_hops: 0,
+        }
+    }
+
+    #[test]
+    fn insert_dedups_by_id() {
+        let mut lqt = LingeringQueryTable::new();
+        assert!(lqt.insert(query(1, QueryKind::Metadata, 10.0), NodeId(2)));
+        assert!(!lqt.insert(query(1, QueryKind::Metadata, 10.0), NodeId(3)));
+        assert!(lqt.seen(QueryId(1)));
+        assert_eq!(lqt.len(), 1);
+        assert_eq!(lqt.get(QueryId(1)).expect("present").upstream, NodeId(2));
+    }
+
+    #[test]
+    fn expiration_gates_matching_and_gc() {
+        let mut lqt = LingeringQueryTable::new();
+        lqt.insert(query(1, QueryKind::Metadata, 10.0), NodeId(2));
+        assert_eq!(lqt.match_metadata(t(5.0)).len(), 1);
+        assert_eq!(lqt.match_metadata(t(10.0)).len(), 0, "expires_at is exclusive");
+        lqt.gc(t(10.0));
+        assert!(lqt.is_empty());
+    }
+
+    #[test]
+    fn match_is_kind_specific() {
+        let mut lqt = LingeringQueryTable::new();
+        lqt.insert(query(1, QueryKind::Metadata, 10.0), NodeId(2));
+        lqt.insert(query(2, QueryKind::SmallData, 10.0), NodeId(2));
+        lqt.insert(
+            query(
+                3,
+                QueryKind::Cdi {
+                    descriptor: crate::DataDescriptor::builder()
+                        .attr("name", "vid")
+                        .build(),
+                },
+                10.0,
+            ),
+            NodeId(2),
+        );
+        assert_eq!(lqt.match_metadata(t(0.0)).len(), 1);
+        assert_eq!(lqt.match_small_data(t(0.0)).len(), 1);
+        assert_eq!(lqt.match_cdi(&ItemName::new("vid"), t(0.0)).len(), 1);
+        assert_eq!(lqt.match_cdi(&ItemName::new("other"), t(0.0)).len(), 0);
+    }
+
+    #[test]
+    fn chunk_matching_tracks_remaining() {
+        let mut lqt = LingeringQueryTable::new();
+        lqt.insert(
+            query(
+                1,
+                QueryKind::Chunks {
+                    item: ItemName::new("vid"),
+                    chunks: vec![ChunkId(0), ChunkId(1)],
+                },
+                10.0,
+            ),
+            NodeId(2),
+        );
+        let item = ItemName::new("vid");
+        assert_eq!(lqt.match_chunk(&item, ChunkId(0), t(0.0)).len(), 1);
+        // Mark chunk 0 relayed.
+        lqt.get_mut(QueryId(1))
+            .expect("present")
+            .remaining_chunks
+            .remove(&ChunkId(0));
+        assert_eq!(lqt.match_chunk(&item, ChunkId(0), t(0.0)).len(), 0);
+        assert_eq!(lqt.match_chunk(&item, ChunkId(1), t(0.0)).len(), 1);
+        assert_eq!(lqt.match_chunk(&item, ChunkId(9), t(0.0)).len(), 0);
+    }
+
+    #[test]
+    fn mdr_matching_respects_bloom() {
+        let item = ItemName::new("vid");
+        let mut bloom = BloomFilter::new(BloomParams::optimal(10, 0.01));
+        bloom.insert(&chunk_key(&item, ChunkId(0)));
+        let mut q = query(
+            1,
+            QueryKind::MdrChunks {
+                item: item.clone(),
+                total_chunks: 4,
+            },
+            10.0,
+        );
+        q.bloom = Some(bloom.encode());
+        let mut lqt = LingeringQueryTable::new();
+        lqt.insert(q, NodeId(2));
+        assert_eq!(
+            lqt.match_chunk(&item, ChunkId(0), t(0.0)).len(),
+            0,
+            "chunk 0 in bloom"
+        );
+        assert_eq!(lqt.match_chunk(&item, ChunkId(1), t(0.0)).len(), 1);
+    }
+
+    #[test]
+    fn exhausted_entries_do_not_match() {
+        let mut lqt = LingeringQueryTable::new();
+        lqt.insert(query(1, QueryKind::Metadata, 10.0), NodeId(2));
+        lqt.get_mut(QueryId(1)).expect("present").exhausted = true;
+        assert_eq!(lqt.match_metadata(t(0.0)).len(), 0);
+    }
+
+    #[test]
+    fn bloom_rewriting_round_trip() {
+        let mut bloom = BloomFilter::new(BloomParams::optimal(10, 0.01));
+        bloom.insert(b"already-have");
+        let mut q = query(1, QueryKind::Metadata, 10.0);
+        q.bloom = Some(bloom.encode());
+        let mut lqt = LingeringQueryTable::new();
+        lqt.insert(q, NodeId(2));
+        let l = lqt.get_mut(QueryId(1)).expect("present");
+        assert!(l.bloom_contains(b"already-have"));
+        assert!(!l.bloom_contains(b"fresh-entry"));
+        l.bloom_insert(b"fresh-entry");
+        assert!(l.bloom_contains(b"fresh-entry"));
+    }
+
+    #[test]
+    fn malformed_bloom_replaced_with_fresh_empty() {
+        let mut q = query(1, QueryKind::Metadata, 10.0);
+        q.bloom = Some(vec![1, 2, 3]);
+        let mut lqt = LingeringQueryTable::new();
+        lqt.insert(q, NodeId(2));
+        let l = lqt.get(QueryId(1)).expect("present");
+        assert!(l.bloom.is_some(), "metadata queries always get a bloom");
+        assert!(!l.bloom_contains(b"anything"));
+    }
+
+    #[test]
+    fn bloomless_flooded_kinds_get_empty_bloom() {
+        let mut lqt = LingeringQueryTable::new();
+        lqt.insert(query(1, QueryKind::Metadata, 10.0), NodeId(2));
+        lqt.insert(
+            query(
+                2,
+                QueryKind::MdrChunks {
+                    item: ItemName::new("vid"),
+                    total_chunks: 8,
+                },
+                10.0,
+            ),
+            NodeId(2),
+        );
+        lqt.insert(
+            query(
+                3,
+                QueryKind::Chunks {
+                    item: ItemName::new("vid"),
+                    chunks: vec![ChunkId(0)],
+                },
+                10.0,
+            ),
+            NodeId(2),
+        );
+        assert!(lqt.get(QueryId(1)).expect("q1").bloom.is_some());
+        assert!(lqt.get(QueryId(2)).expect("q2").bloom.is_some());
+        assert!(
+            lqt.get(QueryId(3)).expect("q3").bloom.is_none(),
+            "directed chunk queries dedup via remaining_chunks instead"
+        );
+    }
+
+    #[test]
+    fn chunk_key_is_injective_on_samples() {
+        let a = chunk_key(&ItemName::new("vid"), ChunkId(1));
+        let b = chunk_key(&ItemName::new("vid"), ChunkId(2));
+        let c = chunk_key(&ItemName::new("vid2"), ChunkId(1));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+}

@@ -1,0 +1,554 @@
+//! PDS wire messages and their binary codec.
+//!
+//! A message is either a [`QueryMessage`] or a [`ResponseMessage`]. Intended
+//! next-hop receiver lists live at the transport layer
+//! ([`pds_sim::MessageMeta::intended`]), as in the prototype where they are
+//! part of the UDP broadcast header; everything else the paper's message
+//! formats describe (§III-A) is here.
+
+use crate::descriptor::DataDescriptor;
+use crate::ids::{ChunkId, ItemName, QueryId, ResponseId};
+use crate::predicate::QueryFilter;
+use bytes::{Buf, BufMut, Bytes};
+use pds_sim::{NodeId, SimTime};
+use std::fmt;
+
+/// What a query asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryKind {
+    /// All (filter-matching) metadata entries — PDD (§III).
+    Metadata,
+    /// Small data items matching the filter, payloads included (§IV: "the
+    /// latter follows almost the same process as metadata discovery").
+    SmallData,
+    /// Chunk Distribution Information for one item — PDR phase 1 (§IV-A).
+    /// Carries the item's full descriptor, as the paper specifies
+    /// ("'descriptor' whose value is the requested data item's metadata").
+    Cdi {
+        /// Descriptor of the large item whose chunk distribution is
+        /// requested; its `name` attribute identifies the item.
+        descriptor: DataDescriptor,
+    },
+    /// Specific chunks of one item — PDR phase 2 (§IV-B).
+    Chunks {
+        /// The large item.
+        item: ItemName,
+        /// The chunks requested from this neighbor.
+        chunks: Vec<ChunkId>,
+    },
+    /// All not-yet-received chunks of one item — the MDR baseline
+    /// (§VI-B-3); "not yet received" is carried by the query's Bloom filter.
+    MdrChunks {
+        /// The large item.
+        item: ItemName,
+        /// Total number of chunks (so providers know the id space).
+        total_chunks: u32,
+    },
+}
+
+/// A PDS query (§III-A): unique id, expiration (the *lingering* horizon),
+/// current-hop sender, optional attribute filter, optional Bloom filter of
+/// already-received entries, and the discovery round that built it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryMessage {
+    /// Globally unique query id (redundant-copy detection).
+    pub id: QueryId,
+    /// What is being asked for.
+    pub kind: QueryKind,
+    /// The node that transmitted this copy (rewritten every hop — the paper's
+    /// `sender_id`, used to route responses back).
+    pub sender: NodeId,
+    /// When the lingering query expires and is removed from LQTs.
+    pub expires_at: SimTime,
+    /// Attribute predicates scoping the request.
+    pub filter: QueryFilter,
+    /// Serialized Bloom filter of entries the consumer already has
+    /// (redundancy detection, §III-B-2); rewritten en-route.
+    pub bloom: Option<Vec<u8>>,
+    /// Discovery round number (selects the Bloom hash family); doubles as
+    /// the division depth for directed chunk queries.
+    pub round: u32,
+    /// Remaining hop budget; 0 means unlimited (the paper's default — PDS
+    /// targets limited-size networks, but notes "such limiting can be
+    /// achieved easily with a hop counter if needed", §III-A-1).
+    pub ttl_hops: u8,
+}
+
+/// The payload of a response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseKind {
+    /// Metadata entries (PDD).
+    Metadata {
+        /// The entries, pruned en-route by mixedcast rewriting.
+        entries: Vec<DataDescriptor>,
+    },
+    /// Small data items with payloads.
+    SmallData {
+        /// (descriptor, payload) pairs.
+        items: Vec<(DataDescriptor, Bytes)>,
+    },
+    /// CDI: which chunks are reachable at what distance (PDR phase 1).
+    Cdi {
+        /// The large item.
+        item: ItemName,
+        /// `(chunk, hop count)` pairs as seen from the transmitting node.
+        pairs: Vec<(ChunkId, u32)>,
+    },
+    /// One chunk of a large item (PDR phase 2 / MDR). Self-describing so
+    /// any overhearing node can cache it (content-centric caching).
+    Chunk {
+        /// Descriptor of the item the chunk belongs to.
+        descriptor: DataDescriptor,
+        /// Which chunk this is.
+        chunk: ChunkId,
+        /// The chunk bytes.
+        data: Bytes,
+    },
+}
+
+/// A PDS response (§III-A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseMessage {
+    /// Random, globally unique response id (redundant-copy detection).
+    pub id: ResponseId,
+    /// The node that transmitted this copy.
+    pub sender: NodeId,
+    /// The payload.
+    pub kind: ResponseKind,
+}
+
+/// Any PDS message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PdsMessage {
+    /// A query.
+    Query(QueryMessage),
+    /// A response.
+    Response(ResponseMessage),
+}
+
+/// Error decoding a [`PdsMessage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer ended before the message did.
+    Truncated,
+    /// An unknown enum tag was encountered.
+    BadTag(u8),
+    /// An embedded string was not valid UTF-8.
+    BadString,
+    /// An embedded descriptor or filter failed to decode.
+    BadBody,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "message truncated"),
+            Self::BadTag(t) => write!(f, "unknown message tag {t}"),
+            Self::BadString => write!(f, "invalid UTF-8 in message"),
+            Self::BadBody => write!(f, "malformed descriptor or filter"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_item(out: &mut Vec<u8>, item: &ItemName) {
+    let b = item.as_str().as_bytes();
+    out.put_u16_le(b.len() as u16);
+    out.put_slice(b);
+}
+
+fn get_item(buf: &mut impl Buf) -> Result<ItemName, DecodeError> {
+    if buf.remaining() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let len = buf.get_u16_le() as usize;
+    if buf.remaining() < len {
+        return Err(DecodeError::Truncated);
+    }
+    let mut b = vec![0u8; len];
+    buf.copy_to_slice(&mut b);
+    String::from_utf8(b)
+        .map(ItemName::from)
+        .map_err(|_| DecodeError::BadString)
+}
+
+fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
+    out.put_u32_le(data.len() as u32);
+    out.put_slice(data);
+}
+
+fn get_bytes(buf: &mut impl Buf) -> Result<Bytes, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.copy_to_bytes(len))
+}
+
+impl PdsMessage {
+    /// Serializes the message for transmission.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            PdsMessage::Query(q) => {
+                out.put_u8(0);
+                out.put_u64_le(q.id.0);
+                out.put_u32_le(q.sender.0);
+                out.put_u64_le(q.expires_at.as_micros());
+                out.put_u32_le(q.round);
+                out.put_u8(q.ttl_hops);
+                match &q.kind {
+                    QueryKind::Metadata => out.put_u8(0),
+                    QueryKind::SmallData => out.put_u8(1),
+                    QueryKind::Cdi { descriptor } => {
+                        out.put_u8(2);
+                        out.extend_from_slice(&descriptor.encode());
+                    }
+                    QueryKind::Chunks { item, chunks } => {
+                        out.put_u8(3);
+                        put_item(&mut out, item);
+                        out.put_u32_le(chunks.len() as u32);
+                        for c in chunks {
+                            out.put_u32_le(c.0);
+                        }
+                    }
+                    QueryKind::MdrChunks { item, total_chunks } => {
+                        out.put_u8(4);
+                        put_item(&mut out, item);
+                        out.put_u32_le(*total_chunks);
+                    }
+                }
+                q.filter.encode(&mut out);
+                match &q.bloom {
+                    Some(b) => {
+                        out.put_u8(1);
+                        put_bytes(&mut out, b);
+                    }
+                    None => out.put_u8(0),
+                }
+            }
+            PdsMessage::Response(r) => {
+                out.put_u8(1);
+                out.put_u64_le(r.id.0);
+                out.put_u32_le(r.sender.0);
+                match &r.kind {
+                    ResponseKind::Metadata { entries } => {
+                        out.put_u8(0);
+                        out.put_u32_le(entries.len() as u32);
+                        for e in entries {
+                            out.extend_from_slice(&e.encode());
+                        }
+                    }
+                    ResponseKind::SmallData { items } => {
+                        out.put_u8(1);
+                        out.put_u32_le(items.len() as u32);
+                        for (d, payload) in items {
+                            out.extend_from_slice(&d.encode());
+                            put_bytes(&mut out, payload);
+                        }
+                    }
+                    ResponseKind::Cdi { item, pairs } => {
+                        out.put_u8(2);
+                        put_item(&mut out, item);
+                        out.put_u32_le(pairs.len() as u32);
+                        for (c, h) in pairs {
+                            out.put_u32_le(c.0);
+                            out.put_u32_le(*h);
+                        }
+                    }
+                    ResponseKind::Chunk {
+                        descriptor,
+                        chunk,
+                        data,
+                    } => {
+                        out.put_u8(3);
+                        out.extend_from_slice(&descriptor.encode());
+                        out.put_u32_le(chunk.0);
+                        put_bytes(&mut out, data);
+                    }
+                }
+            }
+        }
+        Bytes::from(out)
+    }
+
+    /// Deserializes a message.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the buffer is truncated or malformed.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, DecodeError> {
+        let buf = &mut buf;
+        if buf.remaining() < 1 {
+            return Err(DecodeError::Truncated);
+        }
+        match buf.get_u8() {
+            0 => {
+                if buf.remaining() < 8 + 4 + 8 + 4 + 1 + 1 {
+                    return Err(DecodeError::Truncated);
+                }
+                let id = QueryId(buf.get_u64_le());
+                let sender = NodeId(buf.get_u32_le());
+                let expires_at = SimTime::from_micros(buf.get_u64_le());
+                let round = buf.get_u32_le();
+                let ttl_hops = buf.get_u8();
+                let kind = match buf.get_u8() {
+                    0 => QueryKind::Metadata,
+                    1 => QueryKind::SmallData,
+                    2 => QueryKind::Cdi {
+                        descriptor: DataDescriptor::decode(buf).ok_or(DecodeError::BadBody)?,
+                    },
+                    3 => {
+                        let item = get_item(buf)?;
+                        if buf.remaining() < 4 {
+                            return Err(DecodeError::Truncated);
+                        }
+                        let n = buf.get_u32_le() as usize;
+                        if buf.remaining() < n * 4 {
+                            return Err(DecodeError::Truncated);
+                        }
+                        let chunks = (0..n).map(|_| ChunkId(buf.get_u32_le())).collect();
+                        QueryKind::Chunks { item, chunks }
+                    }
+                    4 => {
+                        let item = get_item(buf)?;
+                        if buf.remaining() < 4 {
+                            return Err(DecodeError::Truncated);
+                        }
+                        QueryKind::MdrChunks {
+                            item,
+                            total_chunks: buf.get_u32_le(),
+                        }
+                    }
+                    t => return Err(DecodeError::BadTag(t)),
+                };
+                let filter = QueryFilter::decode(buf).ok_or(DecodeError::BadBody)?;
+                if buf.remaining() < 1 {
+                    return Err(DecodeError::Truncated);
+                }
+                let bloom = if buf.get_u8() == 1 {
+                    Some(get_bytes(buf)?.to_vec())
+                } else {
+                    None
+                };
+                Ok(PdsMessage::Query(QueryMessage {
+                    id,
+                    kind,
+                    sender,
+                    expires_at,
+                    filter,
+                    bloom,
+                    round,
+                    ttl_hops,
+                }))
+            }
+            1 => {
+                if buf.remaining() < 8 + 4 + 1 {
+                    return Err(DecodeError::Truncated);
+                }
+                let id = ResponseId(buf.get_u64_le());
+                let sender = NodeId(buf.get_u32_le());
+                let kind = match buf.get_u8() {
+                    0 => {
+                        if buf.remaining() < 4 {
+                            return Err(DecodeError::Truncated);
+                        }
+                        let n = buf.get_u32_le() as usize;
+                        let mut entries = Vec::with_capacity(n.min(65_536));
+                        for _ in 0..n {
+                            entries
+                                .push(DataDescriptor::decode(buf).ok_or(DecodeError::BadBody)?);
+                        }
+                        ResponseKind::Metadata { entries }
+                    }
+                    1 => {
+                        if buf.remaining() < 4 {
+                            return Err(DecodeError::Truncated);
+                        }
+                        let n = buf.get_u32_le() as usize;
+                        let mut items = Vec::with_capacity(n.min(65_536));
+                        for _ in 0..n {
+                            let d = DataDescriptor::decode(buf).ok_or(DecodeError::BadBody)?;
+                            let payload = get_bytes(buf)?;
+                            items.push((d, payload));
+                        }
+                        ResponseKind::SmallData { items }
+                    }
+                    2 => {
+                        let item = get_item(buf)?;
+                        if buf.remaining() < 4 {
+                            return Err(DecodeError::Truncated);
+                        }
+                        let n = buf.get_u32_le() as usize;
+                        if buf.remaining() < n * 8 {
+                            return Err(DecodeError::Truncated);
+                        }
+                        let pairs = (0..n)
+                            .map(|_| (ChunkId(buf.get_u32_le()), buf.get_u32_le()))
+                            .collect();
+                        ResponseKind::Cdi { item, pairs }
+                    }
+                    3 => {
+                        let descriptor =
+                            DataDescriptor::decode(buf).ok_or(DecodeError::BadBody)?;
+                        if buf.remaining() < 4 {
+                            return Err(DecodeError::Truncated);
+                        }
+                        let chunk = ChunkId(buf.get_u32_le());
+                        let data = get_bytes(buf)?;
+                        ResponseKind::Chunk {
+                            descriptor,
+                            chunk,
+                            data,
+                        }
+                    }
+                    t => return Err(DecodeError::BadTag(t)),
+                };
+                Ok(PdsMessage::Response(ResponseMessage { id, sender, kind }))
+            }
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{Predicate, Relation};
+
+    fn roundtrip(m: &PdsMessage) {
+        let bytes = m.encode();
+        let back = PdsMessage::decode(&bytes).expect("decodes");
+        assert_eq!(&back, m);
+    }
+
+    fn query(kind: QueryKind) -> QueryMessage {
+        QueryMessage {
+            id: QueryId(0xdead_beef),
+            kind,
+            sender: NodeId(7),
+            expires_at: SimTime::from_secs_f64(12.5),
+            filter: QueryFilter::new(vec![Predicate::new("type", Relation::Eq, "no2")]),
+            bloom: Some(vec![1, 2, 3, 4]),
+            round: 2,
+            ttl_hops: 5,
+        }
+    }
+
+    #[test]
+    fn query_kinds_round_trip() {
+        for kind in [
+            QueryKind::Metadata,
+            QueryKind::SmallData,
+            QueryKind::Cdi {
+                descriptor: DataDescriptor::builder()
+                    .attr("name", "vid")
+                    .attr("total_chunks", 80i64)
+                    .build(),
+            },
+            QueryKind::Chunks {
+                item: ItemName::new("vid"),
+                chunks: vec![ChunkId(0), ChunkId(5), ChunkId(9)],
+            },
+            QueryKind::MdrChunks {
+                item: ItemName::new("vid"),
+                total_chunks: 80,
+            },
+        ] {
+            roundtrip(&PdsMessage::Query(query(kind)));
+        }
+    }
+
+    #[test]
+    fn query_without_bloom_round_trips() {
+        let mut q = query(QueryKind::Metadata);
+        q.bloom = None;
+        roundtrip(&PdsMessage::Query(q));
+    }
+
+    #[test]
+    fn response_kinds_round_trip() {
+        let d1 = DataDescriptor::builder().attr("type", "no2").build();
+        let d2 = DataDescriptor::builder().attr("type", "co2").attr("x", 1.5).build();
+        for kind in [
+            ResponseKind::Metadata {
+                entries: vec![d1.clone(), d2.clone()],
+            },
+            ResponseKind::SmallData {
+                items: vec![(d1.clone(), Bytes::from_static(b"payload"))],
+            },
+            ResponseKind::Cdi {
+                item: ItemName::new("vid"),
+                pairs: vec![(ChunkId(0), 0), (ChunkId(1), 3)],
+            },
+            ResponseKind::Chunk {
+                descriptor: DataDescriptor::builder().attr("name", "vid").build(),
+                chunk: ChunkId(4),
+                data: Bytes::from(vec![9u8; 1024]),
+            },
+        ] {
+            roundtrip(&PdsMessage::Response(ResponseMessage {
+                id: ResponseId(42),
+                sender: NodeId(3),
+                kind,
+            }));
+        }
+    }
+
+    #[test]
+    fn empty_metadata_response_round_trips() {
+        roundtrip(&PdsMessage::Response(ResponseMessage {
+            id: ResponseId(1),
+            sender: NodeId(0),
+            kind: ResponseKind::Metadata { entries: vec![] },
+        }));
+    }
+
+    #[test]
+    fn decode_rejects_truncations() {
+        let m = PdsMessage::Query(query(QueryKind::Chunks {
+            item: ItemName::new("vid"),
+            chunks: vec![ChunkId(1), ChunkId(2)],
+        }));
+        let bytes = m.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                PdsMessage::decode(&bytes[..cut]).is_err(),
+                "cut {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_tags() {
+        assert_eq!(PdsMessage::decode(&[7]), Err(DecodeError::BadTag(7)));
+        assert_eq!(PdsMessage::decode(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn chunk_payload_is_zero_copyish() {
+        let data = Bytes::from(vec![3u8; 256 * 1024]);
+        let m = PdsMessage::Response(ResponseMessage {
+            id: ResponseId(1),
+            sender: NodeId(0),
+            kind: ResponseKind::Chunk {
+                descriptor: DataDescriptor::builder().attr("name", "vid").build(),
+                chunk: ChunkId(0),
+                data: data.clone(),
+            },
+        });
+        let bytes = m.encode();
+        let PdsMessage::Response(r) = PdsMessage::decode(&bytes).expect("decodes") else {
+            panic!()
+        };
+        let ResponseKind::Chunk { data: got, .. } = r.kind else {
+            panic!()
+        };
+        assert_eq!(got, data);
+    }
+}

@@ -1,0 +1,480 @@
+//! [`PdsNode`]: the PDS protocol bound to the simulator's application
+//! interface — timers, send jitter, codec, and the consumer-facing API the
+//! evaluation harness drives through
+//! [`World::with_app`](pds_sim::World::with_app).
+
+use crate::config::PdsConfig;
+use crate::descriptor::DataDescriptor;
+use crate::engine::{Outgoing, PdsEngine};
+use crate::ids::ChunkId;
+use crate::message::PdsMessage;
+use crate::predicate::QueryFilter;
+use crate::sessions::{DiscoveryReport, RetrievalReport};
+use bytes::Bytes;
+use pds_sim::{Application, Context, MessageMeta, SimDuration, SimTime};
+
+const TAG_POLL: u64 = 1;
+const TAG_GC: u64 = 2;
+const TAG_SEND: u64 = 3;
+
+const GC_INTERVAL: SimDuration = SimDuration::from_secs(1);
+
+/// A PDS node: every device runs one, whether it currently acts as
+/// producer, consumer, relay, or all three.
+///
+/// Construct with locally produced data via [`PdsNode::with_metadata`] /
+/// [`PdsNode::with_chunk`]; start consumer operations from scenario code
+/// through [`pds_sim::World::with_app`]:
+///
+/// ```
+/// use pds_core::{PdsConfig, PdsNode, QueryFilter};
+/// use pds_sim::{Position, SimConfig, SimTime, World};
+///
+/// let mut world = World::new(SimConfig::default(), 7);
+/// let producer = PdsNode::new(PdsConfig::default(), 1).with_metadata(
+///     pds_core::DataDescriptor::builder().attr("type", "no2").build(),
+///     None,
+/// );
+/// world.add_node(Position::new(0.0, 0.0), Box::new(producer));
+/// let consumer = world.add_node(
+///     Position::new(30.0, 0.0),
+///     Box::new(PdsNode::new(PdsConfig::default(), 2)),
+/// );
+/// world.with_app::<PdsNode, _>(consumer, |node, ctx| {
+///     node.start_discovery(ctx, QueryFilter::match_all());
+/// });
+/// world.run_until(SimTime::from_secs_f64(10.0));
+/// let report = world
+///     .app::<PdsNode>(consumer)
+///     .and_then(|n| n.discovery_report())
+///     .expect("discovery ran");
+/// assert_eq!(report.entries, 1);
+/// ```
+pub struct PdsNode {
+    config: PdsConfig,
+    seed: u64,
+    engine: Option<PdsEngine>,
+    initial_metadata: Vec<(DataDescriptor, Option<Bytes>)>,
+    initial_chunks: Vec<(DataDescriptor, ChunkId, Bytes)>,
+    pending: Vec<(SimTime, Outgoing)>,
+    // Reliable messages awaiting a transport verdict, for failure-driven
+    // resends: handle → (sent message, sent-at time for GC).
+    in_flight: Vec<(pds_sim::MessageHandle, SimTime, Outgoing)>,
+    decode_errors: u64,
+    resends: u64,
+}
+
+impl PdsNode {
+    /// Creates a node with the given protocol configuration. `seed` drives
+    /// the node's query/response id generation and jitter; give every node
+    /// a distinct seed.
+    #[must_use]
+    pub fn new(config: PdsConfig, seed: u64) -> Self {
+        Self {
+            config,
+            seed,
+            engine: None,
+            initial_metadata: Vec::new(),
+            initial_chunks: Vec::new(),
+            pending: Vec::new(),
+            in_flight: Vec::new(),
+            decode_errors: 0,
+            resends: 0,
+        }
+    }
+
+    /// Adds a locally produced data item (available from the start).
+    #[must_use]
+    pub fn with_metadata(mut self, descriptor: DataDescriptor, payload: Option<Bytes>) -> Self {
+        self.initial_metadata.push((descriptor, payload));
+        self
+    }
+
+    /// Adds a locally held chunk of a large item (available from the
+    /// start). `item_descriptor` is the whole-item descriptor.
+    #[must_use]
+    pub fn with_chunk(
+        mut self,
+        item_descriptor: DataDescriptor,
+        chunk: ChunkId,
+        data: Bytes,
+    ) -> Self {
+        self.initial_chunks.push((item_descriptor, chunk, data));
+        self
+    }
+
+    /// The protocol engine, once the node has started.
+    #[must_use]
+    pub fn engine(&self) -> Option<&PdsEngine> {
+        self.engine.as_ref()
+    }
+
+    /// Mutable engine access (e.g. to add data after start).
+    pub fn engine_mut(&mut self) -> Option<&mut PdsEngine> {
+        self.engine.as_mut()
+    }
+
+    /// Report of the node's discovery session, if one was started.
+    #[must_use]
+    pub fn discovery_report(&self) -> Option<DiscoveryReport> {
+        Some(self.engine.as_ref()?.discovery()?.report())
+    }
+
+    /// Report of the node's retrieval session, if one was started.
+    #[must_use]
+    pub fn retrieval_report(&self) -> Option<RetrievalReport> {
+        Some(self.engine.as_ref()?.retrieval()?.report())
+    }
+
+    /// Messages that failed to decode (diagnostics; should stay 0).
+    #[must_use]
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors
+    }
+
+    /// Failure-driven resends performed so far (diagnostics).
+    #[must_use]
+    pub fn resends(&self) -> u64 {
+        self.resends
+    }
+
+    /// Creates the engine on first use (whichever comes first: `on_start`
+    /// or an external `with_app` call), applying the initial data.
+    fn ensure_engine(&mut self, ctx: &Context) -> &mut PdsEngine {
+        if self.engine.is_none() {
+            let mut engine = PdsEngine::new(ctx.node_id(), self.config.clone(), self.seed);
+            for (d, payload) in self.initial_metadata.drain(..) {
+                engine.store_mut().insert_own(d, payload);
+            }
+            for (d, chunk, data) in self.initial_chunks.drain(..) {
+                engine.store_mut().insert_chunk(&d, chunk, data);
+            }
+            self.engine = Some(engine);
+        }
+        self.engine.as_mut().expect("just created")
+    }
+
+    /// Starts a PDD metadata discovery (consumer role).
+    pub fn start_discovery(&mut self, ctx: &mut Context, filter: QueryFilter) {
+        let now = ctx.now();
+        let out = self.ensure_engine(ctx).start_discovery(now, filter);
+        self.dispatch(ctx, out);
+    }
+
+    /// Starts a small-data retrieval (consumer role).
+    pub fn start_small_data_retrieval(&mut self, ctx: &mut Context, filter: QueryFilter) {
+        let now = ctx.now();
+        let out = self.ensure_engine(ctx).start_small_data_retrieval(now, filter);
+        self.dispatch(ctx, out);
+    }
+
+    /// Starts a two-phase PDR retrieval of a large item (consumer role).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `descriptor` lacks `name` or `total_chunks`.
+    pub fn start_retrieval(&mut self, ctx: &mut Context, descriptor: DataDescriptor) {
+        let now = ctx.now();
+        let out = self.ensure_engine(ctx).start_retrieval(now, descriptor);
+        self.dispatch(ctx, out);
+    }
+
+    /// Starts an MDR baseline retrieval of a large item (consumer role).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `descriptor` lacks `name` or `total_chunks`.
+    pub fn start_mdr_retrieval(&mut self, ctx: &mut Context, descriptor: DataDescriptor) {
+        let now = ctx.now();
+        let out = self.ensure_engine(ctx).start_mdr_retrieval(now, descriptor);
+        self.dispatch(ctx, out);
+    }
+
+    /// Sends (or schedules, for jittered responses) the engine's outgoing
+    /// messages.
+    fn dispatch(&mut self, ctx: &mut Context, outs: Vec<Outgoing>) {
+        let jitter_max = self.config.response_jitter.as_micros();
+        for out in outs {
+            let max = match out.jitter {
+                crate::engine::Jitter::None => 0,
+                crate::engine::Jitter::Fast => jitter_max,
+                crate::engine::Jitter::Slow => jitter_max * 100,
+            };
+            if max > 0 {
+                let delay = SimDuration::from_micros(ctx.rng().range_u64(0, max.max(1)));
+                let due = ctx.now() + delay;
+                self.pending.push((due, out));
+                ctx.set_timer(delay, TAG_SEND);
+            } else {
+                self.transmit(ctx, out);
+            }
+        }
+    }
+
+    fn transmit(&mut self, ctx: &mut Context, out: Outgoing) {
+        let handle = ctx.broadcast(out.message.encode(), &out.intended);
+        // Only directed messages get transport verdicts; track them for
+        // failure-driven resends.
+        if !out.intended.is_empty() && out.retries_left > 0 {
+            self.in_flight.push((handle, ctx.now(), out));
+        }
+    }
+
+    fn flush_due(&mut self, ctx: &mut Context) {
+        let now = ctx.now();
+        let mut due = Vec::new();
+        self.pending.retain(|(at, out)| {
+            if *at <= now {
+                due.push(out.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for out in due {
+            self.transmit(ctx, out);
+        }
+    }
+}
+
+impl Application for PdsNode {
+    fn on_start(&mut self, ctx: &mut Context) {
+        self.ensure_engine(ctx);
+        ctx.set_timer(self.config.rounds.poll, TAG_POLL);
+        ctx.set_timer(GC_INTERVAL, TAG_GC);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context, meta: MessageMeta, payload: Bytes) {
+        let message = match PdsMessage::decode(&payload) {
+            Ok(m) => m,
+            Err(_) => {
+                self.decode_errors += 1;
+                return;
+            }
+        };
+        let me = ctx.node_id();
+        let me_intended = meta.intended.is_empty() || meta.intended.contains(&me);
+        let now = ctx.now();
+        let out = self
+            .ensure_engine(ctx)
+            .handle_message(now, meta.from, me_intended, message);
+        self.dispatch(ctx, out);
+    }
+
+    fn on_send_result(
+        &mut self,
+        ctx: &mut Context,
+        message: pds_sim::MessageHandle,
+        delivered: bool,
+    ) {
+        let Some(idx) = self.in_flight.iter().position(|(h, _, _)| *h == message) else {
+            return;
+        };
+        let (_, _, mut out) = self.in_flight.swap_remove(idx);
+        if delivered {
+            return;
+        }
+        if out.retries_left > 0 {
+            // The content still exists locally; try the hop again.
+            out.retries_left -= 1;
+            self.resends += 1;
+            self.transmit(ctx, out);
+            return;
+        }
+        // Final failure of a chunk sub-query: nothing is in flight for its
+        // chunks any more, so stop suppressing re-division.
+        if let PdsMessage::Query(q) = &out.message {
+            if let crate::message::QueryKind::Chunks { item, chunks } = &q.kind {
+                if let Some(e) = self.engine.as_mut() {
+                    e.clear_pending_chunks(item, chunks);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context, tag: u64) {
+        match tag {
+            TAG_POLL => {
+                if let Some(engine) = self.engine.as_mut() {
+                    let out = engine.poll(ctx.now());
+                    self.dispatch(ctx, out);
+                }
+                ctx.set_timer(self.config.rounds.poll, TAG_POLL);
+            }
+            TAG_GC => {
+                if let Some(engine) = self.engine.as_mut() {
+                    engine.gc(ctx.now());
+                }
+                // Drop in-flight records that never got a verdict (e.g.
+                // unreliable config): bounded memory.
+                let now = ctx.now();
+                self.in_flight
+                    .retain(|(_, at, _)| now.since(*at) < SimDuration::from_secs(120));
+                ctx.set_timer(GC_INTERVAL, TAG_GC);
+            }
+            TAG_SEND => self.flush_due(ctx),
+            _ => {}
+        }
+    }
+}
+
+impl std::fmt::Debug for PdsNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PdsNode")
+            .field("started", &self.engine.is_some())
+            .field("pending_sends", &self.pending.len())
+            .field("decode_errors", &self.decode_errors)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::DataDescriptor;
+    use crate::ids::ItemName;
+    use pds_mobility::grid;
+    use pds_sim::{NodeId, Position, SimConfig, World};
+
+    fn entry(n: u32) -> DataDescriptor {
+        DataDescriptor::builder()
+            .attr("type", "no2")
+            .attr("seq", i64::from(n))
+            .build()
+    }
+
+    fn video(total: u32) -> DataDescriptor {
+        DataDescriptor::builder()
+            .attr("type", "video")
+            .attr("name", "clip")
+            .attr("total_chunks", i64::from(total))
+            .build()
+    }
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    /// 3×3 grid, 5 entries per node, consumer at the center.
+    fn grid_world(seed: u64) -> (World, Vec<NodeId>, NodeId) {
+        let mut world = World::new(SimConfig::default(), seed);
+        let positions = grid::positions(3, 3, grid::SPACING_M);
+        let mut ids = Vec::new();
+        for (i, pos) in positions.iter().enumerate() {
+            let mut node = PdsNode::new(PdsConfig::default(), 100 + i as u64);
+            for k in 0..5u32 {
+                node = node.with_metadata(entry(i as u32 * 10 + k), None);
+            }
+            ids.push(world.add_node(*pos, Box::new(node)));
+        }
+        let consumer = ids[grid::center_index(3, 3)];
+        (world, ids, consumer)
+    }
+
+    #[test]
+    fn discovery_on_a_radio_grid_reaches_full_recall() {
+        let (mut world, _ids, consumer) = grid_world(42);
+        world.run_until(secs(0.5));
+        world.with_app::<PdsNode, _>(consumer, |node, ctx| {
+            node.start_discovery(ctx, QueryFilter::match_all());
+        });
+        world.run_until(secs(20.0));
+        let node = world.app::<PdsNode>(consumer).expect("alive");
+        let report = node.discovery_report().expect("session");
+        assert!(report.finished_at.is_some(), "discovery terminated");
+        assert_eq!(report.entries, 45, "all 9 nodes × 5 entries discovered");
+        assert_eq!(node.decode_errors(), 0);
+    }
+
+    #[test]
+    fn retrieval_over_radio_fetches_all_chunks() {
+        let mut world = World::new(SimConfig::default(), 7);
+        let chunk = |c: u32| Bytes::from(vec![c as u8; 8 * 1024]);
+        // Provider two hops from the consumer on a line.
+        let provider = PdsNode::new(PdsConfig::default(), 1)
+            .with_chunk(video(4), ChunkId(0), chunk(0))
+            .with_chunk(video(4), ChunkId(1), chunk(1))
+            .with_chunk(video(4), ChunkId(2), chunk(2))
+            .with_chunk(video(4), ChunkId(3), chunk(3));
+        world.add_node(Position::new(0.0, 0.0), Box::new(provider));
+        world.add_node(
+            Position::new(60.0, 0.0),
+            Box::new(PdsNode::new(PdsConfig::default(), 2)),
+        );
+        let consumer = world.add_node(
+            Position::new(120.0, 0.0),
+            Box::new(PdsNode::new(PdsConfig::default(), 3)),
+        );
+        world.run_until(secs(0.5));
+        world.with_app::<PdsNode, _>(consumer, |node, ctx| {
+            node.start_retrieval(ctx, video(4));
+        });
+        world.run_until(secs(30.0));
+        let node = world.app::<PdsNode>(consumer).expect("alive");
+        let report = node.retrieval_report().expect("session");
+        assert!(
+            (report.recall - 1.0).abs() < 1e-9,
+            "recall = {} after {:?}",
+            report.recall,
+            report
+        );
+        // The consumer's store holds the reassembled item.
+        let engine = node.engine().expect("started");
+        assert_eq!(engine.store().chunk_ids(&ItemName::new("clip")).len(), 4);
+    }
+
+    #[test]
+    fn mdr_over_radio_fetches_all_chunks() {
+        let mut world = World::new(SimConfig::default(), 9);
+        let provider = PdsNode::new(PdsConfig::default(), 1)
+            .with_chunk(video(2), ChunkId(0), Bytes::from(vec![0u8; 4096]))
+            .with_chunk(video(2), ChunkId(1), Bytes::from(vec![1u8; 4096]));
+        world.add_node(Position::new(0.0, 0.0), Box::new(provider));
+        let consumer = world.add_node(
+            Position::new(60.0, 0.0),
+            Box::new(PdsNode::new(PdsConfig::default(), 2)),
+        );
+        world.run_until(secs(0.5));
+        world.with_app::<PdsNode, _>(consumer, |node, ctx| {
+            node.start_mdr_retrieval(ctx, video(2));
+        });
+        world.run_until(secs(20.0));
+        let report = world
+            .app::<PdsNode>(consumer)
+            .and_then(PdsNode::retrieval_report)
+            .expect("session");
+        assert!((report.recall - 1.0).abs() < 1e-9, "recall = {}", report.recall);
+    }
+
+    #[test]
+    fn sequential_consumer_benefits_from_caching() {
+        let (mut world, ids, consumer) = grid_world(11);
+        world.run_until(secs(0.5));
+        world.with_app::<PdsNode, _>(consumer, |node, ctx| {
+            node.start_discovery(ctx, QueryFilter::match_all());
+        });
+        world.run_until(secs(20.0));
+        let first = world
+            .app::<PdsNode>(consumer)
+            .and_then(PdsNode::discovery_report)
+            .expect("first session");
+        assert_eq!(first.entries, 45);
+        // A corner node asks next; caches make it faster.
+        let second_consumer = ids[0];
+        world.with_app::<PdsNode, _>(second_consumer, |node, ctx| {
+            node.start_discovery(ctx, QueryFilter::match_all());
+        });
+        world.run_until(secs(40.0));
+        let second = world
+            .app::<PdsNode>(second_consumer)
+            .and_then(PdsNode::discovery_report)
+            .expect("second session");
+        assert_eq!(second.entries, 45);
+        assert!(
+            second.latency <= first.latency,
+            "cached entries should not be slower: {:?} vs {:?}",
+            second.latency,
+            first.latency
+        );
+    }
+}

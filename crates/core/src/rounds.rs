@@ -1,0 +1,289 @@
+//! The multi-round discovery controller (§III-B-2).
+//!
+//! The consumer makes two decisions from response-arrival statistics:
+//!
+//! 1. **Is the current round finished?** Upon each poll it computes the
+//!    ratio of responses received within the recent window `T` to all
+//!    responses since the round's query was sent; when that ratio falls to
+//!    `T_r` or below, the stream has "diminished" and the round is over. A
+//!    round that never produced a response ends after one idle window.
+//! 2. **Start another round?** If the fraction of *new* entries this round
+//!    (relative to everything received so far) exceeds `T_d`, more data is
+//!    likely still out there. With the paper's best value `T_d = 0`, rounds
+//!    continue until one returns nothing new.
+
+use crate::config::RoundParams;
+use pds_sim::SimTime;
+use std::collections::VecDeque;
+
+/// What the consumer should do after a poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundDecision {
+    /// Keep waiting for responses.
+    Continue,
+    /// The round diminished; start the next round.
+    StartNextRound,
+    /// The round diminished and too little was new; stop discovering.
+    Finished,
+}
+
+/// Round state machine for one discovery operation.
+///
+/// # Examples
+///
+/// ```
+/// use pds_core::{RoundController, RoundDecision, RoundParams};
+/// use pds_sim::SimTime;
+///
+/// let mut ctrl = RoundController::new(RoundParams::default(), SimTime::ZERO);
+/// ctrl.on_response(SimTime::from_secs_f64(0.2), 5);
+/// // The stream has been quiet for longer than T = 1 s and brought news:
+/// // start another round.
+/// assert_eq!(
+///     ctrl.poll(SimTime::from_secs_f64(1.5)),
+///     RoundDecision::StartNextRound
+/// );
+/// ```
+#[derive(Debug)]
+pub struct RoundController {
+    params: RoundParams,
+    round: u32,
+    round_started: SimTime,
+    arrivals: VecDeque<SimTime>,
+    responses_this_round: u64,
+    new_entries_this_round: u64,
+    total_entries: u64,
+}
+
+impl RoundController {
+    /// Creates a controller; the first round starts at `now`.
+    #[must_use]
+    pub fn new(params: RoundParams, now: SimTime) -> Self {
+        Self {
+            params,
+            round: 0,
+            round_started: now,
+            arrivals: VecDeque::new(),
+            responses_this_round: 0,
+            new_entries_this_round: 0,
+            total_entries: 0,
+        }
+    }
+
+    /// The current round number (0-based).
+    #[must_use]
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Total distinct entries recorded so far.
+    #[must_use]
+    pub fn total_entries(&self) -> u64 {
+        self.total_entries
+    }
+
+    /// Records a response carrying `new_entries` not-seen-before entries.
+    pub fn on_response(&mut self, now: SimTime, new_entries: u64) {
+        self.arrivals.push_back(now);
+        self.responses_this_round += 1;
+        self.new_entries_this_round += new_entries;
+        self.total_entries += new_entries;
+    }
+
+    /// Advances to the next round at `now`.
+    pub fn start_next_round(&mut self, now: SimTime) {
+        self.round += 1;
+        self.round_started = now;
+        self.arrivals.clear();
+        self.responses_this_round = 0;
+        self.new_entries_this_round = 0;
+    }
+
+    /// Evaluates the two decisions at `now`.
+    pub fn poll(&mut self, now: SimTime) -> RoundDecision {
+        if !self.round_finished(now) {
+            return RoundDecision::Continue;
+        }
+        if self.round + 1 >= self.params.max_rounds {
+            return RoundDecision::Finished;
+        }
+        // New-round rule: proportion of new entries this round among all
+        // received must exceed T_d. An all-zero first round also stops (the
+        // network is empty or unreachable).
+        if self.total_entries == 0 {
+            return RoundDecision::Finished;
+        }
+        let proportion = self.new_entries_this_round as f64 / self.total_entries as f64;
+        if proportion > self.params.t_d {
+            RoundDecision::StartNextRound
+        } else {
+            RoundDecision::Finished
+        }
+    }
+
+    fn round_finished(&mut self, now: SimTime) -> bool {
+        let window_start = SimTime::from_micros(
+            now.as_micros()
+                .saturating_sub(self.params.t_window.as_micros()),
+        );
+        while self
+            .arrivals
+            .front()
+            .is_some_and(|&a| a < window_start)
+        {
+            self.arrivals.pop_front();
+        }
+        if self.responses_this_round == 0 {
+            // Nothing back yet: wait at least one window before giving up.
+            return now.since(self.round_started) >= self.params.t_window;
+        }
+        let recent = self.arrivals.len() as f64;
+        let total = self.responses_this_round as f64;
+        recent / total <= self.params.t_r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pds_sim::SimDuration;
+
+    fn params() -> RoundParams {
+        RoundParams {
+            t_window: SimDuration::from_secs(1),
+            t_r: 0.0,
+            t_d: 0.0,
+            poll: SimDuration::from_millis(200),
+            max_rounds: 12,
+        }
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn continues_while_responses_flow() {
+        let mut c = RoundController::new(params(), t(0.0));
+        c.on_response(t(0.2), 5);
+        c.on_response(t(0.5), 3);
+        assert_eq!(c.poll(t(0.6)), RoundDecision::Continue);
+        assert_eq!(c.total_entries(), 8);
+    }
+
+    #[test]
+    fn starts_next_round_when_stream_dries_and_news_arrived() {
+        let mut c = RoundController::new(params(), t(0.0));
+        c.on_response(t(0.2), 5);
+        // Window T = 1 s with no arrivals after 0.2 s: at 1.5 s the recent
+        // window is empty → round over; 5 new entries > T_d = 0 → next round.
+        assert_eq!(c.poll(t(1.5)), RoundDecision::StartNextRound);
+        c.start_next_round(t(1.5));
+        assert_eq!(c.round(), 1);
+    }
+
+    #[test]
+    fn finishes_when_round_brought_nothing_new() {
+        let mut c = RoundController::new(params(), t(0.0));
+        c.on_response(t(0.2), 5);
+        assert_eq!(c.poll(t(1.5)), RoundDecision::StartNextRound);
+        c.start_next_round(t(1.5));
+        c.on_response(t(1.7), 0); // all redundant
+        assert_eq!(c.poll(t(3.0)), RoundDecision::Finished);
+    }
+
+    #[test]
+    fn empty_network_finishes_after_one_window() {
+        let mut c = RoundController::new(params(), t(0.0));
+        assert_eq!(c.poll(t(0.5)), RoundDecision::Continue);
+        assert_eq!(c.poll(t(1.0)), RoundDecision::Finished);
+    }
+
+    #[test]
+    fn larger_t_d_stops_earlier() {
+        let mut p = params();
+        p.t_d = 0.5;
+        let mut c = RoundController::new(p, t(0.0));
+        c.on_response(t(0.2), 10);
+        assert_eq!(c.poll(t(1.5)), RoundDecision::StartNextRound);
+        c.start_next_round(t(1.5));
+        // 4 new out of 14 total = 0.29 < 0.5 → finished despite new entries.
+        c.on_response(t(1.7), 4);
+        assert_eq!(c.poll(t(3.0)), RoundDecision::Finished);
+    }
+
+    #[test]
+    fn positive_t_r_ends_round_while_trickling() {
+        let mut p = params();
+        p.t_r = 0.2;
+        let mut c = RoundController::new(p, t(0.0));
+        // 10 responses early, then a trickle: 1 in the last second out of 11
+        // total = 0.09 ≤ 0.2 → round considered finished.
+        for i in 0..10 {
+            c.on_response(t(0.1 + 0.01 * f64::from(i)), 1);
+        }
+        c.on_response(t(2.0), 1);
+        assert_eq!(c.poll(t(2.1)), RoundDecision::StartNextRound);
+    }
+
+    #[test]
+    fn max_rounds_caps_discovery() {
+        let mut p = params();
+        p.max_rounds = 2;
+        let mut c = RoundController::new(p, t(0.0));
+        c.on_response(t(0.2), 5);
+        assert_eq!(c.poll(t(1.5)), RoundDecision::StartNextRound);
+        c.start_next_round(t(1.5));
+        c.on_response(t(1.7), 5);
+        assert_eq!(
+            c.poll(t(3.0)),
+            RoundDecision::Finished,
+            "round cap reached even though new entries arrived"
+        );
+    }
+
+    #[test]
+    fn poll_is_idempotent_when_continuing() {
+        let mut c = RoundController::new(params(), t(0.0));
+        c.on_response(t(0.1), 2);
+        assert_eq!(c.poll(t(0.2)), RoundDecision::Continue);
+        assert_eq!(c.poll(t(0.2)), RoundDecision::Continue);
+        assert_eq!(c.total_entries(), 2);
+    }
+
+    #[test]
+    fn start_next_round_resets_round_state_but_not_totals() {
+        let mut c = RoundController::new(params(), t(0.0));
+        c.on_response(t(0.1), 7);
+        c.start_next_round(t(2.0));
+        assert_eq!(c.round(), 1);
+        assert_eq!(c.total_entries(), 7, "totals persist across rounds");
+        // Fresh round with no responses: finishes after one idle window,
+        // and with no new entries the discovery ends.
+        assert_eq!(c.poll(t(2.5)), RoundDecision::Continue);
+        assert_eq!(c.poll(t(3.0)), RoundDecision::Finished);
+    }
+
+    #[test]
+    fn responses_with_zero_new_entries_still_extend_the_round() {
+        let mut c = RoundController::new(params(), t(0.0));
+        c.on_response(t(0.1), 3);
+        // A steady stream of all-duplicate responses keeps the round alive.
+        for i in 1..=20 {
+            c.on_response(t(0.1 + 0.4 * f64::from(i)), 0);
+        }
+        assert_eq!(c.poll(t(8.2)), RoundDecision::Continue);
+    }
+
+    #[test]
+    fn window_prunes_old_arrivals_only() {
+        let mut c = RoundController::new(params(), t(0.0));
+        c.on_response(t(0.1), 1);
+        c.on_response(t(5.0), 1);
+        // At 5.2 s, one arrival (5.0) is inside the window of 11 total... of
+        // 2 total: ratio 0.5 > 0 → continue.
+        assert_eq!(c.poll(t(5.2)), RoundDecision::Continue);
+        // At 6.5 s the window is empty → round over.
+        assert_eq!(c.poll(t(6.5)), RoundDecision::StartNextRound);
+    }
+}

@@ -1,0 +1,251 @@
+//! Attribute values — the primitive types of data descriptors (§II-B).
+
+use bytes::{Buf, BufMut};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A primitive attribute value: string, integer, float or Unix time.
+///
+/// Values of the same variant are totally ordered (floats compare by IEEE
+/// total order of their finite values; descriptors never carry NaN — the
+/// builder rejects it). Cross-variant comparisons yield `None`, so a
+/// predicate on the wrong type simply does not match.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A UTF-8 string (e.g. a data type name).
+    Str(String),
+    /// A signed integer (e.g. a chunk count).
+    Int(i64),
+    /// A float (e.g. a GPS coordinate).
+    Float(f64),
+    /// Seconds since the Unix epoch (e.g. sample generation time).
+    Time(i64),
+}
+
+impl AttrValue {
+    /// Compares two values of the same variant; `None` across variants.
+    #[must_use]
+    pub fn partial_cmp_same_type(&self, other: &AttrValue) -> Option<Ordering> {
+        match (self, other) {
+            (AttrValue::Str(a), AttrValue::Str(b)) => Some(a.cmp(b)),
+            (AttrValue::Int(a), AttrValue::Int(b)) => Some(a.cmp(b)),
+            (AttrValue::Float(a), AttrValue::Float(b)) => a.partial_cmp(b),
+            (AttrValue::Time(a), AttrValue::Time(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Serializes the value (tag byte + body).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            AttrValue::Str(s) => {
+                out.put_u8(0);
+                out.put_u16_le(s.len() as u16);
+                out.put_slice(s.as_bytes());
+            }
+            AttrValue::Int(i) => {
+                out.put_u8(1);
+                out.put_i64_le(*i);
+            }
+            AttrValue::Float(f) => {
+                out.put_u8(2);
+                out.put_f64_le(*f);
+            }
+            AttrValue::Time(t) => {
+                out.put_u8(3);
+                out.put_i64_le(*t);
+            }
+        }
+    }
+
+    /// Deserializes a value previously written by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` on truncation, an unknown tag, or invalid UTF-8.
+    pub fn decode(buf: &mut impl Buf) -> Option<Self> {
+        if buf.remaining() < 1 {
+            return None;
+        }
+        match buf.get_u8() {
+            0 => {
+                if buf.remaining() < 2 {
+                    return None;
+                }
+                let len = buf.get_u16_le() as usize;
+                if buf.remaining() < len {
+                    return None;
+                }
+                let mut bytes = vec![0u8; len];
+                buf.copy_to_slice(&mut bytes);
+                String::from_utf8(bytes).ok().map(AttrValue::Str)
+            }
+            1 => (buf.remaining() >= 8).then(|| AttrValue::Int(buf.get_i64_le())),
+            2 => (buf.remaining() >= 8).then(|| AttrValue::Float(buf.get_f64_le())),
+            3 => (buf.remaining() >= 8).then(|| AttrValue::Time(buf.get_i64_le())),
+            _ => None,
+        }
+    }
+
+    /// Wire size of the encoded form in bytes.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            AttrValue::Str(s) => 3 + s.len(),
+            _ => 9,
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Str(s) => f.write_str(s),
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Float(x) => write!(f, "{x}"),
+            AttrValue::Time(t) => write!(f, "@{t}"),
+        }
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Str(s)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(i: i64) -> Self {
+        AttrValue::Int(i)
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(i: u32) -> Self {
+        AttrValue::Int(i64::from(i))
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(f: f64) -> Self {
+        AttrValue::Float(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &AttrValue) -> AttrValue {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        assert_eq!(buf.len(), v.encoded_len());
+        let mut slice = &buf[..];
+        let out = AttrValue::decode(&mut slice).expect("decodes");
+        assert!(!slice.has_remaining());
+        out
+    }
+
+    #[test]
+    fn encode_decode_all_variants() {
+        for v in [
+            AttrValue::Str("hello".into()),
+            AttrValue::Int(-42),
+            AttrValue::Float(3.25),
+            AttrValue::Time(1_451_635_200),
+        ] {
+            assert_eq!(roundtrip(&v), v);
+        }
+    }
+
+    #[test]
+    fn empty_string_round_trips() {
+        assert_eq!(roundtrip(&AttrValue::Str(String::new())), AttrValue::Str(String::new()));
+    }
+
+    #[test]
+    fn same_type_comparisons() {
+        use Ordering::*;
+        assert_eq!(
+            AttrValue::Int(1).partial_cmp_same_type(&AttrValue::Int(2)),
+            Some(Less)
+        );
+        assert_eq!(
+            AttrValue::Str("b".into()).partial_cmp_same_type(&AttrValue::Str("a".into())),
+            Some(Greater)
+        );
+        assert_eq!(
+            AttrValue::Float(1.0).partial_cmp_same_type(&AttrValue::Float(1.0)),
+            Some(Equal)
+        );
+        assert_eq!(
+            AttrValue::Time(5).partial_cmp_same_type(&AttrValue::Time(9)),
+            Some(Less)
+        );
+    }
+
+    #[test]
+    fn cross_type_comparison_is_none() {
+        assert_eq!(
+            AttrValue::Int(1).partial_cmp_same_type(&AttrValue::Float(1.0)),
+            None
+        );
+        assert_eq!(
+            AttrValue::Time(1).partial_cmp_same_type(&AttrValue::Int(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let mut buf: &[u8] = &[9, 0, 0];
+        assert_eq!(AttrValue::decode(&mut buf), None);
+        let mut buf: &[u8] = &[1, 0];
+        assert_eq!(AttrValue::decode(&mut buf), None);
+        let mut buf: &[u8] = &[];
+        assert_eq!(AttrValue::decode(&mut buf), None);
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        assert_eq!(AttrValue::from("x"), AttrValue::Str("x".into()));
+        assert_eq!(AttrValue::from(3i64), AttrValue::Int(3));
+        assert_eq!(AttrValue::from(2.5f64), AttrValue::Float(2.5));
+        assert_eq!(AttrValue::from(7u32), AttrValue::Int(7));
+    }
+
+    #[test]
+    fn float_ordering_is_total_over_finite_values() {
+        use Ordering::*;
+        let cases = [(-1.5, 0.0, Less), (2.5, 2.5, Equal), (1e9, -1e9, Greater)];
+        for (a, b, expect) in cases {
+            assert_eq!(
+                AttrValue::Float(a).partial_cmp_same_type(&AttrValue::Float(b)),
+                Some(expect),
+                "{a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches_for_long_strings() {
+        let v = AttrValue::Str("x".repeat(500));
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        assert_eq!(buf.len(), v.encoded_len());
+        let mut slice = &buf[..];
+        assert_eq!(AttrValue::decode(&mut slice), Some(v));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(AttrValue::Str("a".into()).to_string(), "a");
+        assert_eq!(AttrValue::Time(5).to_string(), "@5");
+    }
+}

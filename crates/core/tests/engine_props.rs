@@ -1,0 +1,167 @@
+//! Property-based protocol tests: on *any* connected topology with lossless
+//! instantaneous links, discovery terminates with full recall and PDR
+//! retrieves every chunk. Random trees come from Prüfer sequences, so
+//! connectivity holds by construction.
+
+use bytes::Bytes;
+use pds_core::{
+    AttrValue, ChunkId, DataDescriptor, Outgoing, PdsConfig, PdsEngine, PdsMessage, QueryFilter,
+};
+use pds_sim::{NodeId, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn t(s: f64) -> SimTime {
+    SimTime::from_secs_f64(s)
+}
+
+/// Decodes a Prüfer sequence into a tree's adjacency lists (n ≥ 2 nodes).
+fn prufer_tree(n: usize, seq: &[usize]) -> Vec<Vec<usize>> {
+    assert!(n >= 2);
+    assert_eq!(seq.len(), n - 2);
+    let mut degree = vec![1usize; n];
+    for &s in seq {
+        degree[s % n] += 1;
+    }
+    let mut adj = vec![Vec::new(); n];
+    let add = |adj: &mut Vec<Vec<usize>>, a: usize, b: usize| {
+        adj[a].push(b);
+        adj[b].push(a);
+    };
+    for &s in seq {
+        let s = s % n;
+        let leaf = (0..n).find(|&i| degree[i] == 1).expect("leaf exists");
+        add(&mut adj, leaf, s);
+        degree[leaf] -= 1;
+        degree[s] -= 1;
+    }
+    let remaining: Vec<usize> = (0..n).filter(|&i| degree[i] == 1).collect();
+    assert_eq!(remaining.len(), 2);
+    add(&mut adj, remaining[0], remaining[1]);
+    adj
+}
+
+/// Instantaneous lossless pump over the adjacency.
+fn pump(engines: &mut [PdsEngine], adj: &[Vec<usize>], initial: Vec<(usize, Outgoing)>, now: SimTime) {
+    let mut queue = initial;
+    let mut steps = 0usize;
+    while let Some((sender, out)) = queue.pop() {
+        steps += 1;
+        assert!(steps < 500_000, "pump did not quiesce");
+        for &nbr in &adj[sender] {
+            let me = NodeId(nbr as u32);
+            let me_intended = out.intended.is_empty() || out.intended.contains(&me);
+            let produced =
+                engines[nbr].handle_message(now, NodeId(sender as u32), me_intended, out.message.clone());
+            for p in produced {
+                queue.push((nbr, p));
+            }
+        }
+    }
+}
+
+fn entry(owner: usize, k: usize) -> DataDescriptor {
+    DataDescriptor::builder()
+        .attr("type", "s")
+        .attr("o", owner as i64)
+        .attr("k", AttrValue::Int(k as i64))
+        .build()
+}
+
+fn video(total: u32) -> DataDescriptor {
+    DataDescriptor::builder()
+        .attr("type", "video")
+        .attr("name", "clip")
+        .attr("total_chunks", i64::from(total))
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Discovery on any tree topology terminates with 100 % recall and the
+    /// wire codec round-trips every transmitted message.
+    #[test]
+    fn discovery_full_recall_on_any_tree(
+        n in 2usize..10,
+        seq in proptest::collection::vec(0usize..100, 8),
+        per_node in 1usize..4,
+        consumer_pick in 0usize..100,
+    ) {
+        let seq: Vec<usize> = seq.into_iter().take(n - 2).collect();
+        let adj = prufer_tree(n, &seq);
+        let mut engines: Vec<PdsEngine> = (0..n)
+            .map(|i| PdsEngine::new(NodeId(i as u32), PdsConfig::default(), 50_000 + i as u64))
+            .collect();
+        for (i, e) in engines.iter_mut().enumerate() {
+            for k in 0..per_node {
+                e.store_mut().insert_own(entry(i, k), None);
+            }
+        }
+        let consumer = consumer_pick % n;
+        let mut now = t(0.0);
+        let start = engines[consumer].start_discovery(now, QueryFilter::match_all());
+        // Codec sanity: everything sent must decode to itself.
+        for o in &start {
+            let bytes = o.message.encode();
+            prop_assert_eq!(PdsMessage::decode(&bytes).expect("decodes"), o.message.clone());
+        }
+        pump(&mut engines, &adj, start.into_iter().map(|o| (consumer, o)).collect(), now);
+        for _ in 0..40 {
+            now += SimDuration::from_millis(400);
+            let out = engines[consumer].poll(now);
+            pump(&mut engines, &adj, out.into_iter().map(|o| (consumer, o)).collect(), now);
+            if engines[consumer].discovery().expect("session").is_finished() {
+                break;
+            }
+        }
+        let session = engines[consumer].discovery().expect("session");
+        prop_assert!(session.is_finished(), "discovery must terminate");
+        prop_assert_eq!(session.entries().len(), n * per_node, "full recall on a lossless tree");
+    }
+
+    /// PDR on any tree topology retrieves every chunk, wherever they sit.
+    #[test]
+    fn retrieval_full_recall_on_any_tree(
+        n in 2usize..8,
+        seq in proptest::collection::vec(0usize..100, 8),
+        total in 1u32..6,
+        placement_seed in any::<u64>(),
+    ) {
+        let seq: Vec<usize> = seq.into_iter().take(n - 2).collect();
+        let adj = prufer_tree(n, &seq);
+        let mut engines: Vec<PdsEngine> = (0..n)
+            .map(|i| PdsEngine::new(NodeId(i as u32), PdsConfig::default(), 60_000 + i as u64))
+            .collect();
+        // Scatter chunks (consumer is node 0; holders are 1..n).
+        let desc = video(total);
+        let mut s = placement_seed;
+        for c in 0..total {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let holder = if n > 1 { 1 + (s as usize % (n - 1)) } else { 0 };
+            engines[holder].store_mut().insert_chunk(
+                &desc,
+                ChunkId(c),
+                Bytes::from(vec![c as u8; 256]),
+            );
+        }
+        let mut now = t(0.0);
+        let start = engines[0].start_retrieval(now, desc);
+        pump(&mut engines, &adj, start.into_iter().map(|o| (0, o)).collect(), now);
+        for _ in 0..80 {
+            now += SimDuration::from_millis(400);
+            let out = engines[0].poll(now);
+            pump(&mut engines, &adj, out.into_iter().map(|o| (0, o)).collect(), now);
+            if engines[0].retrieval().expect("session").is_finished() {
+                break;
+            }
+        }
+        let report = engines[0].retrieval().expect("session").report();
+        prop_assert!(
+            (report.recall - 1.0).abs() < 1e-9,
+            "recall {} on tree {:?} with {} chunks",
+            report.recall,
+            adj,
+            total
+        );
+    }
+}

@@ -1,0 +1,1 @@
+//! Host crate for the repository-level integration tests in `/tests`.

@@ -1,0 +1,214 @@
+//! Poisson-process trace generation from observation parameters.
+
+use crate::trace::{MobilityTrace, PersonId, TraceAction, TraceEvent};
+use pds_sim::{Position, SimDuration, SimRng, SimTime};
+
+/// Aggregate observation parameters for a venue, as the paper reports them
+/// (population plus join/leave/move rates per minute; §VI-B-2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservationParams {
+    /// Area width in meters.
+    pub width_m: f64,
+    /// Area height in meters.
+    pub height_m: f64,
+    /// Typical number of people present.
+    pub population: usize,
+    /// People entering per minute.
+    pub joins_per_min: f64,
+    /// People leaving per minute.
+    pub leaves_per_min: f64,
+    /// People relocating within the area per minute.
+    pub moves_per_min: f64,
+    /// Walking speed in m/s.
+    pub speed_mps: f64,
+}
+
+impl ObservationParams {
+    fn random_pos(&self, rng: &mut SimRng) -> Position {
+        Position::new(
+            rng.range_f64(0.0, self.width_m),
+            rng.range_f64(0.0, self.height_m),
+        )
+    }
+}
+
+impl MobilityTrace {
+    /// Generates a trace of length `duration` from `params`, with every rate
+    /// scaled by `multiplier` (the paper sweeps 0.5×–2×). Deterministic in
+    /// `seed`.
+    ///
+    /// The initial `population` people are placed uniformly at random; join,
+    /// leave and move events then arrive as independent Poisson processes.
+    /// Leaves and moves pick a uniformly random present person; a leave when
+    /// nobody is present is skipped (and likewise moves), which keeps the
+    /// trace valid by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier` is negative or not finite.
+    #[must_use]
+    pub fn generate(
+        params: &ObservationParams,
+        duration: SimDuration,
+        multiplier: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            multiplier.is_finite() && multiplier >= 0.0,
+            "mobility multiplier must be nonnegative"
+        );
+        let mut rng = SimRng::new(seed ^ 0x6d6f_6269_6c69_7479);
+        let mut next_person = 0u32;
+        let fresh = |n: &mut u32| {
+            let p = PersonId(*n);
+            *n += 1;
+            p
+        };
+
+        let initial: Vec<(PersonId, Position)> = (0..params.population)
+            .map(|_| (fresh(&mut next_person), params.random_pos(&mut rng)))
+            .collect();
+        let mut present: Vec<PersonId> = initial.iter().map(|&(p, _)| p).collect();
+
+        // Merge three Poisson processes by drawing each next arrival.
+        let horizon = duration.as_secs_f64();
+        let rate = |per_min: f64| per_min * multiplier / 60.0; // events per second
+        let mut events = Vec::new();
+        let draw_next = |rng: &mut SimRng, r: f64, from: f64| -> f64 {
+            if r <= 0.0 {
+                f64::INFINITY
+            } else {
+                from + rng.exponential(1.0 / r)
+            }
+        };
+        let mut t_join = draw_next(&mut rng, rate(params.joins_per_min), 0.0);
+        let mut t_leave = draw_next(&mut rng, rate(params.leaves_per_min), 0.0);
+        let mut t_move = draw_next(&mut rng, rate(params.moves_per_min), 0.0);
+
+        loop {
+            let t = t_join.min(t_leave).min(t_move);
+            if t > horizon {
+                break;
+            }
+            let at = SimTime::from_secs_f64(t);
+            if t == t_join {
+                let person = fresh(&mut next_person);
+                present.push(person);
+                events.push(TraceEvent {
+                    at,
+                    person,
+                    action: TraceAction::Join {
+                        pos: params.random_pos(&mut rng),
+                    },
+                });
+                t_join = draw_next(&mut rng, rate(params.joins_per_min), t);
+            } else if t == t_leave {
+                if !present.is_empty() {
+                    let idx = rng.range_u64(0, present.len() as u64) as usize;
+                    let person = present.swap_remove(idx);
+                    events.push(TraceEvent {
+                        at,
+                        person,
+                        action: TraceAction::Leave,
+                    });
+                }
+                t_leave = draw_next(&mut rng, rate(params.leaves_per_min), t);
+            } else {
+                if !present.is_empty() {
+                    let idx = rng.range_u64(0, present.len() as u64) as usize;
+                    let person = present[idx];
+                    events.push(TraceEvent {
+                        at,
+                        person,
+                        action: TraceAction::Move {
+                            dest: params.random_pos(&mut rng),
+                            speed_mps: params.speed_mps,
+                        },
+                    });
+                }
+                t_move = draw_next(&mut rng, rate(params.moves_per_min), t);
+            }
+        }
+        Self::from_parts(initial, events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn hour() -> SimDuration {
+        SimDuration::from_secs(3600)
+    }
+
+    #[test]
+    fn generated_trace_is_valid() {
+        for seed in 0..5 {
+            let trace =
+                MobilityTrace::generate(&presets::student_center(), hour(), 1.0, seed);
+            trace.validate().expect("generated trace must be valid");
+        }
+    }
+
+    #[test]
+    fn rates_are_approximately_honored() {
+        // Student center: 1 join, 1 leave, 4 moves per minute over an hour.
+        let trace = MobilityTrace::generate(&presets::student_center(), hour(), 1.0, 7);
+        let (joins, leaves, moves) = trace.event_counts();
+        assert!((40..=85).contains(&joins), "joins = {joins}");
+        assert!((40..=85).contains(&leaves), "leaves = {leaves}");
+        assert!((180..=300).contains(&moves), "moves = {moves}");
+    }
+
+    #[test]
+    fn multiplier_scales_event_counts() {
+        let base = MobilityTrace::generate(&presets::student_center(), hour(), 1.0, 3);
+        let double = MobilityTrace::generate(&presets::student_center(), hour(), 2.0, 3);
+        let (j1, l1, m1) = base.event_counts();
+        let (j2, l2, m2) = double.event_counts();
+        let total1 = j1 + l1 + m1;
+        let total2 = j2 + l2 + m2;
+        let ratio = total2 as f64 / total1 as f64;
+        assert!((1.6..2.5).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn zero_multiplier_freezes_everyone() {
+        let trace = MobilityTrace::generate(&presets::classroom(), hour(), 0.0, 1);
+        assert_eq!(trace.events().len(), 0);
+        assert_eq!(trace.initial_people().len(), 30);
+    }
+
+    #[test]
+    fn positions_stay_inside_area() {
+        let p = presets::classroom();
+        let trace = MobilityTrace::generate(&p, hour(), 2.0, 9);
+        let inside = |pos: Position| {
+            (0.0..=p.width_m).contains(&pos.x) && (0.0..=p.height_m).contains(&pos.y)
+        };
+        assert!(trace.initial_people().iter().all(|&(_, pos)| inside(pos)));
+        for ev in trace.events() {
+            match ev.action {
+                TraceAction::Join { pos } => assert!(inside(pos)),
+                TraceAction::Move { dest, .. } => assert!(inside(dest)),
+                TraceAction::Leave => {}
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = MobilityTrace::generate(&presets::student_center(), hour(), 1.0, 42);
+        let b = MobilityTrace::generate(&presets::student_center(), hour(), 1.0, 42);
+        assert_eq!(a, b);
+        let c = MobilityTrace::generate(&presets::student_center(), hour(), 1.0, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier")]
+    fn negative_multiplier_panics() {
+        let _ = MobilityTrace::generate(&presets::classroom(), hour(), -1.0, 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! The deterministic event queue at the heart of the kernel.
+
+use crate::node::{NodeId, TimerId};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum EventKind {
+    /// Call `on_start` for a freshly added node.
+    Start(NodeId),
+    /// A node's MAC attempts to (re)start transmission. `deferred` is set on
+    /// the second phase of the sense–defer–transmit sequence.
+    MacTry {
+        /// The transmitting node.
+        node: NodeId,
+        /// Whether the initial random defer has already been served.
+        deferred: bool,
+    },
+    /// A transmission finishes; deliver to receivers.
+    TxEnd(u64),
+    /// The leaky bucket may release more frames.
+    BucketDrain(NodeId),
+    /// A timer (application or transport) fires.
+    Timer {
+        /// Owning node.
+        node: NodeId,
+        /// Timer identity within the node's table.
+        id: TimerId,
+    },
+    /// A scheduled control closure (scenario orchestration) runs.
+    Control(u64),
+    /// Periodic transport garbage collection.
+    Sweep,
+}
+
+#[derive(Debug)]
+struct QueuedEvent {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first; ties
+        // break by insertion sequence for determinism.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered, insertion-stable event queue.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<QueuedEvent>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at time `at`.
+    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(QueuedEvent { at, seq, kind });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        self.heap.pop().map(|e| (e.at, e.kind))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), EventKind::Sweep);
+        q.push(t(10), EventKind::Control(1));
+        q.push(t(20), EventKind::Control(2));
+        assert_eq!(q.pop().map(|e| e.0), Some(t(10)));
+        assert_eq!(q.pop().map(|e| e.0), Some(t(20)));
+        assert_eq!(q.pop().map(|e| e.0), Some(t(30)));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(t(5), EventKind::Control(1));
+        q.push(t(5), EventKind::Control(2));
+        q.push(t(5), EventKind::Control(3));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| match k {
+                EventKind::Control(n) => n,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn peek_time_tracks_min() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(t(50), EventKind::Sweep);
+        q.push(t(40), EventKind::Sweep);
+        assert_eq!(q.peek_time(), Some(t(40)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,246 @@
+//! Node identity and the application programming interface.
+//!
+//! Protocols (PDS itself, the MDR baseline, test fixtures) implement
+//! [`Application`]; the kernel invokes its callbacks and collects the
+//! [`Command`]s the application issues through [`Context`].
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use bytes::Bytes;
+use std::any::Any;
+use std::fmt;
+
+/// Identifier of a simulated node (a device in the edge environment).
+///
+/// Ids are assigned by [`World::add_node`](crate::World::add_node) in
+/// ascending order and are never reused within a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Handle of a pending timer, for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+/// Handle of an outgoing message, echoed back by
+/// [`Application::on_send_result`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MessageHandle(pub(crate) u64);
+
+/// Metadata accompanying a delivered message.
+#[derive(Debug, Clone)]
+pub struct MessageMeta {
+    /// The one-hop neighbor that transmitted the message.
+    pub from: NodeId,
+    /// The intended next-hop receivers; empty means "all neighbors".
+    pub intended: Vec<NodeId>,
+    /// `true` if this node was *not* in the intended list — the message was
+    /// overheard thanks to the broadcast medium and may be cached but should
+    /// not be forwarded (§III of the paper).
+    pub overheard: bool,
+    /// Total on-air bytes of the message (all fragments, headers included),
+    /// for overhead accounting.
+    pub wire_bytes: usize,
+}
+
+/// A protocol or workload running on a node.
+///
+/// Callbacks are invoked by the simulation kernel; all interaction with the
+/// outside world goes through the provided [`Context`]. Implementations must
+/// be `'static` so results can be extracted by downcasting after a run (see
+/// [`World::app`](crate::World::app)).
+pub trait Application: Any {
+    /// Invoked once when the node joins the world.
+    fn on_start(&mut self, ctx: &mut Context);
+
+    /// Invoked when a complete message is received — whether this node was
+    /// an intended receiver or merely overheard it (see
+    /// [`MessageMeta::overheard`]).
+    fn on_message(&mut self, ctx: &mut Context, meta: MessageMeta, payload: Bytes);
+
+    /// Invoked when a timer set via [`Context::set_timer`] fires. The `tag`
+    /// is the application-chosen value passed at arm time.
+    fn on_timer(&mut self, ctx: &mut Context, tag: u64) {
+        let _ = (ctx, tag);
+    }
+
+    /// Invoked when a reliable message (non-empty intended receiver list,
+    /// acks enabled) is fully acknowledged (`delivered = true`) or abandoned
+    /// after `MaxRetrTime` retransmissions (`delivered = false`).
+    fn on_send_result(&mut self, ctx: &mut Context, message: MessageHandle, delivered: bool) {
+        let _ = (ctx, message, delivered);
+    }
+}
+
+/// A side effect requested by an application callback, applied by the kernel
+/// after the callback returns.
+#[derive(Debug)]
+pub enum Command {
+    /// Broadcast a message to all neighbors, naming intended receivers.
+    Broadcast {
+        /// Application payload.
+        payload: Bytes,
+        /// Intended next-hop receivers (empty = all neighbors, unreliable).
+        intended: Vec<NodeId>,
+        /// Handle pre-assigned by the context.
+        handle: MessageHandle,
+    },
+    /// Arm a timer.
+    SetTimer {
+        /// Pre-assigned timer id.
+        id: TimerId,
+        /// Fire time.
+        at: SimTime,
+        /// Application tag echoed to [`Application::on_timer`].
+        tag: u64,
+    },
+    /// Disarm a previously set timer.
+    CancelTimer(TimerId),
+}
+
+/// The application's window into the kernel during a callback.
+///
+/// Commands issued here are buffered and applied when the callback returns,
+/// in issue order.
+pub struct Context<'a> {
+    now: SimTime,
+    node: NodeId,
+    next_timer: u64,
+    next_msg: u64,
+    rng: &'a mut SimRng,
+    commands: Vec<Command>,
+}
+
+impl<'a> Context<'a> {
+    pub(crate) fn new(
+        now: SimTime,
+        node: NodeId,
+        next_timer: u64,
+        next_msg: u64,
+        rng: &'a mut SimRng,
+    ) -> Self {
+        Self {
+            now,
+            node,
+            next_timer,
+            next_msg,
+            rng,
+            commands: Vec::new(),
+        }
+    }
+
+    pub(crate) fn finish(self) -> (Vec<Command>, u64, u64) {
+        (self.commands, self.next_timer, self.next_msg)
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node this callback runs on.
+    #[must_use]
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Deterministic per-node randomness (jitter, probabilistic choices).
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Broadcasts `payload` to all one-hop neighbors.
+    ///
+    /// `intended` names the receivers that should act on (relay) the
+    /// message; when acks are enabled and `intended` is non-empty the
+    /// transport retransmits until all intended receivers acknowledge or
+    /// `MaxRetrTime` is exhausted, then reports via
+    /// [`Application::on_send_result`]. An empty list means "all neighbors"
+    /// and is sent unreliably (PDS floods fresh queries this way).
+    pub fn broadcast(&mut self, payload: Bytes, intended: &[NodeId]) -> MessageHandle {
+        let handle = MessageHandle(self.next_msg);
+        self.next_msg += 1;
+        self.commands.push(Command::Broadcast {
+            payload,
+            intended: intended.to_vec(),
+            handle,
+        });
+        handle
+    }
+
+    /// Arms a timer that fires `delay` from now, delivering `tag` to
+    /// [`Application::on_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let id = TimerId(self.next_timer);
+        self.next_timer += 1;
+        self.commands.push(Command::SetTimer {
+            id,
+            at: self.now + delay,
+            tag,
+        });
+        id
+    }
+
+    /// Cancels a timer if it has not fired yet (no-op otherwise).
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.commands.push(Command::CancelTimer(id));
+    }
+}
+
+impl fmt::Debug for Context<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context")
+            .field("now", &self.now)
+            .field("node", &self.node)
+            .field("pending_commands", &self.commands.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_allocates_monotonic_handles() {
+        let mut rng = SimRng::new(1);
+        let mut ctx = Context::new(SimTime::ZERO, NodeId(0), 5, 9, &mut rng);
+        let m1 = ctx.broadcast(Bytes::from_static(b"a"), &[]);
+        let m2 = ctx.broadcast(Bytes::from_static(b"b"), &[NodeId(1)]);
+        assert_ne!(m1, m2);
+        let t1 = ctx.set_timer(SimDuration::from_millis(1), 7);
+        let t2 = ctx.set_timer(SimDuration::from_millis(2), 8);
+        assert_ne!(t1, t2);
+        let (commands, next_timer, next_msg) = ctx.finish();
+        assert_eq!(commands.len(), 4);
+        assert_eq!(next_timer, 7);
+        assert_eq!(next_msg, 11);
+    }
+
+    #[test]
+    fn set_timer_schedules_at_now_plus_delay() {
+        let mut rng = SimRng::new(1);
+        let now = SimTime::from_secs_f64(2.0);
+        let mut ctx = Context::new(now, NodeId(3), 0, 0, &mut rng);
+        ctx.set_timer(SimDuration::from_secs(1), 42);
+        let (commands, _, _) = ctx.finish();
+        match &commands[0] {
+            Command::SetTimer { at, tag, .. } => {
+                assert_eq!(*at, SimTime::from_secs_f64(3.0));
+                assert_eq!(*tag, 42);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_id_displays_compactly() {
+        assert_eq!(NodeId(17).to_string(), "n17");
+    }
+}

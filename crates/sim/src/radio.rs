@@ -1,0 +1,308 @@
+//! Geometry and the on-air representation of frames.
+//!
+//! Propagation is a disk model: a frame transmitted by `s` can be received
+//! by every alive node within `range_m` of `s` — the broadcast/overhearing
+//! property PDS exploits. Receptions fail on collision (another in-range
+//! transmission overlaps in time), half-duplex conflict, or baseline random
+//! loss; see [`World`](crate::World) for the delivery rules.
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+use crate::transport::MessageId;
+use bytes::Bytes;
+use std::fmt;
+
+/// A point in the 2-D simulation area, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// East–west coordinate in meters.
+    pub x: f64,
+    /// North–south coordinate in meters.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position from coordinates in meters.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other` in meters.
+    #[must_use]
+    pub fn distance(&self, other: &Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+/// Piecewise-linear motion: a node walks from `from` toward `to` at
+/// `speed_mps`, then stays at `to`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Motion {
+    pub from: Position,
+    pub to: Position,
+    pub depart: SimTime,
+    pub speed_mps: f64,
+}
+
+impl Motion {
+    /// A node standing still at `pos`.
+    pub fn stationary(pos: Position, now: SimTime) -> Self {
+        Self {
+            from: pos,
+            to: pos,
+            depart: now,
+            speed_mps: 0.0,
+        }
+    }
+
+    /// Position at time `at` (clamped to the destination).
+    pub fn position(&self, at: SimTime) -> Position {
+        let total = self.from.distance(&self.to);
+        if total <= f64::EPSILON || self.speed_mps <= 0.0 {
+            return if at >= self.arrival() { self.to } else { self.from };
+        }
+        let walked = self.speed_mps * at.since(self.depart).as_secs_f64();
+        if walked >= total {
+            return self.to;
+        }
+        let f = walked / total;
+        Position::new(
+            self.from.x + (self.to.x - self.from.x) * f,
+            self.from.y + (self.to.y - self.from.y) * f,
+        )
+    }
+
+    /// Time the node reaches (or reached) its destination.
+    pub fn arrival(&self) -> SimTime {
+        let total = self.from.distance(&self.to);
+        if total <= f64::EPSILON || self.speed_mps <= 0.0 {
+            return self.depart;
+        }
+        self.depart + crate::time::SimDuration::from_secs_f64(total / self.speed_mps)
+    }
+}
+
+/// Bit set over fragment indices, used in selective acks.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub(crate) struct FragSet {
+    words: Vec<u64>,
+    count: u32,
+}
+
+impl FragSet {
+    pub fn new(frag_count: u32) -> Self {
+        Self {
+            words: vec![0; (frag_count as usize).div_ceil(64)],
+            count: 0,
+        }
+    }
+
+    /// Sets a bit; returns true if newly set.
+    pub fn set(&mut self, idx: u32) -> bool {
+        let (w, b) = (idx as usize / 64, idx % 64);
+        let mask = 1u64 << b;
+        if self.words[w] & mask == 0 {
+            self.words[w] |= mask;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn contains(&self, idx: u32) -> bool {
+        let (w, b) = (idx as usize / 64, idx % 64);
+        self.words.get(w).is_some_and(|word| word & (1u64 << b) != 0)
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> u32 {
+        self.count
+    }
+
+    pub fn is_complete(&self, frag_count: u32) -> bool {
+        self.count >= frag_count
+    }
+
+    #[cfg(test)]
+    pub fn full(frag_count: u32) -> Self {
+        let mut s = Self::new(frag_count);
+        for i in 0..frag_count {
+            s.set(i);
+        }
+        s
+    }
+
+    /// Merges another set into this one (bitwise or).
+    pub fn merge(&mut self, other: &FragSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w |= *o;
+        }
+        self.count = self.words.iter().map(|w| w.count_ones()).sum();
+    }
+
+    /// Wire size of the bitmap in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    #[cfg(test)]
+    pub fn iter_missing(&self, frag_count: u32) -> impl Iterator<Item = u32> + '_ {
+        (0..frag_count).filter(move |&i| !self.contains(i))
+    }
+}
+
+/// A frame on the air: the unit of transmission, ≤ `max_frame_bytes`.
+#[derive(Debug, Clone)]
+pub(crate) struct Frame {
+    pub sender: NodeId,
+    pub wire_bytes: usize,
+    pub kind: FrameKind,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum FrameKind {
+    /// One fragment of an application message.
+    Data {
+        msg: MessageId,
+        frag: u32,
+        frag_count: u32,
+        intended: Vec<NodeId>,
+        payload: Bytes,
+        /// Total application payload length of the whole message.
+        total_len: u32,
+        /// Total wire bytes of the whole message (for overhead metadata).
+        msg_wire_bytes: u32,
+    },
+    /// Selective acknowledgement of the fragments of `msg` received so far.
+    Ack {
+        msg: MessageId,
+        received: FragSet,
+    },
+}
+
+/// A transmission in progress (or recently finished, kept for overlap
+/// checks).
+#[derive(Debug, Clone)]
+pub(crate) struct Transmission {
+    pub id: u64,
+    pub sender: NodeId,
+    /// Sender position captured at transmission start. Frames last
+    /// milliseconds and nodes move at pedestrian speed, so this is the
+    /// delivery geometry even if the sender moves or leaves mid-frame.
+    pub start_pos: Position,
+    pub start: SimTime,
+    pub end: SimTime,
+    pub frame: Frame,
+}
+
+impl Transmission {
+    /// Whether two transmission windows overlap in time.
+    pub fn overlaps(&self, start: SimTime, end: SimTime) -> bool {
+        self.start < end && start < self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_motion_never_moves() {
+        let m = Motion::stationary(Position::new(1.0, 2.0), SimTime::ZERO);
+        assert_eq!(m.position(SimTime::from_secs_f64(100.0)), Position::new(1.0, 2.0));
+        assert_eq!(m.arrival(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn motion_interpolates_linearly() {
+        let m = Motion {
+            from: Position::new(0.0, 0.0),
+            to: Position::new(10.0, 0.0),
+            depart: SimTime::ZERO,
+            speed_mps: 1.0,
+        };
+        let half = m.position(SimTime::from_secs_f64(5.0));
+        assert!((half.x - 5.0).abs() < 1e-9);
+        assert_eq!(m.position(SimTime::from_secs_f64(20.0)), m.to);
+        assert_eq!(m.arrival(), SimTime::from_secs_f64(10.0));
+    }
+
+    #[test]
+    fn fragset_counts_and_completes() {
+        let mut s = FragSet::new(130);
+        assert!(!s.is_complete(130));
+        for i in 0..130 {
+            assert!(s.set(i), "index {i} should be new");
+        }
+        assert!(!s.set(5));
+        assert!(s.is_complete(130));
+        assert_eq!(s.len(), 130);
+        assert_eq!(s.iter_missing(130).count(), 0);
+    }
+
+    #[test]
+    fn fragset_merge_unions() {
+        let mut a = FragSet::new(10);
+        a.set(1);
+        let mut b = FragSet::new(10);
+        b.set(2);
+        b.set(1);
+        a.merge(&b);
+        assert!(a.contains(1) && a.contains(2));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.iter_missing(10).count(), 8);
+    }
+
+    #[test]
+    fn fragset_full_is_complete() {
+        assert!(FragSet::full(65).is_complete(65));
+        assert_eq!(FragSet::full(65).byte_len(), 16);
+    }
+
+    #[test]
+    fn transmission_overlap_rules() {
+        let tx = Transmission {
+            id: 1,
+            sender: NodeId(0),
+            start_pos: Position::new(0.0, 0.0),
+            start: SimTime::from_micros(100),
+            end: SimTime::from_micros(200),
+            frame: Frame {
+                sender: NodeId(0),
+                wire_bytes: 100,
+                kind: FrameKind::Ack {
+                    msg: MessageId {
+                        origin: NodeId(0),
+                        seq: 0,
+                    },
+                    received: FragSet::new(1),
+                },
+            },
+        };
+        assert!(tx.overlaps(SimTime::from_micros(150), SimTime::from_micros(250)));
+        assert!(tx.overlaps(SimTime::from_micros(50), SimTime::from_micros(101)));
+        assert!(!tx.overlaps(SimTime::from_micros(200), SimTime::from_micros(300)));
+        assert!(!tx.overlaps(SimTime::from_micros(0), SimTime::from_micros(100)));
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the kernel's public API: time arithmetic, RNG
+//! statistics, geometric symmetry and crash-freedom of arbitrary small
+//! worlds.
+
+use bytes::Bytes;
+use pds_sim::{
+    Application, Context, MessageMeta, Position, SimConfig, SimDuration, SimRng, SimTime, World,
+};
+use proptest::prelude::*;
+
+struct Chatter {
+    period_ms: u64,
+    size: usize,
+}
+impl Application for Chatter {
+    fn on_start(&mut self, ctx: &mut Context) {
+        ctx.set_timer(SimDuration::from_millis(self.period_ms), 0);
+    }
+    fn on_message(&mut self, _: &mut Context, _: MessageMeta, _: Bytes) {}
+    fn on_timer(&mut self, ctx: &mut Context, _tag: u64) {
+        ctx.broadcast(Bytes::from(vec![0u8; self.size]), &[]);
+        ctx.set_timer(SimDuration::from_millis(self.period_ms), 0);
+    }
+}
+
+proptest! {
+    #[test]
+    fn time_addition_is_associative_and_monotone(
+        a in 0u64..1_000_000_000,
+        b in 0u64..1_000_000,
+        c in 0u64..1_000_000,
+    ) {
+        let t = SimTime::from_micros(a);
+        let d1 = SimDuration::from_micros(b);
+        let d2 = SimDuration::from_micros(c);
+        prop_assert_eq!((t + d1) + d2, t + (d1 + d2));
+        prop_assert!(t + d1 >= t);
+        prop_assert_eq!((t + d1).since(t), d1);
+    }
+
+    #[test]
+    fn duration_seconds_roundtrip(us in 0u64..10_000_000_000) {
+        let d = SimDuration::from_micros(us);
+        let back = SimDuration::from_secs_f64(d.as_secs_f64());
+        // f64 has 53 bits of mantissa; microsecond counts this small are exact.
+        prop_assert_eq!(back, d);
+    }
+
+    #[test]
+    fn rng_bounds_hold(seed in any::<u64>(), lo in 0u64..100, span in 1u64..1000) {
+        let mut r = SimRng::new(seed);
+        for _ in 0..64 {
+            let x = r.range_u64(lo, lo + span);
+            prop_assert!((lo..lo + span).contains(&x));
+            let f = r.next_f64();
+            prop_assert!((0.0..1.0).contains(&f));
+            prop_assert!(r.exponential(1.5) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric(
+        coords in proptest::collection::vec((0.0f64..500.0, 0.0f64..500.0), 2..8),
+    ) {
+        let mut w = World::new(SimConfig::default(), 1);
+        let ids: Vec<_> = coords
+            .iter()
+            .map(|&(x, y)| {
+                w.add_node(Position::new(x, y), Box::new(Chatter { period_ms: 100, size: 10 }))
+            })
+            .collect();
+        for &a in &ids {
+            for &b in &ids {
+                if a == b {
+                    continue;
+                }
+                let ab = w.neighbors(a).contains(&b);
+                let ba = w.neighbors(b).contains(&a);
+                prop_assert_eq!(ab, ba, "symmetry violated between {} and {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_small_worlds_run_without_panic_and_account_consistently(
+        seed in any::<u64>(),
+        coords in proptest::collection::vec((0.0f64..300.0, 0.0f64..300.0), 1..6),
+        loss in 0.0f64..0.5,
+        period_ms in 20u64..200,
+        size in 1usize..2000,
+    ) {
+        let mut config = SimConfig::default();
+        config.radio.baseline_loss = loss;
+        let mut w = World::new(config, seed);
+        for &(x, y) in &coords {
+            w.add_node(Position::new(x, y), Box::new(Chatter { period_ms, size }));
+        }
+        w.run_until(SimTime::from_secs_f64(3.0));
+        let s = w.stats();
+        // Receptions cannot exceed frames × potential receivers.
+        let max_receptions = s.frames_sent * (coords.len() as u64);
+        prop_assert!(s.frames_delivered + s.frames_collided + s.frames_lost_random
+            + s.frames_half_duplex <= max_receptions);
+        // Bytes move only when frames do.
+        prop_assert_eq!(s.bytes_sent > 0, s.frames_sent > 0);
+        prop_assert_eq!(s.data_bytes_sent + s.ack_bytes_sent, s.bytes_sent);
+    }
+
+    #[test]
+    fn replay_is_exact_for_any_seed(seed in any::<u64>()) {
+        let run = |seed: u64| {
+            let mut config = SimConfig::default();
+            config.radio.baseline_loss = 0.1;
+            let mut w = World::new(config, seed);
+            w.add_node(Position::new(0.0, 0.0), Box::new(Chatter { period_ms: 30, size: 700 }));
+            w.add_node(Position::new(40.0, 0.0), Box::new(Chatter { period_ms: 40, size: 900 }));
+            w.add_node(Position::new(0.0, 40.0), Box::new(Chatter { period_ms: 50, size: 300 }));
+            w.run_until(SimTime::from_secs_f64(2.0));
+            w.stats().clone()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn walking_never_overshoots_the_destination(
+        from in (0.0f64..100.0, 0.0f64..100.0),
+        to in (0.0f64..100.0, 0.0f64..100.0),
+        speed in 0.1f64..10.0,
+        at_s in 0.0f64..120.0,
+    ) {
+        let mut w = World::new(SimConfig::default(), 1);
+        let id = w.add_node(
+            Position::new(from.0, from.1),
+            Box::new(Chatter { period_ms: 1000, size: 10 }),
+        );
+        let dest = Position::new(to.0, to.1);
+        w.move_node(id, dest, speed);
+        w.run_until(SimTime::from_secs_f64(at_s));
+        let pos = w.position(id).expect("alive");
+        let total = Position::new(from.0, from.1).distance(&dest);
+        let walked = Position::new(from.0, from.1).distance(&pos);
+        prop_assert!(walked <= total + 1e-6, "overshot: {} > {}", walked, total);
+        // On the segment: dist(from, p) + dist(p, to) ≈ dist(from, to).
+        let residual = pos.distance(&dest);
+        prop_assert!((walked + residual - total).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: the smallest possible PDS session.
+//!
+//! Three phones sit within radio range of each other. Two of them carry
+//! sensor readings; the third discovers what exists nearby and prints the
+//! "menu" of available data — the restaurant-menu metaphor of §II of the
+//! paper.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pds::core::{AttrValue, DataDescriptor, PdsConfig, PdsNode, QueryFilter};
+use pds::sim::{Position, SimConfig, SimTime, World};
+
+fn main() {
+    // A quiet little world: default radio (75 m range), calibrated leaky
+    // bucket + ack/retransmission.
+    let mut world = World::new(SimConfig::default(), 42);
+
+    // Alice's phone has been logging air quality.
+    let alice = PdsNode::new(PdsConfig::default(), 1)
+        .with_metadata(sample("no2", 14.2, 1_467_800_000), None)
+        .with_metadata(sample("no2", 16.8, 1_467_800_600), None);
+    world.add_node(Position::new(0.0, 0.0), Box::new(alice));
+
+    // Bob's phone photographed the food stands.
+    let bob = PdsNode::new(PdsConfig::default(), 2).with_metadata(
+        DataDescriptor::builder()
+            .attr("ns", "events")
+            .attr("type", "photo")
+            .attr("name", "food-stand-queue")
+            .build(),
+        None,
+    );
+    world.add_node(Position::new(50.0, 0.0), Box::new(bob));
+
+    // Carol wants to know what's available around her.
+    let carol = world.add_node(
+        Position::new(25.0, 40.0),
+        Box::new(PdsNode::new(PdsConfig::default(), 3)),
+    );
+    world.with_app::<PdsNode, _>(carol, |node, ctx| {
+        node.start_discovery(ctx, QueryFilter::match_all());
+    });
+
+    world.run_until(SimTime::from_secs_f64(15.0));
+
+    let node = world.app::<PdsNode>(carol).expect("carol is still here");
+    let report = node.discovery_report().expect("discovery ran");
+    println!(
+        "Carol discovered {} data items in {:.2} s over {} round(s):",
+        report.entries,
+        report.latency.as_secs_f64(),
+        report.rounds
+    );
+    for entry in node
+        .engine()
+        .expect("node started")
+        .discovery()
+        .expect("session exists")
+        .entries()
+    {
+        println!("  - {entry}");
+    }
+    let overhead = world.stats().bytes_sent as f64 / 1e3;
+    println!("Total radio traffic: {overhead:.1} KB");
+}
+
+fn sample(kind: &str, value: f64, time: i64) -> DataDescriptor {
+    DataDescriptor::builder()
+        .attr("ns", "env")
+        .attr("type", kind)
+        .attr("value", value)
+        .attr("time", AttrValue::Time(time))
+        .build()
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: tests, every paper figure, benchmarks.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tests =="
+cargo test --workspace
+
+echo "== paper figures (CSV in results/) =="
+cargo run --release -p pds-bench --bin figures -- all
+
+echo "== benchmarks =="
+cargo bench --workspace
+
+echo "done — see results/, EXPERIMENTS.md and target/criterion/"

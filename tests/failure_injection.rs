@@ -1,0 +1,230 @@
+//! Failure injection: heavy frame loss, node churn mid-operation, producer
+//! departure with cached survival, and hostile radio regimes.
+
+use bytes::Bytes;
+use pds_core::{ChunkId, DataDescriptor, PdsConfig, PdsNode, QueryFilter};
+use pds_mobility::grid;
+use pds_sim::{NodeId, Position, SimConfig, SimDuration, SimTime, World};
+
+fn entry(owner: usize, k: u32) -> DataDescriptor {
+    DataDescriptor::builder()
+        .attr("type", "s")
+        .attr("o", owner as i64)
+        .attr("k", i64::from(k))
+        .build()
+}
+
+fn item(total: u32) -> DataDescriptor {
+    DataDescriptor::builder()
+        .attr("type", "video")
+        .attr("name", "clip")
+        .attr("total_chunks", i64::from(total))
+        .build()
+}
+
+fn drive(world: &mut World, consumer: NodeId, horizon: f64) {
+    let deadline = SimTime::from_secs_f64(horizon);
+    loop {
+        let done = world
+            .app::<PdsNode>(consumer)
+            .map(|n| {
+                n.discovery_report()
+                    .map(|r| r.finished_at.is_some())
+                    .or_else(|| n.retrieval_report().map(|r| r.finished_at.is_some()))
+                    .unwrap_or(false)
+            })
+            .unwrap_or(true);
+        if done || world.now() >= deadline {
+            return;
+        }
+        let next = world.now() + SimDuration::from_millis(250);
+        world.run_until(next.min(deadline));
+    }
+}
+
+#[test]
+fn discovery_survives_twenty_percent_frame_loss() {
+    let mut sim = SimConfig::paper_multi_hop();
+    sim.radio.baseline_loss = 0.2;
+    let mut world = World::new(sim, 1);
+    let mut ids = Vec::new();
+    for (i, pos) in grid::positions(4, 4, grid::SPACING_M).iter().enumerate() {
+        let mut node = PdsNode::new(PdsConfig::default(), 100 + i as u64);
+        for k in 0..6 {
+            node = node.with_metadata(entry(i, k), None);
+        }
+        ids.push(world.add_node(*pos, Box::new(node)));
+    }
+    let consumer = ids[grid::center_index(4, 4)];
+    world.run_until(SimTime::from_secs_f64(0.2));
+    world.with_app::<PdsNode, _>(consumer, |n, ctx| {
+        n.start_discovery(ctx, QueryFilter::match_all());
+    });
+    drive(&mut world, consumer, 60.0);
+    let report = world
+        .app::<PdsNode>(consumer)
+        .and_then(PdsNode::discovery_report)
+        .expect("ran");
+    assert!(
+        report.entries as f64 >= 16.0 * 6.0 * 0.95,
+        "multi-round + retransmission should beat 20% loss ({} / 96)",
+        report.entries
+    );
+}
+
+#[test]
+fn cached_copies_survive_producer_departure() {
+    // A producer answers one consumer, then leaves. A second consumer must
+    // still find the data — from caches (the content-centric availability
+    // claim of §I).
+    let mut world = World::new(SimConfig::paper_multi_hop(), 2);
+    let producer = {
+        let mut n = PdsNode::new(PdsConfig::default(), 1);
+        for k in 0..10 {
+            n = n.with_metadata(entry(0, k), None);
+        }
+        world.add_node(Position::new(0.0, 0.0), Box::new(n))
+    };
+    let relay = world.add_node(
+        Position::new(50.0, 0.0),
+        Box::new(PdsNode::new(PdsConfig::default(), 2)),
+    );
+    let consumer1 = world.add_node(
+        Position::new(100.0, 0.0),
+        Box::new(PdsNode::new(PdsConfig::default(), 3)),
+    );
+    let consumer2 = world.add_node(
+        Position::new(100.0, 50.0),
+        Box::new(PdsNode::new(PdsConfig::default(), 4)),
+    );
+    let _ = relay;
+    world.run_until(SimTime::from_secs_f64(0.2));
+    world.with_app::<PdsNode, _>(consumer1, |n, ctx| {
+        n.start_discovery(ctx, QueryFilter::match_all());
+    });
+    drive(&mut world, consumer1, 30.0);
+    assert_eq!(
+        world
+            .app::<PdsNode>(consumer1)
+            .and_then(PdsNode::discovery_report)
+            .expect("ran")
+            .entries,
+        10
+    );
+    // Producer walks away with the originals.
+    world.remove_node(producer);
+    world.run_until(world.now() + SimDuration::from_secs(1));
+    world.with_app::<PdsNode, _>(consumer2, |n, ctx| {
+        n.start_discovery(ctx, QueryFilter::match_all());
+    });
+    drive(&mut world, consumer2, 60.0);
+    let entries = world
+        .app::<PdsNode>(consumer2)
+        .and_then(PdsNode::discovery_report)
+        .expect("ran")
+        .entries;
+    assert_eq!(entries, 10, "caches preserve availability after departure");
+}
+
+#[test]
+fn retrieval_survives_relay_churn() {
+    // Chunks sit 2 hops away; a relay on the path dies mid-transfer. The
+    // grid offers alternate relays, so the retrieval must still complete.
+    let total = 6u32;
+    let mut world = World::new(SimConfig::paper_multi_hop(), 3);
+    let mut ids = Vec::new();
+    for (i, pos) in grid::positions(3, 5, grid::SPACING_M).iter().enumerate() {
+        let mut node = PdsNode::new(PdsConfig::default(), 300 + i as u64);
+        if i == 0 || i == 10 {
+            // Two far-left holders (top and bottom rows).
+            for c in 0..total {
+                node = node.with_chunk(item(total), ChunkId(c), Bytes::from(vec![1u8; 64 * 1024]));
+            }
+        }
+        ids.push(world.add_node(*pos, Box::new(node)));
+    }
+    let consumer = ids[4]; // right end of the middle row
+    world.run_until(SimTime::from_secs_f64(0.2));
+    world.with_app::<PdsNode, _>(consumer, |n, ctx| {
+        n.start_retrieval(ctx, item(6));
+    });
+    // Kill the middle-row relay after a second.
+    let relay = ids[2];
+    world.schedule(SimTime::from_secs_f64(1.0), move |w| w.remove_node(relay));
+    drive(&mut world, consumer, 240.0);
+    let report = world
+        .app::<PdsNode>(consumer)
+        .and_then(PdsNode::retrieval_report)
+        .expect("ran");
+    assert!(
+        (report.recall - 1.0).abs() < 1e-9,
+        "alternate paths must carry the transfer (recall {})",
+        report.recall
+    );
+}
+
+#[test]
+fn hidden_terminal_regime_still_converges() {
+    // Short carrier sense (factor 1) brings back hidden terminals; the
+    // reliability stack must still deliver a small discovery, just slower.
+    let mut sim = SimConfig::paper_multi_hop();
+    sim.radio.cs_range_factor = 1.0;
+    let mut world = World::new(sim, 4);
+    let mut ids = Vec::new();
+    for (i, pos) in grid::positions(3, 3, grid::SPACING_M).iter().enumerate() {
+        let mut node = PdsNode::new(PdsConfig::default(), 500 + i as u64);
+        for k in 0..4 {
+            node = node.with_metadata(entry(i, k), None);
+        }
+        ids.push(world.add_node(*pos, Box::new(node)));
+    }
+    let consumer = ids[grid::center_index(3, 3)];
+    world.run_until(SimTime::from_secs_f64(0.2));
+    world.with_app::<PdsNode, _>(consumer, |n, ctx| {
+        n.start_discovery(ctx, QueryFilter::match_all());
+    });
+    drive(&mut world, consumer, 90.0);
+    let entries = world
+        .app::<PdsNode>(consumer)
+        .and_then(PdsNode::discovery_report)
+        .expect("ran")
+        .entries;
+    assert!(
+        entries >= 30,
+        "even with hidden terminals most data arrives ({entries} / 36)"
+    );
+}
+
+#[test]
+fn consumer_departure_leaves_network_healthy() {
+    let mut world = World::new(SimConfig::paper_multi_hop(), 5);
+    let mut ids = Vec::new();
+    for (i, pos) in grid::positions(3, 3, grid::SPACING_M).iter().enumerate() {
+        let mut node = PdsNode::new(PdsConfig::default(), 600 + i as u64);
+        for k in 0..4 {
+            node = node.with_metadata(entry(i, k), None);
+        }
+        ids.push(world.add_node(*pos, Box::new(node)));
+    }
+    let doomed = ids[grid::center_index(3, 3)];
+    world.run_until(SimTime::from_secs_f64(0.2));
+    world.with_app::<PdsNode, _>(doomed, |n, ctx| {
+        n.start_discovery(ctx, QueryFilter::match_all());
+    });
+    // The consumer leaves mid-discovery.
+    world.schedule(SimTime::from_secs_f64(0.5), move |w| w.remove_node(doomed));
+    world.run_until(SimTime::from_secs_f64(30.0));
+    assert!(!world.is_alive(doomed));
+    // A survivor can still discover everything that remains.
+    let survivor = ids[0];
+    world.with_app::<PdsNode, _>(survivor, |n, ctx| {
+        n.start_discovery(ctx, QueryFilter::match_all());
+    });
+    drive(&mut world, survivor, 60.0);
+    let entries = world
+        .app::<PdsNode>(survivor)
+        .and_then(PdsNode::discovery_report)
+        .expect("ran")
+        .entries;
+    assert!(entries >= 32, "8 remaining producers × 4 entries ({entries})");
+}

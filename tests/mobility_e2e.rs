@@ -1,0 +1,149 @@
+//! Discovery and retrieval under generated mobility traces — the §VI-B-2
+//! regime: people join, leave and wander while the protocols run.
+
+use pds_core::{AttrValue, DataDescriptor, PdsConfig, PdsNode, QueryFilter};
+use pds_mobility::{presets, MobilityTrace, PersonId, TraceAction, TraceInstaller};
+use pds_sim::{SimConfig, SimDuration, SimTime, World};
+
+fn entry(owner: u32, k: u32) -> DataDescriptor {
+    DataDescriptor::builder()
+        .attr("type", "s")
+        .attr("o", i64::from(owner))
+        .attr("k", i64::from(k))
+        .attr("t", AttrValue::Time(i64::from(owner * 100 + k)))
+        .build()
+}
+
+/// A trace with the consumer's departures stripped, so recall is measurable.
+fn consumer_stays(trace: MobilityTrace, consumer: PersonId) -> MobilityTrace {
+    MobilityTrace::from_parts(
+        trace.initial_people().to_vec(),
+        trace
+            .events()
+            .iter()
+            .filter(|e| !(e.person == consumer && e.action == TraceAction::Leave))
+            .cloned()
+            .collect(),
+    )
+}
+
+#[test]
+fn classroom_discovery_reaches_most_entries() {
+    let params = presets::classroom();
+    let trace = MobilityTrace::generate(&params, SimDuration::from_secs(120), 1.0, 1);
+    let consumer_person = trace.initial_people()[0].0;
+    let trace = consumer_stays(trace, consumer_person);
+    let initial = trace.initial_people().len() as u32;
+
+    let mut world = World::new(SimConfig::paper_multi_hop(), 1);
+    let installer = TraceInstaller::install(&mut world, &trace, move |p| {
+        let mut node = PdsNode::new(PdsConfig::default(), 900 + u64::from(p.0));
+        if p.0 < initial {
+            for k in 0..3 {
+                node = node.with_metadata(entry(p.0, k), None);
+            }
+        }
+        Box::new(node)
+    });
+    let consumer = installer.node_of(consumer_person).expect("present");
+    world.run_until(SimTime::from_secs_f64(5.0));
+    world.with_app::<PdsNode, _>(consumer, |n, ctx| {
+        n.start_discovery(ctx, QueryFilter::match_all());
+    });
+    world.run_until(SimTime::from_secs_f64(60.0));
+    let report = world
+        .app::<PdsNode>(consumer)
+        .and_then(PdsNode::discovery_report)
+        .expect("ran");
+    let total = initial * 3;
+    assert!(report.finished_at.is_some(), "terminates under churn");
+    assert!(
+        report.entries as f64 >= f64::from(total) * 0.9,
+        "≥90% recall under classroom churn ({}/{total})",
+        report.entries
+    );
+}
+
+#[test]
+fn student_center_high_mobility_still_works() {
+    let params = presets::student_center();
+    let trace = MobilityTrace::generate(&params, SimDuration::from_secs(180), 2.0, 2);
+    let consumer_person = trace.initial_people()[0].0;
+    let trace = consumer_stays(trace, consumer_person);
+    let initial = trace.initial_people().len() as u32;
+
+    let mut world = World::new(SimConfig::paper_multi_hop(), 2);
+    let installer = TraceInstaller::install(&mut world, &trace, move |p| {
+        let mut node = PdsNode::new(PdsConfig::default(), 800 + u64::from(p.0));
+        if p.0 < initial {
+            for k in 0..3 {
+                node = node.with_metadata(entry(p.0, k), None);
+            }
+        }
+        Box::new(node)
+    });
+    let consumer = installer.node_of(consumer_person).expect("present");
+    world.run_until(SimTime::from_secs_f64(5.0));
+    world.with_app::<PdsNode, _>(consumer, |n, ctx| {
+        n.start_discovery(ctx, QueryFilter::match_all());
+    });
+    world.run_until(SimTime::from_secs_f64(90.0));
+    let report = world
+        .app::<PdsNode>(consumer)
+        .and_then(PdsNode::discovery_report)
+        .expect("ran");
+    // At 2× mobility a few sole-copy holders may leave before answering;
+    // the paper reports near-100% — we accept a small deficit.
+    assert!(
+        report.entries as f64 >= f64::from(initial * 3) * 0.8,
+        "recall under 2x mobility ({} of {})",
+        report.entries,
+        initial * 3
+    );
+}
+
+#[test]
+fn joiners_learn_from_caches() {
+    // Someone who arrives after a discovery has run can discover from
+    // caches even if they are far from the original producers.
+    let params = presets::classroom();
+    let base = MobilityTrace::generate(&params, SimDuration::from_secs(10), 0.0, 3);
+    let consumer_person = base.initial_people()[0].0;
+    let initial = base.initial_people().len() as u32;
+
+    let mut world = World::new(SimConfig::paper_multi_hop(), 3);
+    let installer = TraceInstaller::install(&mut world, &base, move |p| {
+        let mut node = PdsNode::new(PdsConfig::default(), 700 + u64::from(p.0));
+        if p.0 < initial {
+            node = node.with_metadata(entry(p.0, 0), None);
+        }
+        Box::new(node)
+    });
+    let consumer = installer.node_of(consumer_person).expect("present");
+    world.run_until(SimTime::from_secs_f64(1.0));
+    world.with_app::<PdsNode, _>(consumer, |n, ctx| {
+        n.start_discovery(ctx, QueryFilter::match_all());
+    });
+    world.run_until(SimTime::from_secs_f64(30.0));
+
+    // A latecomer joins in the middle and asks again.
+    let late = world.add_node(
+        pds_sim::Position::new(10.0, 10.0),
+        Box::new(PdsNode::new(PdsConfig::default(), 999)),
+    );
+    world.run_until(SimTime::from_secs_f64(31.0));
+    world.with_app::<PdsNode, _>(late, |n, ctx| {
+        n.start_discovery(ctx, QueryFilter::match_all());
+    });
+    world.run_until(SimTime::from_secs_f64(60.0));
+    let report = world
+        .app::<PdsNode>(late)
+        .and_then(PdsNode::discovery_report)
+        .expect("ran");
+    assert!(
+        report.entries as f64 >= f64::from(initial) * 0.9,
+        "latecomer discovers from caches ({} of {})",
+        report.entries,
+        initial
+    );
+}

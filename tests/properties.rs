@@ -1,0 +1,306 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: Bloom filters, predicates, codecs, the GAP heuristic, the
+//! event queue and the round controller.
+
+use pds_bloom::{BloomFilter, BloomParams};
+use pds_core::{
+    min_max_assign, AssignStrategy, AttrValue, ChunkId, DataDescriptor, NodeId, PdsMessage,
+    Predicate, QueryFilter, QueryId, QueryKind, QueryMessage, Relation, ResponseId, ResponseKind,
+    ResponseMessage,
+};
+use proptest::prelude::*;
+
+// ---- generators -----------------------------------------------------------
+
+fn attr_value() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        "[a-z]{0,12}".prop_map(AttrValue::Str),
+        any::<i64>().prop_map(AttrValue::Int),
+        (-1.0e9f64..1.0e9).prop_map(AttrValue::Float),
+        any::<i32>().prop_map(|t| AttrValue::Time(i64::from(t))),
+    ]
+}
+
+fn descriptor() -> impl Strategy<Value = DataDescriptor> {
+    proptest::collection::btree_map("[a-z]{1,8}", attr_value(), 1..6).prop_map(|attrs| {
+        let mut b = DataDescriptor::builder();
+        for (k, v) in attrs {
+            b = b.attr(k, v);
+        }
+        b.build()
+    })
+}
+
+fn filter() -> impl Strategy<Value = QueryFilter> {
+    proptest::collection::vec(
+        ("[a-z]{1,8}", attr_value(), 0u8..6).prop_map(|(attr, value, rel)| match rel {
+            0 => Predicate::new(attr, Relation::Eq, value),
+            1 => Predicate::new(attr, Relation::Ne, value),
+            2 => Predicate::new(attr, Relation::Lt, value),
+            3 => Predicate::new(attr, Relation::Le, value),
+            4 => Predicate::new(attr, Relation::Gt, value),
+            _ => Predicate::new(attr, Relation::Ge, value),
+        }),
+        0..4,
+    )
+    .prop_map(QueryFilter::new)
+}
+
+// ---- bloom ------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn bloom_never_forgets(elements in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 1..32), 1..200)) {
+        let mut f = BloomFilter::new(BloomParams::optimal(elements.len().max(8), 0.01));
+        for e in &elements {
+            f.insert(e);
+        }
+        for e in &elements {
+            prop_assert!(f.contains(e), "no false negatives allowed");
+        }
+    }
+
+    #[test]
+    fn bloom_roundtrip_preserves_membership(
+        elements in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 1..64),
+        round in 0u32..8,
+    ) {
+        let mut f = BloomFilter::with_round(BloomParams::optimal(64, 0.02), round);
+        for e in &elements {
+            f.insert(e);
+        }
+        let g = BloomFilter::decode(&f.encode()).expect("roundtrip");
+        prop_assert_eq!(&f, &g);
+        for e in &elements {
+            prop_assert!(g.contains(e));
+        }
+    }
+}
+
+// ---- descriptors & filters ---------------------------------------------------
+
+proptest! {
+    #[test]
+    fn descriptor_codec_roundtrips(d in descriptor()) {
+        let bytes = d.encode();
+        prop_assert_eq!(bytes.len(), d.encoded_len());
+        let mut slice = &bytes[..];
+        let back = DataDescriptor::decode(&mut slice).expect("decodes");
+        prop_assert_eq!(back, d);
+    }
+
+    #[test]
+    fn entry_key_equality_matches_descriptor_equality(a in descriptor(), b in descriptor()) {
+        prop_assert_eq!(a == b, a.entry_key() == b.entry_key());
+    }
+
+    #[test]
+    fn match_all_matches_everything(d in descriptor()) {
+        prop_assert!(QueryFilter::match_all().matches(&d));
+    }
+
+    #[test]
+    fn eq_and_ne_partition_when_attr_exists(d in descriptor(), v in attr_value()) {
+        // For any attribute present with the same type, Eq and Ne disagree.
+        if let Some((name, actual)) = d.iter().next() {
+            if actual.partial_cmp_same_type(&v).is_some() {
+                let eq = Predicate::new(name, Relation::Eq, v.clone()).matches(&d);
+                let ne = Predicate::new(name, Relation::Ne, v).matches(&d);
+                prop_assert!(eq != ne, "Eq and Ne must partition");
+            }
+        }
+    }
+
+    #[test]
+    fn filter_codec_roundtrips(f in filter()) {
+        let mut buf = Vec::new();
+        f.encode(&mut buf);
+        prop_assert_eq!(buf.len(), f.encoded_len());
+        let mut slice = &buf[..];
+        let back = QueryFilter::decode(&mut slice).expect("decodes");
+        prop_assert_eq!(back, f);
+    }
+}
+
+// ---- messages -----------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn query_message_roundtrips(
+        id in any::<u64>(),
+        sender in any::<u32>(),
+        expires in any::<u32>(),
+        round in 0u32..16,
+        f in filter(),
+        bloom in proptest::option::of(proptest::collection::vec(any::<u8>(), 0..64)),
+        chunks in proptest::collection::vec(any::<u32>(), 0..16),
+        kind_sel in 0u8..5,
+    ) {
+        let kind = match kind_sel {
+            0 => QueryKind::Metadata,
+            1 => QueryKind::SmallData,
+            2 => QueryKind::Cdi {
+                descriptor: DataDescriptor::builder().attr("name", "x").build(),
+            },
+            3 => QueryKind::Chunks {
+                item: "item-x".into(),
+                chunks: chunks.into_iter().map(ChunkId).collect(),
+            },
+            _ => QueryKind::MdrChunks { item: "item-x".into(), total_chunks: 99 },
+        };
+        let q = QueryMessage {
+            id: QueryId(id),
+            kind,
+            sender: NodeId(sender),
+            expires_at: pds_sim::SimTime::from_micros(u64::from(expires)),
+            filter: f,
+            bloom,
+            round,
+            ttl_hops: 0,
+        };
+        let m = PdsMessage::Query(q);
+        let back = PdsMessage::decode(&m.encode()).expect("decodes");
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn response_message_roundtrips(
+        id in any::<u64>(),
+        sender in any::<u32>(),
+        entries in proptest::collection::vec(descriptor(), 0..8),
+        pairs in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..8),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        kind_sel in 0u8..4,
+    ) {
+        let kind = match kind_sel {
+            0 => ResponseKind::Metadata { entries },
+            1 => ResponseKind::SmallData {
+                items: entries.into_iter().map(|d| (d, bytes::Bytes::from(payload.clone()))).collect(),
+            },
+            2 => ResponseKind::Cdi {
+                item: "item-x".into(),
+                pairs: pairs.into_iter().map(|(c, h)| (ChunkId(c), h)).collect(),
+            },
+            _ => ResponseKind::Chunk {
+                descriptor: DataDescriptor::builder().attr("name", "item-x").build(),
+                chunk: ChunkId(3),
+                data: bytes::Bytes::from(payload.clone()),
+            },
+        };
+        let m = PdsMessage::Response(ResponseMessage {
+            id: ResponseId(id),
+            sender: NodeId(sender),
+            kind,
+        });
+        let back = PdsMessage::decode(&m.encode()).expect("decodes");
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = PdsMessage::decode(&bytes); // must not panic
+    }
+}
+
+// ---- GAP assignment -------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn assignment_satisfies_constraints(
+        instance in proptest::collection::vec(
+            proptest::collection::vec((0u32..6, 1u32..5), 0..4), 0..14),
+        strategy in prop_oneof![Just(AssignStrategy::MinMax), Just(AssignStrategy::Greedy)],
+    ) {
+        let chunks: Vec<(ChunkId, Vec<(NodeId, u32)>)> = instance
+            .into_iter()
+            .enumerate()
+            .map(|(i, cands)| {
+                let mut seen = std::collections::BTreeMap::new();
+                for (n, h) in cands {
+                    seen.entry(NodeId(n)).or_insert(h);
+                }
+                (ChunkId(i as u32), seen.into_iter().collect())
+            })
+            .collect();
+        let plan = min_max_assign(&chunks, strategy);
+        let mut assigned = std::collections::HashSet::new();
+        for (node, cs) in &plan {
+            for c in cs {
+                prop_assert!(assigned.insert(*c), "chunk assigned twice");
+                let cands = &chunks.iter().find(|(id, _)| id == c).expect("exists").1;
+                prop_assert!(cands.iter().any(|(n, _)| n == node), "incapable neighbor");
+            }
+        }
+        let routable = chunks.iter().filter(|(_, v)| !v.is_empty()).count();
+        prop_assert_eq!(assigned.len(), routable, "every routable chunk assigned");
+    }
+
+    #[test]
+    fn minmax_no_worse_than_greedy(
+        instance in proptest::collection::vec(
+            proptest::collection::vec((0u32..5, 1u32..4), 1..4), 1..12),
+    ) {
+        let chunks: Vec<(ChunkId, Vec<(NodeId, u32)>)> = instance
+            .into_iter()
+            .enumerate()
+            .map(|(i, cands)| {
+                let mut seen = std::collections::BTreeMap::new();
+                for (n, h) in cands {
+                    seen.entry(NodeId(n)).or_insert(h);
+                }
+                (ChunkId(i as u32), seen.into_iter().collect())
+            })
+            .collect();
+        let max_load = |plan: &std::collections::BTreeMap<NodeId, Vec<ChunkId>>| -> u64 {
+            plan.iter()
+                .map(|(node, cs)| {
+                    cs.iter()
+                        .map(|c| {
+                            u64::from(
+                                chunks
+                                    .iter()
+                                    .find(|(id, _)| id == c)
+                                    .expect("exists")
+                                    .1
+                                    .iter()
+                                    .find(|(n, _)| n == node)
+                                    .expect("capable")
+                                    .1
+                                    .max(1),
+                            )
+                        })
+                        .sum::<u64>()
+                })
+                .max()
+                .unwrap_or(0)
+        };
+        let greedy = max_load(&min_max_assign(&chunks, AssignStrategy::Greedy));
+        let minmax = max_load(&min_max_assign(&chunks, AssignStrategy::MinMax));
+        prop_assert!(minmax <= greedy, "repair must not increase the max load");
+    }
+}
+
+// ---- misc invariants ----------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn sim_rng_is_deterministic(seed in any::<u64>()) {
+        let mut a = pds_sim::SimRng::new(seed);
+        let mut b = pds_sim::SimRng::new(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn chunk_key_is_prefix_free(a in 0u32..10_000, b in 0u32..10_000) {
+        let item: pds_core::ItemName = "vid".into();
+        if a != b {
+            prop_assert_ne!(
+                pds_core::chunk_key(&item, ChunkId(a)),
+                pds_core::chunk_key(&item, ChunkId(b))
+            );
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! End-to-end Peer Data Retrieval: two-phase PDR with scattered chunk
+//! copies, load balancing, the MDR baseline, small-data retrieval and
+//! sequential-consumer caching.
+
+use bytes::Bytes;
+use pds_core::{ChunkId, DataDescriptor, ItemName, PdsConfig, PdsNode, QueryFilter};
+use pds_mobility::grid;
+use pds_sim::{NodeId, SimConfig, SimDuration, SimRng, SimTime, World};
+
+const CHUNK: usize = 64 * 1024; // smaller chunks keep the tests fast
+
+fn item(total: u32) -> DataDescriptor {
+    DataDescriptor::builder()
+        .attr("ns", "e")
+        .attr("type", "video")
+        .attr("name", "clip")
+        .attr("total_chunks", i64::from(total))
+        .build()
+}
+
+fn chunk_bytes(c: u32) -> Bytes {
+    Bytes::from(vec![(c % 251) as u8; CHUNK])
+}
+
+/// n×n grid; chunk copies scattered on everyone except the center.
+fn pdr_world(n: usize, total: u32, redundancy: usize, seed: u64) -> (World, Vec<NodeId>) {
+    let mut world = World::new(SimConfig::paper_multi_hop(), seed);
+    let mut rng = SimRng::new(seed ^ 0xabc);
+    let center = grid::center_index(n, n);
+    let mut holders: Vec<Vec<u32>> = vec![Vec::new(); n * n];
+    for c in 0..total {
+        let mut owners: Vec<usize> = (0..n * n).filter(|&i| i != center).collect();
+        rng.shuffle(&mut owners);
+        for &o in owners.iter().take(redundancy) {
+            holders[o].push(c);
+        }
+    }
+    let mut ids = Vec::new();
+    for (i, pos) in grid::positions(n, n, grid::SPACING_M).iter().enumerate() {
+        let mut node = PdsNode::new(PdsConfig::default(), 3000 + i as u64);
+        for &c in &holders[i] {
+            node = node.with_chunk(item(total), ChunkId(c), chunk_bytes(c));
+        }
+        ids.push(world.add_node(*pos, Box::new(node)));
+    }
+    world.run_until(SimTime::from_secs_f64(0.2));
+    (world, ids)
+}
+
+fn run_retrieval(world: &mut World, consumer: NodeId, total: u32, mdr: bool, horizon: f64) {
+    world.with_app::<PdsNode, _>(consumer, move |node, ctx| {
+        if mdr {
+            node.start_mdr_retrieval(ctx, item(total));
+        } else {
+            node.start_retrieval(ctx, item(total));
+        }
+    });
+    let deadline = SimTime::from_secs_f64(horizon);
+    loop {
+        let done = world
+            .app::<PdsNode>(consumer)
+            .and_then(PdsNode::retrieval_report)
+            .is_some_and(|r| r.finished_at.is_some());
+        if done || world.now() >= deadline {
+            return;
+        }
+        let next = world.now() + SimDuration::from_millis(250);
+        world.run_until(next.min(deadline));
+    }
+}
+
+#[test]
+fn pdr_collects_scattered_chunks() {
+    let total = 12;
+    let (mut world, ids) = pdr_world(5, total, 1, 1);
+    let consumer = ids[grid::center_index(5, 5)];
+    run_retrieval(&mut world, consumer, total, false, 120.0);
+    let node = world.app::<PdsNode>(consumer).expect("alive");
+    let report = node.retrieval_report().expect("ran");
+    assert!((report.recall - 1.0).abs() < 1e-9, "recall = {}", report.recall);
+    // The payload bytes are exactly what the producers held.
+    let engine = node.engine().expect("started");
+    for c in 0..total {
+        let data = engine
+            .store()
+            .chunk(&ItemName::new("clip"), ChunkId(c))
+            .expect("chunk present");
+        assert_eq!(data, chunk_bytes(c), "chunk {c} content intact");
+    }
+}
+
+#[test]
+fn pdr_content_survives_redundant_copies() {
+    let total = 10;
+    let (mut world, ids) = pdr_world(5, total, 3, 2);
+    let consumer = ids[grid::center_index(5, 5)];
+    run_retrieval(&mut world, consumer, total, false, 120.0);
+    let report = world
+        .app::<PdsNode>(consumer)
+        .and_then(PdsNode::retrieval_report)
+        .expect("ran");
+    assert!((report.recall - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn mdr_baseline_also_completes() {
+    let total = 8;
+    let (mut world, ids) = pdr_world(4, total, 1, 3);
+    let consumer = ids[grid::center_index(4, 4)];
+    run_retrieval(&mut world, consumer, total, true, 180.0);
+    let report = world
+        .app::<PdsNode>(consumer)
+        .and_then(PdsNode::retrieval_report)
+        .expect("ran");
+    assert!((report.recall - 1.0).abs() < 1e-9, "recall = {}", report.recall);
+}
+
+#[test]
+fn pdr_beats_mdr_with_redundant_copies() {
+    // The core claim of Figs. 13/14, at test scale: with several copies of
+    // every chunk, PDR moves fewer bytes than MDR.
+    let total = 8;
+    let overhead = |mdr: bool| -> u64 {
+        let (mut world, ids) = pdr_world(5, total, 3, 4);
+        let consumer = ids[grid::center_index(5, 5)];
+        run_retrieval(&mut world, consumer, total, mdr, 240.0);
+        let report = world
+            .app::<PdsNode>(consumer)
+            .and_then(PdsNode::retrieval_report)
+            .expect("ran");
+        assert!((report.recall - 1.0).abs() < 1e-9, "mdr={mdr} incomplete");
+        world.stats().bytes_sent
+    };
+    let pdr = overhead(false);
+    let mdr = overhead(true);
+    assert!(
+        pdr < mdr,
+        "PDR ({pdr} B) should move fewer bytes than MDR ({mdr} B) at redundancy 3"
+    );
+}
+
+#[test]
+fn sequential_consumer_is_cheaper_after_caching() {
+    let total = 8;
+    let (mut world, ids) = pdr_world(5, total, 1, 5);
+    let first = ids[grid::center_index(5, 5)];
+    run_retrieval(&mut world, first, total, false, 120.0);
+    let after_first = world.stats().bytes_sent;
+
+    let second = ids[6]; // another central node
+    run_retrieval(&mut world, second, total, false, 240.0);
+    let second_cost = world.stats().bytes_sent - after_first;
+
+    let r1 = world.app::<PdsNode>(first).and_then(PdsNode::retrieval_report).expect("ran");
+    let r2 = world.app::<PdsNode>(second).and_then(PdsNode::retrieval_report).expect("ran");
+    assert!((r1.recall - 1.0).abs() < 1e-9);
+    assert!((r2.recall - 1.0).abs() < 1e-9);
+    assert!(
+        second_cost < after_first,
+        "cached copies must cut the second retrieval's traffic ({second_cost} vs {after_first})"
+    );
+}
+
+#[test]
+fn small_data_retrieval_brings_payloads() {
+    let mut world = World::new(SimConfig::paper_multi_hop(), 6);
+    let mut ids = Vec::new();
+    for (i, pos) in grid::positions(3, 3, grid::SPACING_M).iter().enumerate() {
+        let mut node = PdsNode::new(PdsConfig::default(), 4000 + i as u64);
+        for k in 0..3u32 {
+            let d = DataDescriptor::builder()
+                .attr("type", "sample")
+                .attr("owner", i as i64)
+                .attr("k", i64::from(k))
+                .build();
+            node = node.with_metadata(d, Some(Bytes::from(vec![i as u8; 128])));
+        }
+        ids.push(world.add_node(*pos, Box::new(node)));
+    }
+    let consumer = ids[grid::center_index(3, 3)];
+    world.run_until(SimTime::from_secs_f64(0.2));
+    world.with_app::<PdsNode, _>(consumer, |node, ctx| {
+        node.start_small_data_retrieval(ctx, QueryFilter::match_all());
+    });
+    world.run_until(SimTime::from_secs_f64(20.0));
+    let node = world.app::<PdsNode>(consumer).expect("alive");
+    let engine = node.engine().expect("started");
+    let session = engine.discovery().expect("ran");
+    assert_eq!(session.entries().len(), 27);
+    let with_payload = session
+        .entries()
+        .iter()
+        .filter(|d| engine.store().small_payload(d).is_some())
+        .count();
+    assert_eq!(with_payload, 27, "every item arrived with its payload");
+}
+
+#[test]
+fn one_consumer_retrieves_two_items_sequentially() {
+    // §IV: retrieving many large items = applying PDR per item. The same
+    // consumer fetches item A, then item B.
+    let named_item = |name: &str, total: u32| {
+        DataDescriptor::builder()
+            .attr("type", "video")
+            .attr("name", name)
+            .attr("total_chunks", i64::from(total))
+            .build()
+    };
+    let mut world = World::new(SimConfig::paper_multi_hop(), 8);
+    let mut provider = PdsNode::new(PdsConfig::default(), 1);
+    for c in 0..4u32 {
+        provider = provider
+            .with_chunk(named_item("alpha", 4), ChunkId(c), Bytes::from(vec![1u8; 32 * 1024]))
+            .with_chunk(named_item("beta", 4), ChunkId(c), Bytes::from(vec![2u8; 32 * 1024]));
+    }
+    world.add_node(pds_sim::Position::new(0.0, 0.0), Box::new(provider));
+    let consumer = world.add_node(
+        pds_sim::Position::new(60.0, 0.0),
+        Box::new(PdsNode::new(PdsConfig::default(), 2)),
+    );
+    world.run_until(SimTime::from_secs_f64(0.2));
+    for (name, fill) in [("alpha", 1u8), ("beta", 2u8)] {
+        let descriptor = named_item(name, 4);
+        world.with_app::<PdsNode, _>(consumer, move |n, ctx| {
+            n.start_retrieval(ctx, descriptor);
+        });
+        let deadline = world.now() + SimDuration::from_secs(60);
+        loop {
+            let done = world
+                .app::<PdsNode>(consumer)
+                .and_then(PdsNode::retrieval_report)
+                .is_some_and(|r| r.finished_at.is_some());
+            if done || world.now() >= deadline {
+                break;
+            }
+            let next = world.now() + SimDuration::from_millis(250);
+            world.run_until(next);
+        }
+        let report = world
+            .app::<PdsNode>(consumer)
+            .and_then(PdsNode::retrieval_report)
+            .expect("ran");
+        assert!((report.recall - 1.0).abs() < 1e-9, "{name}: recall {}", report.recall);
+        // Content of the right item arrived.
+        let engine = world.app::<PdsNode>(consumer).and_then(|n| n.engine()).expect("alive");
+        let data = engine
+            .store()
+            .chunk(&ItemName::new(name), ChunkId(0))
+            .expect("chunk present");
+        assert!(data.iter().all(|&b| b == fill), "{name}: wrong payload bytes");
+    }
+}
+
+#[test]
+fn different_consumers_retrieve_different_items_concurrently() {
+    let named_item = |name: &str, total: u32| {
+        DataDescriptor::builder()
+            .attr("type", "video")
+            .attr("name", name)
+            .attr("total_chunks", i64::from(total))
+            .build()
+    };
+    let mut world = World::new(SimConfig::paper_multi_hop(), 9);
+    let mut provider = PdsNode::new(PdsConfig::default(), 1);
+    for c in 0..3u32 {
+        provider = provider
+            .with_chunk(named_item("left", 3), ChunkId(c), Bytes::from(vec![3u8; 32 * 1024]))
+            .with_chunk(named_item("right", 3), ChunkId(c), Bytes::from(vec![4u8; 32 * 1024]));
+    }
+    world.add_node(pds_sim::Position::new(60.0, 0.0), Box::new(provider));
+    let a = world.add_node(
+        pds_sim::Position::new(0.0, 0.0),
+        Box::new(PdsNode::new(PdsConfig::default(), 2)),
+    );
+    let b = world.add_node(
+        pds_sim::Position::new(120.0, 0.0),
+        Box::new(PdsNode::new(PdsConfig::default(), 3)),
+    );
+    world.run_until(SimTime::from_secs_f64(0.2));
+    let left = named_item("left", 3);
+    let right = named_item("right", 3);
+    world.with_app::<PdsNode, _>(a, move |n, ctx| n.start_retrieval(ctx, left));
+    world.with_app::<PdsNode, _>(b, move |n, ctx| n.start_retrieval(ctx, right));
+    world.run_until(SimTime::from_secs_f64(90.0));
+    for (id, label) in [(a, "left"), (b, "right")] {
+        let report = world
+            .app::<PdsNode>(id)
+            .and_then(PdsNode::retrieval_report)
+            .expect("ran");
+        assert!(
+            (report.recall - 1.0).abs() < 1e-9,
+            "{label}: recall {}",
+            report.recall
+        );
+    }
+}
+
+#[test]
+fn retrieval_of_missing_item_terminates_gracefully() {
+    let (mut world, ids) = pdr_world(3, 0, 1, 7); // zero chunks seeded
+    let consumer = ids[grid::center_index(3, 3)];
+    // Ask for an item nobody has (default recovery budget).
+    world.with_app::<PdsNode, _>(consumer, |node, ctx| {
+        node.start_retrieval(ctx, item(4));
+    });
+    world.run_until(SimTime::from_secs_f64(120.0));
+    let report = world
+        .app::<PdsNode>(consumer)
+        .and_then(PdsNode::retrieval_report)
+        .expect("ran");
+    assert!(report.finished_at.is_some(), "gives up instead of spinning");
+    assert_eq!(report.received_chunks, 0);
+}
