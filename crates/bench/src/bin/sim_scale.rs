@@ -1,0 +1,173 @@
+//! Scenario-scale benchmark of the simulator's spatial hot paths.
+//!
+//! Runs the same dense-chatter scenario at several node counts, once with
+//! the spatial grid index and once with the brute-force scans, checks the
+//! two runs produced *identical* statistics (the grid is an index, not an
+//! approximation), and records wall-clock times plus the grid/brute
+//! speedup as a machine-readable perf record.
+//!
+//! ```text
+//! cargo run --release -p pds-bench --bin sim_scale -- --quick --out BENCH_sim_scale.json
+//! ```
+//!
+//! `--quick` shortens the simulated horizon for CI smoke runs; the node
+//! counts (100 / 500 / 1000) stay the same so the scaling trend is always
+//! visible. Without `--quick` the horizon is 4× longer.
+
+use pds_sim::{
+    Application, Context, MessageMeta, Position, SimConfig, SimDuration, SimTime, SpatialIndex,
+    World,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Node counts exercised in both modes.
+const NODE_COUNTS: [usize; 3] = [100, 500, 1000];
+/// Nodes per gathering spot. Peers inside a cluster are in radio range of
+/// each other; clusters are far outside each other's range.
+const CLUSTER_SIZE: usize = 2;
+/// Spacing between cluster centers, meters (radio range 75 m).
+const CLUSTER_SPACING_M: f64 = 400.0;
+/// Nodes scatter up to this far from their cluster center on each axis,
+/// keeping intra-cluster distances at most ~70 m.
+const CLUSTER_RADIUS_M: f64 = 25.0;
+/// Fraction of nodes walking (to a random point in the field) during the
+/// run.
+const MOVER_FRACTION: f64 = 0.1;
+
+/// Chatter period per node.
+const CHATTER_PERIOD: SimDuration = SimDuration::from_millis(10);
+
+/// Periodic small-payload broadcaster: every node chatters, so every
+/// kernel hot path (carrier sense, receiver enumeration, interference)
+/// is exercised constantly. Each node starts at its own phase so the
+/// cluster peers are not artificially synchronized.
+struct Chatter {
+    phase: SimDuration,
+}
+
+impl Application for Chatter {
+    fn on_start(&mut self, ctx: &mut Context) {
+        ctx.set_timer(self.phase, 0);
+    }
+    fn on_message(&mut self, _: &mut Context, _: MessageMeta, _: bytes::Bytes) {}
+    fn on_timer(&mut self, ctx: &mut Context, _tag: u64) {
+        ctx.broadcast(bytes::Bytes::from_static(&[0u8; 200]), &[]);
+        ctx.set_timer(CHATTER_PERIOD, 0);
+    }
+}
+
+/// Builds the scenario: `n` nodes in small gathering-spot clusters laid
+/// out on a square grid at constant cluster density (so area grows with
+/// `n`), with a fraction of the nodes walking.
+fn build_world(n: usize, index: SpatialIndex, seed: u64) -> World {
+    let mut config = SimConfig::default();
+    config.spatial.index = index;
+    // Large-area scenario knobs (identical in both modes, so the runs stay
+    // comparable): a 4-range interference horizon — at the default
+    // path-loss exponent a transmitter that far away contributes under 2%
+    // of the weakest decodable signal — and a coarse re-bucket cadence
+    // that bounds the walker drift pad to a fraction of a meter.
+    config.radio.interference_range_factor = 4.0;
+    config.spatial.rebucket_interval = SimDuration::from_millis(250);
+    let mut world = World::new(config, seed);
+    let clusters = n.div_ceil(CLUSTER_SIZE);
+    let side = (clusters as f64).sqrt().ceil() as usize;
+    let mut rng = world.fork_rng(7);
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i / CLUSTER_SIZE;
+        let cx = (c % side) as f64 * CLUSTER_SPACING_M;
+        let cy = (c / side) as f64 * CLUSTER_SPACING_M;
+        let x = cx + rng.range_f64(-CLUSTER_RADIUS_M, CLUSTER_RADIUS_M);
+        let y = cy + rng.range_f64(-CLUSTER_RADIUS_M, CLUSTER_RADIUS_M);
+        let phase = SimDuration::from_micros(rng.range_f64(0.0, 10_000.0) as u64);
+        ids.push(world.add_node(Position::new(x, y), Box::new(Chatter { phase })));
+    }
+    let extent = side as f64 * CLUSTER_SPACING_M;
+    for &id in &ids {
+        if rng.chance(MOVER_FRACTION) {
+            let dest = Position::new(rng.range_f64(0.0, extent), rng.range_f64(0.0, extent));
+            world.move_node(id, dest, 1.4);
+        }
+    }
+    world
+}
+
+struct ModeRun {
+    wall_s: f64,
+    stats: pds_sim::Stats,
+}
+
+fn run_mode(n: usize, index: SpatialIndex, horizon: SimTime) -> ModeRun {
+    let mut world = build_world(n, index, 42);
+    let start = Instant::now();
+    world.run_until(horizon);
+    let wall_s = start.elapsed().as_secs_f64();
+    #[cfg(feature = "prof")]
+    {
+        println!("-- {index:?}");
+        pds_sim::prof::dump();
+    }
+    ModeRun {
+        wall_s,
+        stats: world.stats().clone(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sim_scale.json".to_owned());
+    let sim_seconds = if quick { 2.0 } else { 8.0 };
+    let horizon = SimTime::from_secs_f64(sim_seconds);
+
+    let mut rows = Vec::new();
+    let mut all_equal = true;
+    for &n in &NODE_COUNTS {
+        let grid = run_mode(n, SpatialIndex::Grid, horizon);
+        let brute = run_mode(n, SpatialIndex::BruteForce, horizon);
+        let equal = grid.stats == brute.stats;
+        all_equal &= equal;
+        let speedup = brute.wall_s / grid.wall_s.max(1e-9);
+        println!(
+            "n={n:>5}  grid {:>8.3}s  brute {:>8.3}s  speedup {speedup:>6.2}x  \
+             frames_delivered={}  stats_equal={equal}",
+            grid.wall_s, brute.wall_s, grid.stats.frames_delivered
+        );
+        assert!(
+            equal,
+            "grid and brute-force runs diverged at n={n}: {:?} vs {:?}",
+            grid.stats, brute.stats
+        );
+        rows.push((n, grid, brute, speedup, equal));
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"sim_scale\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"sim_seconds\": {sim_seconds},");
+    let _ = writeln!(json, "  \"stats_equal\": {all_equal},");
+    let _ = writeln!(json, "  \"results\": [");
+    let last = rows.len() - 1;
+    for (i, (n, grid, brute, speedup, equal)) in rows.iter().enumerate() {
+        let comma = if i == last { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {n}, \"grid_wall_s\": {:.6}, \"brute_wall_s\": {:.6}, \
+             \"speedup\": {speedup:.3}, \"frames_sent\": {}, \"frames_delivered\": {}, \
+             \"stats_equal\": {equal}}}{comma}",
+            grid.wall_s, brute.wall_s, grid.stats.frames_sent, grid.stats.frames_delivered
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).expect("write perf record");
+    println!("wrote {out_path}");
+}

@@ -126,7 +126,9 @@ pub fn ablations(cfg: &RunConfig) -> Vec<Table> {
             assign,
             ..PdsConfig::default()
         };
-        let runs = run_seeds(&cfg.seeds, |seed| retrieval_with(pds.clone(), size, 3, seed));
+        let runs = run_seeds(&cfg.seeds, |seed| {
+            retrieval_with(pds.clone(), size, 3, seed)
+        });
         let avg = average_runs(&runs);
         t2.push_row(vec![
             label.to_owned(),

@@ -180,7 +180,10 @@ mod tests {
     fn quick_experiments_produce_populated_tables() {
         let cfg = RunConfig::quick();
         for name in ["fig4", "fig9"] {
-            let exp = all().into_iter().find(|e| e.name == name).expect("registered");
+            let exp = all()
+                .into_iter()
+                .find(|e| e.name == name)
+                .expect("registered");
             let tables = (exp.run)(&cfg);
             assert!(!tables.is_empty(), "{name} returned no tables");
             for t in &tables {

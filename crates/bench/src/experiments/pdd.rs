@@ -117,7 +117,11 @@ pub fn saturation(cfg: &RunConfig) -> Vec<Table> {
 /// Fig. 4: single-round PDD (with ack) on growing grids, 50 entries per
 /// node; recall drops as the maximum hop count grows.
 pub fn fig04_hops(cfg: &RunConfig) -> Vec<Table> {
-    let sizes: &[usize] = if cfg.quick { &[3, 5] } else { &[3, 5, 7, 9, 11] };
+    let sizes: &[usize] = if cfg.quick {
+        &[3, 5]
+    } else {
+        &[3, 5, 7, 9, 11]
+    };
     let mut t = Table::new(
         "Fig. 4 — single-round PDD vs max hop count (50 entries/node)",
         &["grid", "max_hops", "recall", "latency_s", "overhead_mb"],

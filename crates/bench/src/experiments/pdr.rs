@@ -19,9 +19,8 @@ fn deadline(secs: f64) -> SimTime {
 fn retrieval_run(size_bytes: usize, redundancy: usize, mdr: bool, seed: u64) -> RunMetrics {
     let sc = GridScenario::paper_default(seed);
     let center = grid::center_index(10, 10);
-    let wl = Workload::new(sc.node_count()).with_chunked_item(
-        "clip", size_bytes, CHUNK, redundancy, center, seed,
-    );
+    let wl = Workload::new(sc.node_count())
+        .with_chunked_item("clip", size_bytes, CHUNK, redundancy, center, seed);
     let mut built = sc.build(&wl);
     let before = built.world.stats().clone();
     let consumer = built.consumer;
@@ -85,7 +84,11 @@ pub fn fig13_14_redundancy(cfg: &RunConfig) -> Vec<Table> {
             pct(pdr.recall),
             pct(mdr.recall),
         ]);
-        ovh.push_row(vec![r.to_string(), f2(pdr.overhead_mb), f2(mdr.overhead_mb)]);
+        ovh.push_row(vec![
+            r.to_string(),
+            f2(pdr.overhead_mb),
+            f2(mdr.overhead_mb),
+        ]);
     }
     vec![lat, ovh]
 }

@@ -201,7 +201,14 @@ pub fn ack_sweep(cfg: &RunConfig) -> Vec<Table> {
     let retries = [0u32, 1, 2, 4, 8];
     let mut t = Table::new(
         "§V-1 — reception vs RetrTimeout × MaxRetrTime (4 senders, 1 receiver)",
-        &["timeout_ms", "retr=0", "retr=1", "retr=2", "retr=4", "retr=8"],
+        &[
+            "timeout_ms",
+            "retr=0",
+            "retr=1",
+            "retr=2",
+            "retr=4",
+            "retr=8",
+        ],
     );
     for &timeout in &timeouts {
         let mut cells = vec![timeout.to_string()];

@@ -2,7 +2,7 @@
 //! overhead.
 
 /// Metrics of one experiment run.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunMetrics {
     /// Fraction of distinct metadata entries or chunks received.
     pub recall: f64,
@@ -57,15 +57,14 @@ where
     F: Fn(u64) -> RunMetrics + Sync,
 {
     let mut results: Vec<Option<RunMetrics>> = vec![None; seeds.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &seed) in results.iter_mut().zip(seeds.iter()) {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(f(seed));
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     results.into_iter().map(|r| r.expect("filled")).collect()
 }
 

@@ -15,7 +15,7 @@ use std::path::Path;
 /// assert!(t.render().contains("Fig. X"));
 /// assert_eq!(t.to_csv(), "n,recall\n1,100.0%\n");
 /// ```
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Figure title, e.g. "Fig. 6 — impact of metadata amount".
     pub title: String,

@@ -2,9 +2,7 @@
 //! workload seeding and consumer orchestration (§VI-A).
 
 use crate::metrics::RunMetrics;
-use pds_core::{
-    AttrValue, ChunkId, DataDescriptor, PdsConfig, PdsNode, QueryFilter,
-};
+use pds_core::{AttrValue, ChunkId, DataDescriptor, PdsConfig, PdsNode, QueryFilter};
 use pds_mobility::{grid, MobilityTrace, ObservationParams, PersonId, TraceAction, TraceInstaller};
 use pds_sim::{NodeId, SimConfig, SimDuration, SimRng, SimTime, Stats, World};
 use std::collections::BTreeMap;
@@ -166,14 +164,11 @@ impl GridScenario {
             nodes.push(world.add_node(*pos, Box::new(node)));
         }
         let consumer = nodes[grid::center_index(self.rows, self.cols)];
-        let center_pool = grid::center_subgrid(
-            self.rows,
-            self.cols,
-            5.min(self.rows).min(self.cols),
-        )
-        .into_iter()
-        .map(|i| nodes[i])
-        .collect();
+        let center_pool =
+            grid::center_subgrid(self.rows, self.cols, 5.min(self.rows).min(self.cols))
+                .into_iter()
+                .map(|i| nodes[i])
+                .collect();
         // Let nodes start (timers arm) before any consumer acts.
         world.run_until(SimTime::from_secs_f64(0.1));
         Built {
@@ -341,7 +336,8 @@ impl MobilityScenario {
     /// recall to measure).
     #[must_use]
     pub fn build(&self, workload: &Workload) -> Built {
-        let trace = MobilityTrace::generate(&self.params, self.duration, self.multiplier, self.seed);
+        let trace =
+            MobilityTrace::generate(&self.params, self.duration, self.multiplier, self.seed);
         // Pick the consumer among the initial people and keep them present.
         let consumer_person = trace.initial_people()[0].0;
         let filtered = MobilityTrace::from_parts(

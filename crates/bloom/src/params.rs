@@ -46,7 +46,10 @@ impl BloomParams {
     /// Panics if `fpp` is not strictly between 0 and 1.
     #[must_use]
     pub fn optimal(items: usize, fpp: f64) -> Self {
-        assert!(fpp > 0.0 && fpp < 1.0, "false positive rate must be in (0, 1)");
+        assert!(
+            fpp > 0.0 && fpp < 1.0,
+            "false positive rate must be in (0, 1)"
+        );
         if items == 0 {
             return Self::new(64, 1);
         }

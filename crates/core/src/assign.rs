@@ -91,8 +91,7 @@ pub fn min_max_assign(
                         continue;
                     }
                     let new_from = max_load - u64::from(cur_h.max(1));
-                    let new_to =
-                        load.get(&alt_n).copied().unwrap_or(0) + u64::from(alt_h.max(1));
+                    let new_to = load.get(&alt_n).copied().unwrap_or(0) + u64::from(alt_h.max(1));
                     // Resulting max among the two touched neighbors; others
                     // are ≤ max_load by definition of max_n... except other
                     // neighbors tied at max_load, so account for them.
@@ -179,9 +178,8 @@ mod tests {
     fn greedy_piles_onto_first_neighbor_when_tied() {
         // Greedy with load-aware tie-breaking still alternates; use uneven
         // hops to expose the difference: neighbor 1 is closest for all.
-        let chunks: Vec<ChunkCandidates> = (0..8)
-            .map(|i| (c(i), vec![(n(1), 1), (n(2), 2)]))
-            .collect();
+        let chunks: Vec<ChunkCandidates> =
+            (0..8).map(|i| (c(i), vec![(n(1), 1), (n(2), 2)])).collect();
         let greedy = min_max_assign(&chunks, AssignStrategy::Greedy);
         assert_valid(&greedy, &chunks);
         assert_eq!(greedy[&n(1)].len(), 8, "greedy always takes the least hop");
@@ -197,8 +195,7 @@ mod tests {
 
     #[test]
     fn single_provider_gets_everything() {
-        let chunks: Vec<ChunkCandidates> =
-            (0..5).map(|i| (c(i), vec![(n(3), 2)])).collect();
+        let chunks: Vec<ChunkCandidates> = (0..5).map(|i| (c(i), vec![(n(3), 2)])).collect();
         let plan = min_max_assign(&chunks, AssignStrategy::MinMax);
         assert_valid(&plan, &chunks);
         assert_eq!(plan[&n(3)].len(), 5);
@@ -254,11 +251,8 @@ mod tests {
                         assigned
                             .iter()
                             .map(|chunk| {
-                                let cands = &chunks
-                                    .iter()
-                                    .find(|(id, _)| id == chunk)
-                                    .expect("chunk")
-                                    .1;
+                                let cands =
+                                    &chunks.iter().find(|(id, _)| id == chunk).expect("chunk").1;
                                 u64::from(
                                     cands
                                         .iter()

@@ -143,7 +143,10 @@ impl CdiTable {
     /// Chunks of `item` with at least one unexpired route.
     #[must_use]
     pub fn covered_chunks(&self, item: &ItemName, now: SimTime) -> Vec<ChunkId> {
-        self.summary(item, now).into_iter().map(|(c, _)| c).collect()
+        self.summary(item, now)
+            .into_iter()
+            .map(|(c, _)| c)
+            .collect()
     }
 
     /// Drops expired routes (and empty item groups).
@@ -191,7 +194,10 @@ mod tests {
         let mut cdi = CdiTable::new();
         cdi.observe(&item(), ChunkId(0), NodeId(1), 2, t(10.0));
         assert_eq!(cdi.best_hops(&item(), ChunkId(0), t(0.0)), Some(2));
-        assert_eq!(cdi.candidates(&item(), ChunkId(0), t(0.0)), vec![(NodeId(1), 2)]);
+        assert_eq!(
+            cdi.candidates(&item(), ChunkId(0), t(0.0)),
+            vec![(NodeId(1), 2)]
+        );
         assert_eq!(cdi.best_hops(&item(), ChunkId(1), t(0.0)), None);
     }
 
@@ -249,7 +255,10 @@ mod tests {
         let mut s = cdi.summary(&item(), t(0.0));
         s.sort();
         assert_eq!(s, vec![(ChunkId(0), 1), (ChunkId(3), 0)]);
-        assert_eq!(cdi.covered_chunks(&item(), t(0.0)), vec![ChunkId(0), ChunkId(3)]);
+        assert_eq!(
+            cdi.covered_chunks(&item(), t(0.0)),
+            vec![ChunkId(0), ChunkId(3)]
+        );
     }
 
     #[test]

@@ -278,10 +278,19 @@ mod tests {
     #[test]
     fn entry_key_is_canonical() {
         // Attribute insertion order must not matter.
-        let a = DataDescriptor::builder().attr("x", 1i64).attr("y", 2i64).build();
-        let b = DataDescriptor::builder().attr("y", 2i64).attr("x", 1i64).build();
+        let a = DataDescriptor::builder()
+            .attr("x", 1i64)
+            .attr("y", 2i64)
+            .build();
+        let b = DataDescriptor::builder()
+            .attr("y", 2i64)
+            .attr("x", 1i64)
+            .build();
         assert_eq!(a.entry_key(), b.entry_key());
-        let c = DataDescriptor::builder().attr("x", 1i64).attr("y", 3i64).build();
+        let c = DataDescriptor::builder()
+            .attr("x", 1i64)
+            .attr("y", 3i64)
+            .build();
         assert_ne!(a.entry_key(), c.entry_key());
     }
 

@@ -75,7 +75,10 @@ impl PdsEngine {
     /// than PDD's metadata-sized default.
     fn mdr_round_params(&self) -> crate::config::RoundParams {
         let mut p = self.config.rounds;
-        p.t_window = p.t_window.saturating_mul(30).max(SimDuration::from_secs(30));
+        p.t_window = p
+            .t_window
+            .saturating_mul(30)
+            .max(SimDuration::from_secs(30));
         p
     }
 

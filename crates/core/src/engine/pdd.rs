@@ -100,8 +100,10 @@ impl PdsEngine {
                 session.controller.start_next_round(now);
                 session.rounds_sent += 1;
                 let round = session.controller.round();
-                let params =
-                    BloomParams::optimal(session.collected.len().max(2048) * 2, self.config.bloom_fpp);
+                let params = BloomParams::optimal(
+                    session.collected.len().max(2048) * 2,
+                    self.config.bloom_fpp,
+                );
                 let mut bloom = BloomFilter::with_round(params, round);
                 for key in session.collected.keys() {
                     bloom.insert(key.as_bytes());
@@ -323,9 +325,7 @@ impl PdsEngine {
                 let kept: Vec<(DataDescriptor, Bytes)> = items
                     .iter()
                     .filter(|(d, _)| l.query.filter.matches(d))
-                    .filter(|(d, _)| {
-                        !(rewrite && l.bloom_contains(d.entry_key().as_bytes()))
-                    })
+                    .filter(|(d, _)| !(rewrite && l.bloom_contains(d.entry_key().as_bytes())))
                     .cloned()
                     .collect();
                 if kept.is_empty() {

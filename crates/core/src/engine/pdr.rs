@@ -145,8 +145,7 @@ impl PdsEngine {
                 .map(ChunkId)
                 .filter(|c| !s.received.contains(c))
                 .collect();
-            let threshold =
-                p.watchdog + p.watchdog_per_chunk.saturating_mul(missing.len() as u64);
+            let threshold = p.watchdog + p.watchdog_per_chunk.saturating_mul(missing.len() as u64);
             let stalled = now.since(s.last_progress_at.max(s.phase_started_at)) >= threshold;
             (missing, stalled, s.descriptor.clone(), s.item.clone())
         };

@@ -54,8 +54,7 @@ fn pump(
         for &nbr in &adjacency[sender] {
             let me = NodeId(nbr as u32);
             let me_intended = out.intended.is_empty() || out.intended.contains(&me);
-            let produced =
-                engines[nbr].handle_message(now, from, me_intended, out.message.clone());
+            let produced = engines[nbr].handle_message(now, from, me_intended, out.message.clone());
             for p in produced {
                 queue.push((nbr, p));
             }
@@ -84,11 +83,21 @@ fn line(n: usize) -> Vec<Vec<usize>> {
 fn run_discovery(engines: &mut [PdsEngine], adjacency: &[Vec<usize>]) -> usize {
     let mut now = t(0.0);
     let start = engines[0].start_discovery(now, QueryFilter::match_all());
-    pump(engines, adjacency, start.into_iter().map(|o| (0, o)).collect(), now);
+    pump(
+        engines,
+        adjacency,
+        start.into_iter().map(|o| (0, o)).collect(),
+        now,
+    );
     for _ in 0..40 {
         now += SimDuration::from_millis(400);
         let out = engines[0].poll(now);
-        pump(engines, adjacency, out.into_iter().map(|o| (0, o)).collect(), now);
+        pump(
+            engines,
+            adjacency,
+            out.into_iter().map(|o| (0, o)).collect(),
+            now,
+        );
         if engines[0].discovery().expect("session").is_finished() {
             break;
         }
@@ -121,18 +130,29 @@ fn discovery_respects_filters() {
     let config = PdsConfig::default();
     let mut es = engines(2, &config);
     es[1].store_mut().insert_own(
-        DataDescriptor::builder().attr("type", "no2").attr("seq", 1i64).build(),
+        DataDescriptor::builder()
+            .attr("type", "no2")
+            .attr("seq", 1i64)
+            .build(),
         None,
     );
     es[1].store_mut().insert_own(
-        DataDescriptor::builder().attr("type", "co2").attr("seq", 2i64).build(),
+        DataDescriptor::builder()
+            .attr("type", "co2")
+            .attr("seq", 2i64)
+            .build(),
         None,
     );
     let adj = line(2);
     let now = t(0.0);
     let filter = QueryFilter::new(vec![Predicate::new("type", Relation::Eq, "no2")]);
     let start = es[0].start_discovery(now, filter);
-    pump(&mut es, &adj, start.into_iter().map(|o| (0, o)).collect(), now);
+    pump(
+        &mut es,
+        &adj,
+        start.into_iter().map(|o| (0, o)).collect(),
+        now,
+    );
     let s = es[0].discovery().expect("session");
     assert_eq!(s.collected.len(), 1, "only the no2 entry matches");
 }
@@ -414,12 +434,19 @@ fn small_data_retrieval_delivers_payloads() {
     let mut es = engines(3, &config);
     for k in 0..5u32 {
         let d = entry(k);
-        es[2].store_mut().insert_own(d, Some(Bytes::from(vec![k as u8; 64])));
+        es[2]
+            .store_mut()
+            .insert_own(d, Some(Bytes::from(vec![k as u8; 64])));
     }
     let adj = line(3);
     let now = t(0.0);
     let start = es[0].start_small_data_retrieval(now, QueryFilter::match_all());
-    pump(&mut es, &adj, start.into_iter().map(|o| (0, o)).collect(), now);
+    pump(
+        &mut es,
+        &adj,
+        start.into_iter().map(|o| (0, o)).collect(),
+        now,
+    );
     let s = es[0].discovery().expect("session");
     assert_eq!(s.collected.len(), 5);
     // Payloads landed in the consumer's store.
@@ -472,7 +499,11 @@ fn pdr_retrieves_across_multiple_hops() {
     seed_chunks(&mut es[2], &desc, &[0, 1, 2, 3]);
     let adj = line(3);
     let report = run_pdr(&mut es, &adj, desc.clone(), false);
-    assert!((report.recall - 1.0).abs() < 1e-9, "recall = {}", report.recall);
+    assert!(
+        (report.recall - 1.0).abs() < 1e-9,
+        "recall = {}",
+        report.recall
+    );
     assert_eq!(report.received_chunks, 4);
     // Opportunistic caching: the relay holds the chunks now.
     assert_eq!(es[1].store().chunk_ids(&ItemName::new("vid")).len(), 4);
@@ -488,7 +519,12 @@ fn pdr_cdi_learns_distances() {
     let adj = line(3);
     let now = t(0.0);
     let start = es[0].start_retrieval(now, desc);
-    pump(&mut es, &adj, start.into_iter().map(|o| (0, o)).collect(), now);
+    pump(
+        &mut es,
+        &adj,
+        start.into_iter().map(|o| (0, o)).collect(),
+        now,
+    );
     let item = ItemName::new("vid");
     // Node 1 sees the chunks one hop away (via node 2); node 0 two hops
     // (via node 1).
@@ -512,7 +548,12 @@ fn pdr_splits_load_between_equal_providers() {
     let adj = vec![vec![1, 2], vec![0], vec![0]]; // star centered at 0
     let mut now = t(0.0);
     let start = es[0].start_retrieval(now, desc);
-    pump(&mut es, &adj, start.into_iter().map(|o| (0, o)).collect(), now);
+    pump(
+        &mut es,
+        &adj,
+        start.into_iter().map(|o| (0, o)).collect(),
+        now,
+    );
     now += SimDuration::from_millis(400);
     let wave = es[0].poll(now);
     let chunk_queries: Vec<_> = wave
@@ -528,7 +569,12 @@ fn pdr_splits_load_between_equal_providers() {
     assert_eq!(chunk_queries.len(), 2, "one sub-query per neighbor");
     assert_eq!(chunk_queries[0].1 + chunk_queries[1].1, 6);
     assert_eq!(chunk_queries[0].1, 3, "min-max heuristic balances 3/3");
-    pump(&mut es, &adj, wave.into_iter().map(|o| (0, o)).collect(), now);
+    pump(
+        &mut es,
+        &adj,
+        wave.into_iter().map(|o| (0, o)).collect(),
+        now,
+    );
     assert_eq!(
         es[0].retrieval().expect("session").received.len(),
         6,
@@ -548,7 +594,11 @@ fn pdr_partial_copies_are_combined() {
     // 0 - 1 - 2 - 3 line; chunks 2,3 are three hops away.
     let adj = line(4);
     let report = run_pdr(&mut es, &adj, desc, false);
-    assert!((report.recall - 1.0).abs() < 1e-9, "recall = {}", report.recall);
+    assert!(
+        (report.recall - 1.0).abs() < 1e-9,
+        "recall = {}",
+        report.recall
+    );
 }
 
 #[test]
@@ -573,21 +623,38 @@ fn pdr_recovers_when_cdi_is_initially_empty() {
     let adj = line(2);
     let mut now = t(0.0);
     let start = es[0].start_retrieval(now, desc.clone());
-    pump(&mut es, &adj, start.into_iter().map(|o| (0, o)).collect(), now);
+    pump(
+        &mut es,
+        &adj,
+        start.into_iter().map(|o| (0, o)).collect(),
+        now,
+    );
     // Provider appears late.
     seed_chunks(&mut es[1], &desc, &[0]);
     // Poll past phase1_timeout: the consumer re-floods the CDI query.
     for _ in 0..30 {
         now += SimDuration::from_millis(500);
         let out = es[0].poll(now);
-        pump(&mut es, &adj, out.into_iter().map(|o| (0, o)).collect(), now);
+        pump(
+            &mut es,
+            &adj,
+            out.into_iter().map(|o| (0, o)).collect(),
+            now,
+        );
         if es[0].retrieval().expect("session").is_finished() {
             break;
         }
     }
     let report = es[0].retrieval().expect("session").report();
-    assert!((report.recall - 1.0).abs() < 1e-9, "recall = {}", report.recall);
-    assert!(report.recovery_attempts >= 1, "needed at least one recovery");
+    assert!(
+        (report.recall - 1.0).abs() < 1e-9,
+        "recall = {}",
+        report.recall
+    );
+    assert!(
+        report.recovery_attempts >= 1,
+        "needed at least one recovery"
+    );
 }
 
 #[test]
@@ -599,11 +666,21 @@ fn pdr_gives_up_after_recovery_budget() {
     let adj = line(2);
     let mut now = t(0.0);
     let start = es[0].start_retrieval(now, desc);
-    pump(&mut es, &adj, start.into_iter().map(|o| (0, o)).collect(), now);
+    pump(
+        &mut es,
+        &adj,
+        start.into_iter().map(|o| (0, o)).collect(),
+        now,
+    );
     for _ in 0..60 {
         now += SimDuration::from_millis(500);
         let out = es[0].poll(now);
-        pump(&mut es, &adj, out.into_iter().map(|o| (0, o)).collect(), now);
+        pump(
+            &mut es,
+            &adj,
+            out.into_iter().map(|o| (0, o)).collect(),
+            now,
+        );
         if es[0].retrieval().expect("session").is_finished() {
             break;
         }
@@ -623,7 +700,11 @@ fn mdr_retrieves_across_multiple_hops() {
     seed_chunks(&mut es[2], &desc, &[0, 1, 2, 3]);
     let adj = line(3);
     let report = run_pdr(&mut es, &adj, desc, true);
-    assert!((report.recall - 1.0).abs() < 1e-9, "recall = {}", report.recall);
+    assert!(
+        (report.recall - 1.0).abs() < 1e-9,
+        "recall = {}",
+        report.recall
+    );
 }
 
 #[test]
@@ -727,7 +808,11 @@ fn cdi_relay_forwards_only_improvements() {
         })
         .collect();
     assert_eq!(pairs.len(), 1);
-    assert_eq!(pairs[0], vec![(ChunkId(1), 1)], "only the improvement travels");
+    assert_eq!(
+        pairs[0],
+        vec![(ChunkId(1), 1)],
+        "only the improvement travels"
+    );
 }
 
 #[test]
@@ -792,7 +877,11 @@ fn bounded_cache_still_completes_retrieval() {
     seed_chunks(&mut es[2], &desc, &[0, 1, 2, 3]);
     let adj = line(3);
     let report = run_pdr(&mut es, &adj, desc, false);
-    assert!((report.recall - 1.0).abs() < 1e-9, "recall = {}", report.recall);
+    assert!(
+        (report.recall - 1.0).abs() < 1e-9,
+        "recall = {}",
+        report.recall
+    );
     // The relay's cache stayed within budget.
     assert!(es[1].store().cached_chunk_bytes() <= 600);
     assert!(
@@ -810,10 +899,20 @@ fn pending_chunk_marks_are_garbage_collected() {
     let adj = line(3);
     let now = t(0.0);
     let start = es[0].start_retrieval(now, desc);
-    pump(&mut es, &adj, start.into_iter().map(|o| (0, o)).collect(), now);
+    pump(
+        &mut es,
+        &adj,
+        start.into_iter().map(|o| (0, o)).collect(),
+        now,
+    );
     // Trigger the wave so node 1 divides and marks chunks pending.
     let wave = es[0].poll(t(0.4));
-    pump(&mut es, &adj, wave.into_iter().map(|o| (0, o)).collect(), t(0.4));
+    pump(
+        &mut es,
+        &adj,
+        wave.into_iter().map(|o| (0, o)).collect(),
+        t(0.4),
+    );
     // Whatever pending marks remain anywhere, gc at a late time clears them.
     for e in &mut es {
         e.gc(t(1_000.0));

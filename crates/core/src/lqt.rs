@@ -204,9 +204,7 @@ impl LingeringQueryTable {
                 QueryKind::Chunks { item: i, .. } => {
                     i == item && l.remaining_chunks.contains(&chunk)
                 }
-                QueryKind::MdrChunks { item: i, .. } => {
-                    i == item && !l.bloom_contains(&key)
-                }
+                QueryKind::MdrChunks { item: i, .. } => i == item && !l.bloom_contains(&key),
                 _ => false,
             })
             .collect()
@@ -284,7 +282,11 @@ mod tests {
         let mut lqt = LingeringQueryTable::new();
         lqt.insert(query(1, QueryKind::Metadata, 10.0), NodeId(2));
         assert_eq!(lqt.match_metadata(t(5.0)).len(), 1);
-        assert_eq!(lqt.match_metadata(t(10.0)).len(), 0, "expires_at is exclusive");
+        assert_eq!(
+            lqt.match_metadata(t(10.0)).len(),
+            0,
+            "expires_at is exclusive"
+        );
         lqt.gc(t(10.0));
         assert!(lqt.is_empty());
     }
@@ -298,9 +300,7 @@ mod tests {
             query(
                 3,
                 QueryKind::Cdi {
-                    descriptor: crate::DataDescriptor::builder()
-                        .attr("name", "vid")
-                        .build(),
+                    descriptor: crate::DataDescriptor::builder().attr("name", "vid").build(),
                 },
                 10.0,
             ),

@@ -361,8 +361,7 @@ impl PdsMessage {
                         let n = buf.get_u32_le() as usize;
                         let mut entries = Vec::with_capacity(n.min(65_536));
                         for _ in 0..n {
-                            entries
-                                .push(DataDescriptor::decode(buf).ok_or(DecodeError::BadBody)?);
+                            entries.push(DataDescriptor::decode(buf).ok_or(DecodeError::BadBody)?);
                         }
                         ResponseKind::Metadata { entries }
                     }
@@ -394,8 +393,7 @@ impl PdsMessage {
                         ResponseKind::Cdi { item, pairs }
                     }
                     3 => {
-                        let descriptor =
-                            DataDescriptor::decode(buf).ok_or(DecodeError::BadBody)?;
+                        let descriptor = DataDescriptor::decode(buf).ok_or(DecodeError::BadBody)?;
                         if buf.remaining() < 4 {
                             return Err(DecodeError::Truncated);
                         }
@@ -474,7 +472,10 @@ mod tests {
     #[test]
     fn response_kinds_round_trip() {
         let d1 = DataDescriptor::builder().attr("type", "no2").build();
-        let d2 = DataDescriptor::builder().attr("type", "co2").attr("x", 1.5).build();
+        let d2 = DataDescriptor::builder()
+            .attr("type", "co2")
+            .attr("x", 1.5)
+            .build();
         for kind in [
             ResponseKind::Metadata {
                 entries: vec![d1.clone(), d2.clone()],

@@ -164,7 +164,9 @@ impl PdsNode {
     /// Starts a small-data retrieval (consumer role).
     pub fn start_small_data_retrieval(&mut self, ctx: &mut Context, filter: QueryFilter) {
         let now = ctx.now();
-        let out = self.ensure_engine(ctx).start_small_data_retrieval(now, filter);
+        let out = self
+            .ensure_engine(ctx)
+            .start_small_data_retrieval(now, filter);
         self.dispatch(ctx, out);
     }
 
@@ -443,7 +445,11 @@ mod tests {
             .app::<PdsNode>(consumer)
             .and_then(PdsNode::retrieval_report)
             .expect("session");
-        assert!((report.recall - 1.0).abs() < 1e-9, "recall = {}", report.recall);
+        assert!(
+            (report.recall - 1.0).abs() < 1e-9,
+            "recall = {}",
+            report.recall
+        );
     }
 
     #[test]

@@ -290,7 +290,11 @@ impl QueryFilter {
     /// Wire size of the encoded form.
     #[must_use]
     pub fn encoded_len(&self) -> usize {
-        1 + self.predicates.iter().map(Predicate::encoded_len).sum::<usize>()
+        1 + self
+            .predicates
+            .iter()
+            .map(Predicate::encoded_len)
+            .sum::<usize>()
     }
 }
 
@@ -404,9 +408,6 @@ mod tests {
             Predicate::new("type", Relation::Eq, "a").to_string(),
             "type = a"
         );
-        assert_eq!(
-            Predicate::range("x", 1i64, 2i64).to_string(),
-            "x in [1, 2]"
-        );
+        assert_eq!(Predicate::range("x", 1i64, 2i64).to_string(), "x in [1, 2]");
     }
 }

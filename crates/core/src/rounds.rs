@@ -126,11 +126,7 @@ impl RoundController {
             now.as_micros()
                 .saturating_sub(self.params.t_window.as_micros()),
         );
-        while self
-            .arrivals
-            .front()
-            .is_some_and(|&a| a < window_start)
-        {
+        while self.arrivals.front().is_some_and(|&a| a < window_start) {
             self.arrivals.pop_front();
         }
         if self.responses_this_round == 0 {

@@ -262,7 +262,10 @@ impl DataStore {
             let Some((item, chunk)) = victim else {
                 return; // everything left is pinned
             };
-            let meta = self.chunk_meta.remove(&(item.clone(), chunk)).expect("victim");
+            let meta = self
+                .chunk_meta
+                .remove(&(item.clone(), chunk))
+                .expect("victim");
             self.cached_bytes = self.cached_bytes.saturating_sub(meta.bytes);
             if let Some(per_item) = self.chunks.get_mut(&item) {
                 per_item.remove(&chunk);
@@ -282,7 +285,9 @@ impl DataStore {
     /// Whether the store holds chunk `chunk` of `item`.
     #[must_use]
     pub fn has_chunk(&self, item: &ItemName, chunk: ChunkId) -> bool {
-        self.chunks.get(item).is_some_and(|m| m.contains_key(&chunk))
+        self.chunks
+            .get(item)
+            .is_some_and(|m| m.contains_key(&chunk))
     }
 
     /// The bytes of chunk `chunk` of `item`, if held (a peek: does not
@@ -412,7 +417,10 @@ mod tests {
         assert!(s.cache_metadata(desc("no2"), t(10.0)));
         assert_eq!(s.match_metadata(&QueryFilter::match_all(), t(5.0)).len(), 1);
         // Expired entries stop matching even before gc.
-        assert_eq!(s.match_metadata(&QueryFilter::match_all(), t(11.0)).len(), 0);
+        assert_eq!(
+            s.match_metadata(&QueryFilter::match_all(), t(11.0)).len(),
+            0
+        );
         s.gc(t(11.0));
         assert_eq!(s.metadata_len(), 0);
     }
@@ -433,7 +441,10 @@ mod tests {
         s.cache_small_payload(&desc("no2"), Bytes::from_static(b"v"));
         s.gc(t(100.0));
         assert_eq!(s.metadata_len(), 1);
-        assert_eq!(s.small_payload(&desc("no2")), Some(Bytes::from_static(b"v")));
+        assert_eq!(
+            s.small_payload(&desc("no2")),
+            Some(Bytes::from_static(b"v"))
+        );
     }
 
     #[test]
@@ -536,8 +547,14 @@ mod tests {
         // Touch chunk 0 so chunk 1 becomes the LRU victim.
         let _ = s.fetch_chunk(&ItemName::new("vid"), ChunkId(0));
         s.cache_chunk(&item, ChunkId(2), Bytes::from(vec![0u8; 1_000]));
-        assert!(s.has_chunk(&ItemName::new("vid"), ChunkId(0)), "recently used survives");
-        assert!(!s.has_chunk(&ItemName::new("vid"), ChunkId(1)), "LRU victim");
+        assert!(
+            s.has_chunk(&ItemName::new("vid"), ChunkId(0)),
+            "recently used survives"
+        );
+        assert!(
+            !s.has_chunk(&ItemName::new("vid"), ChunkId(1)),
+            "LRU victim"
+        );
         assert!(s.has_chunk(&ItemName::new("vid"), ChunkId(2)));
     }
 
@@ -556,8 +573,14 @@ mod tests {
             let _ = s.fetch_chunk(&ItemName::new("vid"), ChunkId(1));
         }
         s.cache_chunk(&item, ChunkId(2), Bytes::from(vec![0u8; 1_000]));
-        assert!(!s.has_chunk(&ItemName::new("vid"), ChunkId(0)), "LFU victim");
-        assert!(s.has_chunk(&ItemName::new("vid"), ChunkId(1)), "popular chunk survives");
+        assert!(
+            !s.has_chunk(&ItemName::new("vid"), ChunkId(0)),
+            "LFU victim"
+        );
+        assert!(
+            s.has_chunk(&ItemName::new("vid"), ChunkId(1)),
+            "popular chunk survives"
+        );
     }
 
     #[test]
@@ -571,7 +594,10 @@ mod tests {
         s.insert_chunk(&item, ChunkId(0), Bytes::from(vec![0u8; 1_000]));
         s.cache_chunk(&item, ChunkId(1), Bytes::from(vec![0u8; 1_000]));
         // The cached chunk must go; the pinned one stays despite the budget.
-        assert!(s.has_chunk(&ItemName::new("vid"), ChunkId(0)), "own data pinned");
+        assert!(
+            s.has_chunk(&ItemName::new("vid"), ChunkId(0)),
+            "own data pinned"
+        );
         assert!(!s.has_chunk(&ItemName::new("vid"), ChunkId(1)));
         assert_eq!(s.cached_chunk_bytes(), 0);
     }

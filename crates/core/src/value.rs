@@ -166,7 +166,10 @@ mod tests {
 
     #[test]
     fn empty_string_round_trips() {
-        assert_eq!(roundtrip(&AttrValue::Str(String::new())), AttrValue::Str(String::new()));
+        assert_eq!(
+            roundtrip(&AttrValue::Str(String::new())),
+            AttrValue::Str(String::new())
+        );
     }
 
     #[test]

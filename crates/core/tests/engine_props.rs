@@ -41,7 +41,12 @@ fn prufer_tree(n: usize, seq: &[usize]) -> Vec<Vec<usize>> {
 }
 
 /// Instantaneous lossless pump over the adjacency.
-fn pump(engines: &mut [PdsEngine], adj: &[Vec<usize>], initial: Vec<(usize, Outgoing)>, now: SimTime) {
+fn pump(
+    engines: &mut [PdsEngine],
+    adj: &[Vec<usize>],
+    initial: Vec<(usize, Outgoing)>,
+    now: SimTime,
+) {
     let mut queue = initial;
     let mut steps = 0usize;
     while let Some((sender, out)) = queue.pop() {
@@ -50,8 +55,12 @@ fn pump(engines: &mut [PdsEngine], adj: &[Vec<usize>], initial: Vec<(usize, Outg
         for &nbr in &adj[sender] {
             let me = NodeId(nbr as u32);
             let me_intended = out.intended.is_empty() || out.intended.contains(&me);
-            let produced =
-                engines[nbr].handle_message(now, NodeId(sender as u32), me_intended, out.message.clone());
+            let produced = engines[nbr].handle_message(
+                now,
+                NodeId(sender as u32),
+                me_intended,
+                out.message.clone(),
+            );
             for p in produced {
                 queue.push((nbr, p));
             }

@@ -145,8 +145,7 @@ mod tests {
     #[test]
     fn generated_trace_is_valid() {
         for seed in 0..5 {
-            let trace =
-                MobilityTrace::generate(&presets::student_center(), hour(), 1.0, seed);
+            let trace = MobilityTrace::generate(&presets::student_center(), hour(), 1.0, seed);
             trace.validate().expect("generated trace must be valid");
         }
     }

@@ -199,8 +199,7 @@ mod tests {
     #[test]
     fn present_counts_track_population() {
         let params = crate::presets::classroom();
-        let trace =
-            MobilityTrace::generate(&params, pds_sim::SimDuration::from_secs(300), 1.0, 5);
+        let trace = MobilityTrace::generate(&params, pds_sim::SimDuration::from_secs(300), 1.0, 5);
         let mut world = World::new(SimConfig::default(), 2);
         let inst = TraceInstaller::install(&mut world, &trace, |_| Box::new(Idle));
         world.run_until(t(300.0));

@@ -225,7 +225,10 @@ mod tests {
                 action: TraceAction::Join { pos: pos() },
             }],
         );
-        assert_eq!(trace.validate(), Err(InvalidTrace::DuplicateJoin(PersonId(0))));
+        assert_eq!(
+            trace.validate(),
+            Err(InvalidTrace::DuplicateJoin(PersonId(0)))
+        );
     }
 
     #[test]

@@ -51,6 +51,16 @@ pub struct RadioConfig {
     /// At 2.0, any two senders sharing a receiver are mutually sensing, so
     /// classic hidden terminals disappear; set 1.0 to study them.
     pub cs_range_factor: f64,
+    /// Interference horizon as a multiple of the decode range: transmitters
+    /// farther than `range_m × interference_range_factor` from a receiver
+    /// are excluded from its interference sum. The default (infinity) sums
+    /// every concurrent transmission, exactly as NS-3-style full-SINR does.
+    /// Large-area scenarios can set ~4.0: at the default α = 3 a
+    /// transmitter 4 ranges away delivers 1/64 of the weakest decodable
+    /// signal, so truncating there changes capture decisions only when
+    /// dozens of such far transmitters overlap — while making the per-frame
+    /// interference sum a local computation.
+    pub interference_range_factor: f64,
     /// How long a transmission must have been on the air before carrier
     /// sense detects it (rx/tx turnaround + detection). Two stations whose
     /// deferred starts fall within this window of each other collide — the
@@ -79,6 +89,7 @@ impl Default for RadioConfig {
             path_loss_exp: 3.0,
             capture_sinr: 2.0,
             cs_range_factor: 2.0,
+            interference_range_factor: f64::INFINITY,
             sense_delay: SimDuration::from_micros(30),
             os_backpressure: true,
         }
@@ -170,6 +181,53 @@ impl AckConfig {
     }
 }
 
+/// Which index backs the kernel's spatial range queries (neighbor
+/// discovery, carrier sense, frame delivery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpatialIndex {
+    /// Uniform hash grid over node and transmission positions; range
+    /// queries probe only the cells overlapping the query disk. The
+    /// default, and the only sane choice beyond a few hundred nodes.
+    #[default]
+    Grid,
+    /// Exhaustive scans over all nodes/transmissions — the reference
+    /// implementation the grid is differentially tested against. Results
+    /// (deliveries, stats, replay streams) are bit-identical to `Grid`.
+    BruteForce,
+}
+
+/// Spatial-index tuning knobs. With the defaults the grid is exact and
+/// maintenance-free from the caller's perspective; both knobs trade a
+/// little query precision (wider, padded probes) for less bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialConfig {
+    /// Which query path the kernel uses. Both are always maintained, so
+    /// this can differ between otherwise identical runs for differential
+    /// testing without perturbing replay.
+    pub index: SpatialIndex,
+    /// Grid cell edge as a multiple of `range_m`. 1.0 (cell ≈ radio
+    /// range) makes a decode-range query probe at most 3×3 cells; smaller
+    /// cells probe more, emptier cells, larger cells scan more candidates
+    /// per cell.
+    pub cell_factor: f64,
+    /// How stale moving-node buckets may get before they are re-bucketed.
+    /// [`SimDuration::ZERO`] (the default) re-buckets whenever the event
+    /// clock advances; larger intervals skip that work and instead widen
+    /// every query by `max walker speed × staleness`, which stays exact
+    /// but returns more candidates to filter.
+    pub rebucket_interval: SimDuration,
+}
+
+impl Default for SpatialConfig {
+    fn default() -> Self {
+        Self {
+            index: SpatialIndex::Grid,
+            cell_factor: 1.0,
+            rebucket_interval: SimDuration::ZERO,
+        }
+    }
+}
+
 /// Complete simulator configuration.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SimConfig {
@@ -179,6 +237,8 @@ pub struct SimConfig {
     pub sender: SenderMode,
     /// Per-hop reliability parameters.
     pub ack: AckConfig,
+    /// Spatial range-query index selection and tuning.
+    pub spatial: SpatialConfig,
 }
 
 impl SimConfig {
@@ -255,6 +315,14 @@ mod tests {
         assert_eq!(SimConfig::raw_udp().sender, SenderMode::RawUdp);
         assert!(!SimConfig::leaky_only().ack.enabled);
         assert!(SimConfig::paper_multi_hop().ack.enabled);
+    }
+
+    #[test]
+    fn spatial_defaults_are_grid_with_range_sized_cells() {
+        let s = SpatialConfig::default();
+        assert_eq!(s.index, SpatialIndex::Grid);
+        assert!((s.cell_factor - 1.0).abs() < 1e-12);
+        assert_eq!(s.rebucket_interval, SimDuration::ZERO);
     }
 
     #[test]

@@ -64,12 +64,16 @@ mod events;
 mod node;
 mod radio;
 mod rng;
+mod spatial;
 mod stats;
 mod time;
 mod transport;
 mod world;
 
-pub use config::{AckConfig, RadioConfig, SenderMode, SimConfig};
+#[cfg(feature = "prof")]
+pub mod prof;
+
+pub use config::{AckConfig, RadioConfig, SenderMode, SimConfig, SpatialConfig, SpatialIndex};
 pub use node::{Application, Command, Context, MessageHandle, MessageMeta, NodeId, TimerId};
 pub use radio::Position;
 pub use rng::SimRng;

@@ -123,6 +123,7 @@ impl<'a> Context<'a> {
         next_timer: u64,
         next_msg: u64,
         rng: &'a mut SimRng,
+        commands: Vec<Command>,
     ) -> Self {
         Self {
             now,
@@ -130,7 +131,7 @@ impl<'a> Context<'a> {
             next_timer,
             next_msg,
             rng,
-            commands: Vec::new(),
+            commands,
         }
     }
 
@@ -210,7 +211,7 @@ mod tests {
     #[test]
     fn context_allocates_monotonic_handles() {
         let mut rng = SimRng::new(1);
-        let mut ctx = Context::new(SimTime::ZERO, NodeId(0), 5, 9, &mut rng);
+        let mut ctx = Context::new(SimTime::ZERO, NodeId(0), 5, 9, &mut rng, Vec::new());
         let m1 = ctx.broadcast(Bytes::from_static(b"a"), &[]);
         let m2 = ctx.broadcast(Bytes::from_static(b"b"), &[NodeId(1)]);
         assert_ne!(m1, m2);
@@ -227,7 +228,7 @@ mod tests {
     fn set_timer_schedules_at_now_plus_delay() {
         let mut rng = SimRng::new(1);
         let now = SimTime::from_secs_f64(2.0);
-        let mut ctx = Context::new(now, NodeId(3), 0, 0, &mut rng);
+        let mut ctx = Context::new(now, NodeId(3), 0, 0, &mut rng, Vec::new());
         ctx.set_timer(SimDuration::from_secs(1), 42);
         let (commands, _, _) = ctx.finish();
         match &commands[0] {

@@ -1,0 +1,29 @@
+//! Temporary event-loop profiler (feature-gated, dev only).
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread (count, total nanoseconds) accumulators, one slot per
+    /// event kind in declaration order.
+    pub static PROF: RefCell<[(u64, u64); 7]> = const { RefCell::new([(0, 0); 7]) };
+}
+
+/// Prints the accumulated per-event-kind timings and resets them.
+pub fn dump() {
+    const NAMES: [&str; 7] = [
+        "Start", "MacTry", "TxEnd", "Bucket", "Timer", "Ctrl", "Sweep",
+    ];
+    PROF.with(|p| {
+        for (i, (n, ns)) in p.borrow().iter().enumerate() {
+            if *n > 0 {
+                println!(
+                    "  {:8} n={:>8} total={:>8.3}s avg={:>7.0}ns",
+                    NAMES[i],
+                    n,
+                    *ns as f64 / 1e9,
+                    *ns as f64 / *n as f64
+                );
+            }
+        }
+        *p.borrow_mut() = [(0, 0); 7];
+    });
+}

@@ -68,7 +68,11 @@ impl Motion {
     pub fn position(&self, at: SimTime) -> Position {
         let total = self.from.distance(&self.to);
         if total <= f64::EPSILON || self.speed_mps <= 0.0 {
-            return if at >= self.arrival() { self.to } else { self.from };
+            return if at >= self.arrival() {
+                self.to
+            } else {
+                self.from
+            };
         }
         let walked = self.speed_mps * at.since(self.depart).as_secs_f64();
         if walked >= total {
@@ -92,16 +96,23 @@ impl Motion {
 }
 
 /// Bit set over fragment indices, used in selective acks.
+///
+/// The first 64 bits live inline: messages rarely fragment past 64
+/// pieces, and the receive path creates one of these per message, so the
+/// common case must not allocate.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub(crate) struct FragSet {
-    words: Vec<u64>,
+    word0: u64,
+    spill: Vec<u64>,
     count: u32,
 }
 
 impl FragSet {
     pub fn new(frag_count: u32) -> Self {
+        let words = (frag_count as usize).div_ceil(64).max(1);
         Self {
-            words: vec![0; (frag_count as usize).div_ceil(64)],
+            word0: 0,
+            spill: vec![0; words - 1],
             count: 0,
         }
     }
@@ -110,8 +121,13 @@ impl FragSet {
     pub fn set(&mut self, idx: u32) -> bool {
         let (w, b) = (idx as usize / 64, idx % 64);
         let mask = 1u64 << b;
-        if self.words[w] & mask == 0 {
-            self.words[w] |= mask;
+        let word = if w == 0 {
+            &mut self.word0
+        } else {
+            &mut self.spill[w - 1]
+        };
+        if *word & mask == 0 {
+            *word |= mask;
             self.count += 1;
             true
         } else {
@@ -121,7 +137,12 @@ impl FragSet {
 
     pub fn contains(&self, idx: u32) -> bool {
         let (w, b) = (idx as usize / 64, idx % 64);
-        self.words.get(w).is_some_and(|word| word & (1u64 << b) != 0)
+        let word = if w == 0 {
+            Some(self.word0)
+        } else {
+            self.spill.get(w - 1).copied()
+        };
+        word.is_some_and(|word| word & (1u64 << b) != 0)
     }
 
     #[cfg(test)]
@@ -144,18 +165,20 @@ impl FragSet {
 
     /// Merges another set into this one (bitwise or).
     pub fn merge(&mut self, other: &FragSet) {
-        if other.words.len() > self.words.len() {
-            self.words.resize(other.words.len(), 0);
+        if other.spill.len() > self.spill.len() {
+            self.spill.resize(other.spill.len(), 0);
         }
-        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+        self.word0 |= other.word0;
+        for (w, o) in self.spill.iter_mut().zip(other.spill.iter()) {
             *w |= *o;
         }
-        self.count = self.words.iter().map(|w| w.count_ones()).sum();
+        self.count =
+            self.word0.count_ones() + self.spill.iter().map(|w| w.count_ones()).sum::<u32>();
     }
 
     /// Wire size of the bitmap in bytes.
     pub fn byte_len(&self) -> usize {
-        self.words.len() * 8
+        (1 + self.spill.len()) * 8
     }
 
     #[cfg(test)]
@@ -187,10 +210,7 @@ pub(crate) enum FrameKind {
         msg_wire_bytes: u32,
     },
     /// Selective acknowledgement of the fragments of `msg` received so far.
-    Ack {
-        msg: MessageId,
-        received: FragSet,
-    },
+    Ack { msg: MessageId, received: FragSet },
 }
 
 /// A transmission in progress (or recently finished, kept for overlap
@@ -218,7 +238,6 @@ impl Transmission {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn distance_is_euclidean() {
@@ -230,7 +249,10 @@ mod tests {
     #[test]
     fn stationary_motion_never_moves() {
         let m = Motion::stationary(Position::new(1.0, 2.0), SimTime::ZERO);
-        assert_eq!(m.position(SimTime::from_secs_f64(100.0)), Position::new(1.0, 2.0));
+        assert_eq!(
+            m.position(SimTime::from_secs_f64(100.0)),
+            Position::new(1.0, 2.0)
+        );
         assert_eq!(m.arrival(), SimTime::ZERO);
     }
 

@@ -49,10 +49,7 @@ impl SimRng {
     /// The next 64 uniformly distributed bits.
     pub fn next_u64(&mut self) -> u64 {
         let [a, b, c, d] = self.state;
-        let result = a
-            .wrapping_add(d)
-            .rotate_left(23)
-            .wrapping_add(a);
+        let result = a.wrapping_add(d).rotate_left(23).wrapping_add(a);
         let t = b << 17;
         let mut s = [a, b, c, d];
         s[2] ^= s[0];

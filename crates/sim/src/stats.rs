@@ -44,7 +44,9 @@ impl Stats {
     pub fn since(&self, earlier: &Stats) -> Stats {
         Stats {
             frames_sent: self.frames_sent.saturating_sub(earlier.frames_sent),
-            frames_delivered: self.frames_delivered.saturating_sub(earlier.frames_delivered),
+            frames_delivered: self
+                .frames_delivered
+                .saturating_sub(earlier.frames_delivered),
             frames_collided: self.frames_collided.saturating_sub(earlier.frames_collided),
             frames_lost_random: self
                 .frames_lost_random

@@ -107,7 +107,10 @@ impl SimDuration {
     /// Panics if `secs` is negative or not finite.
     #[must_use]
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "duration must be nonnegative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be nonnegative"
+        );
         Self((secs * 1e6).round() as u64)
     }
 

@@ -10,10 +10,10 @@
 
 use crate::config::SimConfig;
 use crate::node::{MessageHandle, NodeId, TimerId};
-use crate::radio::{Frame, FrameKind, FragSet};
+use crate::radio::{FragSet, Frame, FrameKind};
+use crate::spatial::FastMap;
 use crate::time::{SimDuration, SimTime};
 use bytes::Bytes;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Fixed wire overhead of a data frame before the per-receiver id list.
@@ -44,7 +44,7 @@ struct Outgoing {
     frag_count: u32,
     frag_payload: usize,
     msg_wire_bytes: u32,
-    acked: HashMap<NodeId, FragSet>,
+    acked: FastMap<NodeId, FragSet>,
     /// 0 = initial transmission, 1..=max_retr are retransmissions.
     attempt: u32,
     /// Frames of the current attempt not yet off the radio (or dropped).
@@ -54,9 +54,11 @@ struct Outgoing {
 
 impl Outgoing {
     fn fully_acked(&self) -> bool {
-        self.intended
-            .iter()
-            .all(|r| self.acked.get(r).is_some_and(|s| s.is_complete(self.frag_count)))
+        self.intended.iter().all(|r| {
+            self.acked
+                .get(r)
+                .is_some_and(|s| s.is_complete(self.frag_count))
+        })
     }
 
     /// Fragments still missing at any intended receiver, each with the
@@ -95,8 +97,8 @@ struct Incoming {
 /// Per-node transport state.
 #[derive(Debug, Default)]
 pub(crate) struct Transport {
-    outgoing: HashMap<MessageId, Outgoing>,
-    incoming: HashMap<MessageId, Incoming>,
+    outgoing: FastMap<MessageId, Outgoing>,
+    incoming: FastMap<MessageId, Incoming>,
 }
 
 /// Result of submitting a message for transmission.
@@ -235,7 +237,13 @@ impl Transport {
         now: SimTime,
     ) -> DataPlan {
         let entry = self.incoming.entry(msg).or_insert_with(|| Incoming {
-            frags: vec![None; frag_count as usize],
+            // Single-fragment messages (the common case) are delivered
+            // straight from the incoming frame; no reassembly buffer.
+            frags: if frag_count > 1 {
+                vec![None; frag_count as usize]
+            } else {
+                Vec::new()
+            },
             received: FragSet::new(frag_count),
             frag_count,
             from,
@@ -255,25 +263,31 @@ impl Transport {
         }
 
         let mut deliver = None;
-        if !entry.delivered && (frag as usize) < entry.frags.len() {
-            if entry.received.set(frag) {
-                entry.frags[frag as usize] = Some(payload);
+        if !entry.delivered && frag < entry.frag_count {
+            if entry.received.set(frag) && entry.frag_count > 1 {
+                entry.frags[frag as usize] = Some(payload.clone());
             }
             if entry.received.is_complete(entry.frag_count) {
                 entry.delivered = true;
-                let mut whole = Vec::with_capacity(total_len as usize);
-                for part in entry.frags.iter_mut() {
-                    if let Some(p) = part.take() {
-                        whole.extend_from_slice(&p);
+                let payload = if entry.frag_count == 1 {
+                    // Zero-copy: the lone fragment *is* the message.
+                    payload.slice(..(total_len as usize).min(payload.len()))
+                } else {
+                    let mut whole = Vec::with_capacity(total_len as usize);
+                    for part in entry.frags.iter_mut() {
+                        if let Some(p) = part.take() {
+                            whole.extend_from_slice(&p);
+                        }
                     }
-                }
-                whole.truncate(total_len as usize);
+                    whole.truncate(total_len as usize);
+                    Bytes::from(whole)
+                };
                 deliver = Some(DeliverPlan {
                     from,
                     intended: entry.intended.clone(),
                     overheard: !entry.intended_me,
                     wire_bytes: entry.msg_wire_bytes as usize,
-                    payload: Bytes::from(whole),
+                    payload,
                 });
             }
         }
@@ -394,7 +408,12 @@ impl Transport {
 
     /// Drops stale incoming state: delivered messages older than
     /// `delivered_horizon`, incomplete ones idle longer than `stale_horizon`.
-    pub fn sweep(&mut self, now: SimTime, delivered_horizon: SimDuration, stale_horizon: SimDuration) {
+    pub fn sweep(
+        &mut self,
+        now: SimTime,
+        delivered_horizon: SimDuration,
+        stale_horizon: SimDuration,
+    ) {
         self.incoming.retain(|_, inc| {
             let idle = now.since(inc.last_activity);
             if inc.delivered {
@@ -433,8 +452,7 @@ fn build_frames(
             } else {
                 intended
             };
-            let wire =
-                DATA_HEADER_BASE + PER_RECEIVER_BYTES * receivers.len() + part.len();
+            let wire = DATA_HEADER_BASE + PER_RECEIVER_BYTES * receivers.len() + part.len();
             Frame {
                 sender,
                 wire_bytes: wire,
@@ -472,7 +490,14 @@ mod tests {
         len: usize,
         intended: Vec<NodeId>,
     ) -> SendPlan {
-        t.send_message(origin, seq, MessageHandle(seq), payload(len), intended, &cfg())
+        t.send_message(
+            origin,
+            seq,
+            MessageHandle(seq),
+            payload(len),
+            intended,
+            &cfg(),
+        )
     }
 
     /// Drives all of `plan`'s frames into receiver transport `rx` at `me`.

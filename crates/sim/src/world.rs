@@ -1,17 +1,19 @@
 //! The simulation kernel: event loop, MAC/medium arbitration, pacing,
 //! delivery and node lifecycle.
 
-use crate::config::{SenderMode, SimConfig};
+use crate::config::{SenderMode, SimConfig, SpatialIndex};
 use crate::events::{EventKind, EventQueue};
 use crate::node::{Application, Command, Context, MessageHandle, MessageMeta, NodeId, TimerId};
 use crate::radio::{Frame, FrameKind, Motion, Position, Transmission};
 use crate::rng::SimRng;
+use crate::spatial::{FastMap, NodeGrid, TxEntry, TxGrid};
 use crate::stats::{NodeStats, Stats};
 use crate::time::{SimDuration, SimTime};
 use crate::transport::{MessageId, RetrPlan, Transport};
 use bytes::Bytes;
 use std::any::Any;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 
 /// Interval between transport garbage-collection sweeps.
 const SWEEP_INTERVAL: SimDuration = SimDuration::from_secs(5);
@@ -56,7 +58,7 @@ struct NodeState {
     os_used: usize,
     transmitting: bool,
     mac_scheduled: bool,
-    timers: HashMap<TimerId, TimerKind>,
+    timers: FastMap<TimerId, TimerKind>,
     msg_seq: u64,
     rng: SimRng,
     stats: NodeStats,
@@ -76,7 +78,7 @@ impl NodeState {
             os_used: 0,
             transmitting: false,
             mac_scheduled: false,
-            timers: HashMap::new(),
+            timers: FastMap::default(),
             msg_seq: 0,
             rng,
             stats: NodeStats::default(),
@@ -101,7 +103,32 @@ pub struct World {
     now: SimTime,
     queue: EventQueue,
     nodes: BTreeMap<NodeId, NodeState>,
-    transmissions: Vec<Transmission>,
+    /// Active (and recently finished) transmissions by id. Ordered so
+    /// that interference sums iterate identically in grid and brute-force
+    /// modes — f64 addition order must not depend on the index choice.
+    transmissions: BTreeMap<u64, Transmission>,
+    /// Spatial index over node positions (receiver/neighbor queries).
+    node_grid: NodeGrid,
+    /// Spatial index over transmission start positions (carrier sense).
+    tx_grid: TxGrid,
+    /// Transmission ids per sender, for O(1)-ish half-duplex checks.
+    tx_by_sender: FastMap<NodeId, Vec<u64>>,
+    /// Transmission end times, for O(log) pruning instead of map sweeps.
+    tx_prune: BinaryHeap<Reverse<(SimTime, u64)>>,
+    /// Reusable carrier-sense / interference candidate buffer (avoids
+    /// per-event allocs).
+    cs_scratch: Vec<TxEntry>,
+    /// Reusable receiver candidate buffer.
+    rx_scratch: Vec<(NodeId, Motion)>,
+    /// Reusable per-delivery-decision buffers: receiver info, interferer
+    /// list and delivery list — hot-path allocations otherwise.
+    ri_scratch: Vec<(NodeId, Position)>,
+    if_scratch: Vec<(NodeId, Position)>,
+    dl_scratch: Vec<NodeId>,
+    /// Reusable leaky-bucket release buffer.
+    rel_scratch: Vec<Frame>,
+    /// Reusable application command buffer, threaded through [`Context`].
+    cmd_scratch: Vec<Command>,
     next_node: u32,
     next_tx: u64,
     next_timer: u64,
@@ -114,10 +141,31 @@ pub struct World {
 
 impl World {
     /// Creates an empty world with the given configuration and random seed.
-    /// Identical (config, seed, scenario) triples replay identically.
+    /// Identical (config, seed, scenario) triples replay identically —
+    /// including across [`SpatialIndex`] choices, which only select the
+    /// query data structure, never the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radio.range_m × spatial.cell_factor` is not a positive
+    /// finite cell size.
     #[must_use]
     pub fn new(config: SimConfig, seed: u64) -> Self {
         let max_airtime = config.radio.frame_airtime(config.radio.max_frame_bytes);
+        let cell_m = config.radio.range_m * config.spatial.cell_factor;
+        // Carrier sense and (with a finite interference horizon) the
+        // interference pre-scan query this grid with wider radii; sizing
+        // its cells to the largest such radius keeps every probe at 3×3
+        // cells.
+        let tx_reach = if config.radio.interference_range_factor.is_finite() {
+            config
+                .radio
+                .cs_range_factor
+                .max(config.radio.interference_range_factor + 1.0)
+        } else {
+            config.radio.cs_range_factor
+        };
+        let tx_cell_m = cell_m * tx_reach.max(1.0);
         let mut queue = EventQueue::new();
         queue.push(SimTime::ZERO + SWEEP_INTERVAL, EventKind::Sweep);
         Self {
@@ -125,7 +173,18 @@ impl World {
             now: SimTime::ZERO,
             queue,
             nodes: BTreeMap::new(),
-            transmissions: Vec::new(),
+            transmissions: BTreeMap::new(),
+            node_grid: NodeGrid::new(cell_m, SimTime::ZERO),
+            tx_grid: TxGrid::new(tx_cell_m),
+            tx_by_sender: FastMap::default(),
+            tx_prune: BinaryHeap::new(),
+            cs_scratch: Vec::new(),
+            rx_scratch: Vec::new(),
+            ri_scratch: Vec::new(),
+            if_scratch: Vec::new(),
+            dl_scratch: Vec::new(),
+            rel_scratch: Vec::new(),
+            cmd_scratch: Vec::new(),
             next_node: 0,
             next_tx: 0,
             next_timer: 0,
@@ -176,12 +235,9 @@ impl World {
     /// bucket and in the OS send buffer.
     #[must_use]
     pub fn queue_depths(&self, id: NodeId) -> Option<(usize, usize)> {
-        self.nodes.get(&id).map(|n| {
-            (
-                n.bucket_queue.iter().map(|f| f.wire_bytes).sum(),
-                n.os_used,
-            )
-        })
+        self.nodes
+            .get(&id)
+            .map(|n| (n.bucket_queue.iter().map(|f| f.wire_bytes).sum(), n.os_used))
     }
 
     /// Adds a node at `pos` running `app`; `on_start` fires at the current
@@ -196,6 +252,7 @@ impl World {
         };
         let mut state = NodeState::new(pos, self.now, rng, capacity);
         state.app = app;
+        self.node_grid.upsert(id, &state.motion, self.now);
         self.nodes.insert(id, state);
         self.queue.push(self.now, EventKind::Start(id));
         id
@@ -206,6 +263,7 @@ impl World {
     /// reaches receivers.
     pub fn remove_node(&mut self, id: NodeId) {
         self.nodes.remove(&id);
+        self.node_grid.remove(id);
     }
 
     /// Whether the node is currently in the world.
@@ -224,23 +282,29 @@ impl World {
     /// are ~1–1.5 m/s); it stops on arrival.
     pub fn move_node(&mut self, id: NodeId, dest: Position, speed_mps: f64) {
         let now = self.now;
-        if let Some(state) = self.nodes.get_mut(&id) {
-            let from = state.motion.position(now);
-            state.motion = Motion {
-                from,
-                to: dest,
-                depart: now,
-                speed_mps,
-            };
-        }
+        let Some(state) = self.nodes.get_mut(&id) else {
+            return;
+        };
+        let from = state.motion.position(now);
+        let motion = Motion {
+            from,
+            to: dest,
+            depart: now,
+            speed_mps,
+        };
+        state.motion = motion;
+        self.node_grid.upsert(id, &motion, now);
     }
 
     /// Teleports `id` to `pos` (scenario setup only).
     pub fn set_position(&mut self, id: NodeId, pos: Position) {
         let now = self.now;
-        if let Some(state) = self.nodes.get_mut(&id) {
-            state.motion = Motion::stationary(pos, now);
-        }
+        let Some(state) = self.nodes.get_mut(&id) else {
+            return;
+        };
+        let motion = Motion::stationary(pos, now);
+        state.motion = motion;
+        self.node_grid.upsert(id, &motion, now);
     }
 
     /// Current position of `id`, if alive.
@@ -249,20 +313,40 @@ impl World {
         self.nodes.get(&id).map(|n| n.motion.position(self.now))
     }
 
-    /// Alive nodes currently within radio range of `id` (excluding itself).
+    /// Alive nodes currently within radio range of `id` (excluding itself),
+    /// ascending by id.
     #[must_use]
     pub fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
         let Some(pos) = self.position(id) else {
             return Vec::new();
         };
-        self.nodes
-            .iter()
-            .filter(|(&other, state)| {
-                other != id
-                    && state.motion.position(self.now).distance(&pos) <= self.config.radio.range_m
-            })
-            .map(|(&other, _)| other)
-            .collect()
+        let range = self.config.radio.range_m;
+        let in_range = |other: NodeId| {
+            other != id
+                && self
+                    .nodes
+                    .get(&other)
+                    .is_some_and(|s| s.motion.position(self.now).distance(&pos) <= range)
+        };
+        match self.config.spatial.index {
+            SpatialIndex::BruteForce => self
+                .nodes
+                .keys()
+                .copied()
+                .filter(|&other| in_range(other))
+                .collect(),
+            SpatialIndex::Grid => {
+                let mut cands = Vec::new();
+                self.node_grid.query_into(pos, range, self.now, &mut cands);
+                cands.sort_unstable_by_key(|&(r, _)| r);
+                cands.dedup_by_key(|&mut (r, _)| r);
+                cands
+                    .iter()
+                    .filter(|&&(r, m)| r != id && m.position(self.now).distance(&pos) <= range)
+                    .map(|&(r, _)| r)
+                    .collect()
+            }
+        }
     }
 
     /// Schedules `f` to run at time `at` with full mutable access to the
@@ -300,18 +384,23 @@ impl World {
     ) -> Option<R> {
         let now = self.now;
         let next_timer = self.next_timer;
+        let mut buf = std::mem::take(&mut self.cmd_scratch);
+        buf.clear();
         let state = self.nodes.get_mut(&id)?;
         let msg_seq = state.msg_seq;
         let NodeState { app, rng, .. } = state;
         let app = (app.as_mut() as &mut dyn Any).downcast_mut::<T>()?;
-        let mut ctx = Context::new(now, id, next_timer, msg_seq, rng);
+        let mut ctx = Context::new(now, id, next_timer, msg_seq, rng, buf);
         let out = f(app, &mut ctx);
-        let (commands, next_timer, next_msg) = ctx.finish();
+        let (mut commands, next_timer, next_msg) = ctx.finish();
         self.next_timer = next_timer;
-        if let Some(state) = self.nodes.get_mut(&id) {
-            state.msg_seq = next_msg;
+        if next_msg != msg_seq {
+            if let Some(state) = self.nodes.get_mut(&id) {
+                state.msg_seq = next_msg;
+            }
         }
-        self.apply_commands(id, commands);
+        self.apply_commands(id, &mut commands);
+        self.cmd_scratch = commands;
         Some(out)
     }
 
@@ -329,9 +418,33 @@ impl World {
             }
             let (at, kind) = self.queue.pop().expect("peeked");
             self.now = at.max(self.now);
+            self.refresh_node_grid();
             self.dispatch(kind);
         }
         self.now = self.now.max(horizon);
+        // Leave exact buckets behind so post-run queries (scenario code
+        // inspecting neighborhoods) need no staleness padding.
+        self.refresh_node_grid();
+    }
+
+    /// Re-buckets moving nodes once the grid is older than the configured
+    /// re-bucket interval. Until then, queries stay exact by padding their
+    /// radius with the maximum possible drift.
+    fn refresh_node_grid(&mut self) {
+        if self.config.spatial.index != SpatialIndex::Grid {
+            // Brute-force mode never queries the grid; skipping the sweep
+            // keeps the differential benchmark an honest comparison.
+            return;
+        }
+        let now = self.now;
+        let stamp = self.node_grid.stamp();
+        if now <= stamp || now.since(stamp) < self.config.spatial.rebucket_interval {
+            return;
+        }
+        let Self {
+            node_grid, nodes, ..
+        } = self;
+        node_grid.rebucket(now, |id| nodes.get(&id).map(|s| s.motion));
     }
 
     /// Runs for `span` beyond the current time.
@@ -341,6 +454,33 @@ impl World {
     }
 
     fn dispatch(&mut self, kind: EventKind) {
+        #[cfg(feature = "prof")]
+        let (_k, _t0) = (
+            match &kind {
+                EventKind::Start(_) => 0,
+                EventKind::MacTry { .. } => 1,
+                EventKind::TxEnd(_) => 2,
+                EventKind::BucketDrain(_) => 3,
+                EventKind::Timer { .. } => 4,
+                EventKind::Control(_) => 5,
+                EventKind::Sweep => 6,
+            },
+            std::time::Instant::now(),
+        );
+        #[cfg(feature = "prof")]
+        {
+            self.dispatch_inner(kind);
+            crate::prof::PROF.with(|p| {
+                let mut p = p.borrow_mut();
+                p[_k].0 += 1;
+                p[_k].1 += _t0.elapsed().as_nanos() as u64;
+            });
+        }
+        #[cfg(not(feature = "prof"))]
+        self.dispatch_inner(kind);
+    }
+
+    fn dispatch_inner(&mut self, kind: EventKind) {
         match kind {
             EventKind::Start(id) => self.call_app(id, |app, ctx| app.on_start(ctx)),
             EventKind::MacTry { node, deferred } => self.mac_try(node, deferred),
@@ -360,9 +500,7 @@ impl World {
             EventKind::Sweep => {
                 let now = self.now;
                 for state in self.nodes.values_mut() {
-                    state
-                        .transport
-                        .sweep(now, DELIVERED_HORIZON, STALE_HORIZON);
+                    state.transport.sweep(now, DELIVERED_HORIZON, STALE_HORIZON);
                 }
                 self.queue.push(now + SWEEP_INTERVAL, EventKind::Sweep);
             }
@@ -374,23 +512,29 @@ impl World {
     fn call_app(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Application, &mut Context)) {
         let now = self.now;
         let next_timer = self.next_timer;
+        let mut buf = std::mem::take(&mut self.cmd_scratch);
+        buf.clear();
         let Some(state) = self.nodes.get_mut(&id) else {
+            self.cmd_scratch = buf;
             return;
         };
         let msg_seq = state.msg_seq;
         let NodeState { app, rng, .. } = state;
-        let mut ctx = Context::new(now, id, next_timer, msg_seq, rng);
+        let mut ctx = Context::new(now, id, next_timer, msg_seq, rng, buf);
         f(app.as_mut(), &mut ctx);
-        let (commands, next_timer, next_msg) = ctx.finish();
+        let (mut commands, next_timer, next_msg) = ctx.finish();
         self.next_timer = next_timer;
-        if let Some(state) = self.nodes.get_mut(&id) {
-            state.msg_seq = next_msg;
+        if next_msg != msg_seq {
+            if let Some(state) = self.nodes.get_mut(&id) {
+                state.msg_seq = next_msg;
+            }
         }
-        self.apply_commands(id, commands);
+        self.apply_commands(id, &mut commands);
+        self.cmd_scratch = commands;
     }
 
-    fn apply_commands(&mut self, id: NodeId, commands: Vec<Command>) {
-        for cmd in commands {
+    fn apply_commands(&mut self, id: NodeId, commands: &mut Vec<Command>) {
+        for cmd in commands.drain(..) {
             match cmd {
                 Command::Broadcast {
                     payload,
@@ -412,15 +556,26 @@ impl World {
         }
     }
 
-    fn start_send(&mut self, id: NodeId, handle: MessageHandle, payload: Bytes, intended: Vec<NodeId>) {
-        let config = self.config.clone();
-        let Some(state) = self.nodes.get_mut(&id) else {
+    fn start_send(
+        &mut self,
+        id: NodeId,
+        handle: MessageHandle,
+        payload: Bytes,
+        intended: Vec<NodeId>,
+    ) {
+        let Self {
+            config,
+            nodes,
+            stats,
+            ..
+        } = self;
+        let Some(state) = nodes.get_mut(&id) else {
             return;
         };
-        self.stats.messages_sent += 1;
+        stats.messages_sent += 1;
         let plan = state
             .transport
-            .send_message(id, handle.0, handle, payload, intended, &config);
+            .send_message(id, handle.0, handle, payload, intended, config);
         for frame in plan.frames {
             self.pace_frame(id, frame, SendClass::Data);
         }
@@ -468,7 +623,8 @@ impl World {
         };
         let now = self.now;
         let rate_bytes = rate_bps / 8.0;
-        let mut release = Vec::new();
+        let mut release = std::mem::take(&mut self.rel_scratch);
+        release.clear();
         let mut schedule_in: Option<SimDuration> = None;
         {
             let Some(state) = self.nodes.get_mut(&id) else {
@@ -502,9 +658,10 @@ impl World {
                 }
             }
         }
-        for frame in release {
+        for frame in release.drain(..) {
             self.enqueue_os(id, frame, false);
         }
+        self.rel_scratch = release;
         if let Some(delay) = schedule_in {
             self.queue.push(now + delay, EventKind::BucketDrain(id));
         }
@@ -559,28 +716,53 @@ impl World {
         let cs_range = self.config.radio.range_m * self.config.radio.cs_range_factor;
         let sense_delay = self.config.radio.sense_delay;
         let backoff_max = self.config.radio.backoff_max.as_micros();
-        let Some(pos) = self.position(id) else {
-            return;
-        };
-        let Some(state) = self.nodes.get(&id) else {
+        let Some(state) = self.nodes.get_mut(&id) else {
             return;
         };
         if state.transmitting || state.os_buffer.is_empty() {
-            if let Some(state) = self.nodes.get_mut(&id) {
-                state.mac_scheduled = false;
-            }
+            state.mac_scheduled = false;
             return;
         }
+        let pos = state.motion.position(now);
         // Carrier sense: any ongoing transmission within the (extended)
         // sense range that has been on the air long enough to detect.
-        let busy_until = self
-            .transmissions
-            .iter()
-            .filter(|t| t.end > now && t.sender != id)
-            .filter(|t| t.start + sense_delay <= now)
-            .filter(|t| t.start_pos.distance(&pos) <= cs_range)
-            .map(|t| t.end)
-            .max();
+        // `max` is order-independent, so the grid path (candidates from
+        // the cells overlapping the sense disk, then the same exact
+        // filters) returns exactly what the exhaustive scan does.
+        let sensed = |t: &Transmission| {
+            t.end > now
+                && t.sender != id
+                && t.start + sense_delay <= now
+                && t.start_pos.distance(&pos) <= cs_range
+        };
+        let busy_until = match self.config.spatial.index {
+            SpatialIndex::BruteForce => self
+                .transmissions
+                .values()
+                .filter(|t| sensed(t))
+                .map(|t| t.end)
+                .max(),
+            SpatialIndex::Grid => {
+                // The grid carries the sense-relevant fields inline, so the
+                // scan never touches the transmission map. `max` is
+                // order-independent, so the unspecified query order is fine.
+                let mut cands = std::mem::take(&mut self.cs_scratch);
+                cands.clear();
+                self.tx_grid.query_into(pos, cs_range, &mut cands);
+                let busy = cands
+                    .iter()
+                    .filter(|t| {
+                        t.end > now
+                            && t.sender != id
+                            && t.start + sense_delay <= now
+                            && t.pos.distance(&pos) <= cs_range
+                    })
+                    .map(|t| t.end)
+                    .max();
+                self.cs_scratch = cands;
+                busy
+            }
+        };
         if let Some(until) = busy_until {
             let backoff = if backoff_max > 0 {
                 self.rng.range_u64(0, backoff_max)
@@ -636,14 +818,26 @@ impl World {
         let duration = airtime_cfg.frame_airtime(frame.wire_bytes);
         let tx_id = self.next_tx;
         self.next_tx += 1;
-        self.transmissions.push(Transmission {
+        self.transmissions.insert(
+            tx_id,
+            Transmission {
+                id: tx_id,
+                sender: id,
+                start_pos: pos,
+                start: now,
+                end: now + duration,
+                frame,
+            },
+        );
+        self.tx_grid.insert(TxEntry {
             id: tx_id,
             sender: id,
-            start_pos: pos,
+            pos,
             start: now,
             end: now + duration,
-            frame,
         });
+        self.tx_by_sender.entry(id).or_default().push(tx_id);
+        self.tx_prune.push(Reverse((now + duration, tx_id)));
         self.queue.push(now + duration, EventKind::TxEnd(tx_id));
     }
 
@@ -653,10 +847,9 @@ impl World {
         let now = self.now;
         let range = self.config.radio.range_m;
         let baseline_loss = self.config.radio.baseline_loss;
-        let Some(tx_index) = self.transmissions.iter().position(|t| t.id == tx_id) else {
+        let Some(tx) = self.transmissions.get(&tx_id).cloned() else {
             return;
         };
-        let tx = self.transmissions[tx_index].clone();
         let tx_pos = tx.start_pos;
 
         // Sender-side: radio is free again.
@@ -678,42 +871,111 @@ impl World {
             );
         }
 
-        // Decide deliveries.
-        let receiver_info: Vec<(NodeId, Position)> = self
-            .nodes
-            .iter()
-            .filter(|(&r, _)| r != tx.sender)
-            .map(|(&r, s)| (r, s.motion.position(now)))
-            .collect();
+        // Decide deliveries. Candidates must come out ascending by id in
+        // both index modes: the per-receiver baseline-loss rolls below
+        // consume the shared rng stream, so candidate *order* is part of
+        // the replay contract. Out-of-range candidates are filtered before
+        // any stats or rng side effect, so the grid's superset is harmless.
+        let mut receiver_info = std::mem::take(&mut self.ri_scratch);
+        receiver_info.clear();
+        match self.config.spatial.index {
+            SpatialIndex::BruteForce => receiver_info.extend(
+                self.nodes
+                    .iter()
+                    .filter(|(&r, _)| r != tx.sender)
+                    .map(|(&r, s)| (r, s.motion.position(now))),
+            ),
+            SpatialIndex::Grid => {
+                let mut cands = std::mem::take(&mut self.rx_scratch);
+                cands.clear();
+                self.node_grid.query_into(tx_pos, range, now, &mut cands);
+                cands.sort_unstable_by_key(|&(r, _)| r);
+                cands.dedup_by_key(|&mut (r, _)| r);
+                receiver_info.extend(
+                    cands
+                        .iter()
+                        .filter(|&&(r, _)| r != tx.sender)
+                        .map(|&(r, m)| (r, m.position(now))),
+                );
+                self.rx_scratch = cands;
+            }
+        }
         let path_loss = self.config.radio.path_loss_exp;
         let capture = self.config.radio.capture_sinr;
+        let trunc = range * self.config.radio.interference_range_factor;
         // Received power at distance d, with a 1 m reference floor.
         let power = |d: f64| d.max(1.0).powf(-path_loss);
-        let mut deliveries = Vec::new();
-        for (r, rpos) in receiver_info {
+        // Everything that could interfere with this frame at *some*
+        // receiver: overlapping in time, not the frame itself, not its
+        // sender. Receiver-independent, so it is computed once instead of
+        // re-scanning the transmission map per receiver. Ascending-id
+        // order is preserved: per-receiver sums below must add in the same
+        // order in both index modes (f64 addition is not associative, and
+        // replay equality depends on the exact sum).
+        //
+        // With a finite interference horizon, the grid mode narrows the
+        // scan through the transmission index: every receiver sits within
+        // `range` of the sender, so any interferer that can pass the
+        // per-receiver `d <= trunc` filter lies within `trunc + range` of
+        // the sender (triangle inequality). Sorting the superset by id
+        // reproduces the brute-force iteration order exactly.
+        let keep = |t: &Transmission| {
+            t.id != tx.id && t.sender != tx.sender && t.overlaps(tx.start, tx.end)
+        };
+        let mut interferers = std::mem::take(&mut self.if_scratch);
+        interferers.clear();
+        if self.config.spatial.index == SpatialIndex::Grid && trunc.is_finite() {
+            let mut cands = std::mem::take(&mut self.cs_scratch);
+            cands.clear();
+            self.tx_grid.query_into(tx_pos, trunc + range, &mut cands);
+            cands.sort_unstable_by_key(|t| t.id);
+            cands.dedup_by_key(|t| t.id);
+            interferers.extend(
+                cands
+                    .iter()
+                    .filter(|t| {
+                        t.id != tx.id
+                            && t.sender != tx.sender
+                            && t.start < tx.end
+                            && tx.start < t.end
+                    })
+                    .map(|t| (t.sender, t.pos)),
+            );
+            self.cs_scratch = cands;
+        } else {
+            interferers.extend(
+                self.transmissions
+                    .values()
+                    .filter(|t| keep(t))
+                    .map(|t| (t.sender, t.start_pos)),
+            );
+        }
+        let mut deliveries = std::mem::take(&mut self.dl_scratch);
+        deliveries.clear();
+        for &(r, rpos) in &receiver_info {
             if tx_pos.distance(&rpos) > range {
                 continue;
             }
-            let half_duplex = self
-                .transmissions
-                .iter()
-                .any(|t| t.sender == r && t.overlaps(tx.start, tx.end));
+            let half_duplex = self.tx_by_sender.get(&r).is_some_and(|ids| {
+                ids.iter().any(|tid| {
+                    self.transmissions
+                        .get(tid)
+                        .is_some_and(|t| t.overlaps(tx.start, tx.end))
+                })
+            });
             if half_duplex {
                 self.stats.frames_half_duplex += 1;
                 continue;
             }
             // Physical capture: the frame survives overlap when its power
-            // dominates the sum of interferers at this receiver.
-            let interference: f64 = self
-                .transmissions
+            // dominates the sum of interferers at this receiver (those
+            // within the configured interference horizon).
+            let interference: f64 = interferers
                 .iter()
-                .filter(|t| {
-                    t.id != tx.id
-                        && t.sender != tx.sender
-                        && t.sender != r
-                        && t.overlaps(tx.start, tx.end)
-                })
-                .map(|t| power(t.start_pos.distance(&rpos)))
+                .filter(|&&(s, _)| s != r)
+                .map(|&(_, p)| p.distance(&rpos))
+                .filter(|&d| d <= trunc)
+                .map(power)
                 .sum();
             if interference > 0.0 && power(tx_pos.distance(&rpos)) < capture * interference {
                 self.stats.frames_collided += 1;
@@ -729,19 +991,41 @@ impl World {
             }
             deliveries.push(r);
         }
-        for r in deliveries {
+        for &r in &deliveries {
             self.deliver_frame(r, &tx.frame);
         }
+        self.ri_scratch = receiver_info;
+        self.if_scratch = interferers;
+        self.dl_scratch = deliveries;
 
         // Sender-side transport bookkeeping (retransmission arming).
         if let FrameKind::Data { msg, .. } = tx.frame.kind {
             self.frame_done(tx.sender, msg);
         }
 
-        // Prune transmissions that can no longer overlap anything.
+        // Prune transmissions that can no longer overlap anything, and
+        // their spatial/per-sender index entries with them.
         let horizon = now.since(SimTime::ZERO + self.max_airtime + self.max_airtime);
         let keep_after = SimTime::ZERO + horizon; // now - 2*max_airtime, saturating
-        self.transmissions.retain(|t| t.end > keep_after);
+        while let Some(&Reverse((end, id))) = self.tx_prune.peek() {
+            if end > keep_after {
+                break;
+            }
+            self.tx_prune.pop();
+            let Some(t) = self.transmissions.remove(&id) else {
+                continue;
+            };
+            self.tx_grid.remove(id);
+            let drained = if let Some(ids) = self.tx_by_sender.get_mut(&t.sender) {
+                ids.retain(|&x| x != id);
+                ids.is_empty()
+            } else {
+                false
+            };
+            if drained {
+                self.tx_by_sender.remove(&t.sender);
+            }
+        }
     }
 
     fn deliver_frame(&mut self, r: NodeId, frame: &Frame) {
@@ -1099,7 +1383,10 @@ mod tests {
         w.run_until(secs(10.0));
         assert_eq!(w.stats().frames_dropped_os, 0);
         let got = w.app::<Sink>(b).expect("sink").received.len();
-        assert!(got > 1300, "paced sending should deliver nearly all, got {got}/1400");
+        assert!(
+            got > 1300,
+            "paced sending should deliver nearly all, got {got}/1400"
+        );
     }
 
     #[test]
@@ -1127,7 +1414,10 @@ mod tests {
             w.stats().frames_collided
         );
         let got = w.app::<Sink>(b).expect("sink").received.len();
-        assert!(got < 600, "collisions should cost receptions, got {got}/600");
+        assert!(
+            got < 600,
+            "collisions should cost receptions, got {got}/600"
+        );
     }
 
     #[test]
@@ -1210,6 +1500,41 @@ mod tests {
     }
 
     #[test]
+    fn grid_and_brute_force_replay_identically() {
+        let run = |index: SpatialIndex, rebucket_ms: u64| {
+            let mut c = SimConfig::default();
+            c.radio.baseline_loss = 0.1;
+            c.spatial.index = index;
+            c.spatial.rebucket_interval = SimDuration::from_millis(rebucket_ms);
+            let mut w = World::new(c, 42);
+            w.add_node(
+                Position::new(0.0, 0.0),
+                Box::new(Blaster::new(40, 1200, vec![NodeId(1)])),
+            );
+            let b = w.add_node(Position::new(30.0, 0.0), Box::new(Sink::new()));
+            w.add_node(
+                Position::new(60.0, 30.0),
+                Box::new(Blaster::new(40, 900, vec![])),
+            );
+            let far = w.add_node(Position::new(400.0, 0.0), Box::new(Sink::new()));
+            // A walker crossing the chatter, plus churn mid-run.
+            w.move_node(far, Position::new(0.0, 0.0), 40.0);
+            w.schedule(secs(2.0), move |w| w.remove_node(b));
+            w.schedule(secs(3.0), |w| {
+                w.add_node(Position::new(20.0, 20.0), Box::new(Sink::new()));
+            });
+            w.run_until(secs(8.0));
+            w.stats().clone()
+        };
+        let brute = run(SpatialIndex::BruteForce, 0);
+        assert_eq!(run(SpatialIndex::Grid, 0), brute);
+        // Lazy re-bucketing pads queries instead of moving buckets; the
+        // results must not change either way.
+        assert_eq!(run(SpatialIndex::Grid, 500), brute);
+        assert!(brute.frames_delivered > 0);
+    }
+
+    #[test]
     fn identical_seeds_replay_identically() {
         let run = |seed: u64| {
             let mut c = SimConfig::default();
@@ -1220,7 +1545,10 @@ mod tests {
                 Box::new(Blaster::new(50, 1200, vec![NodeId(1)])),
             );
             w.add_node(Position::new(30.0, 0.0), Box::new(Sink::new()));
-            w.add_node(Position::new(0.0, 30.0), Box::new(Blaster::new(50, 900, vec![])));
+            w.add_node(
+                Position::new(0.0, 30.0),
+                Box::new(Blaster::new(50, 900, vec![])),
+            );
             w.run_until(secs(10.0));
             w.stats().clone()
         };
@@ -1312,7 +1640,11 @@ mod tests {
         assert!(late > early, "idle listening keeps accruing");
         // Receiver actually accounted received bytes.
         let rx = w.node_stats(NodeId(1)).expect("alive");
-        assert!(rx.bytes_received >= 20 * 1400, "rx bytes = {}", rx.bytes_received);
+        assert!(
+            rx.bytes_received >= 20 * 1400,
+            "rx bytes = {}",
+            rx.bytes_received
+        );
     }
 
     #[test]

@@ -50,10 +50,12 @@ fn messages_arrive_in_send_order_on_a_clean_link() {
     let mut c = lossless();
     c.ack = AckConfig::disabled();
     let mut w = World::new(c, 1);
-    let msgs: Vec<(Vec<u8>, Vec<NodeId>)> = (0..50u8)
-        .map(|i| (vec![i; 100], vec![NodeId(1)]))
-        .collect();
-    w.add_node(Position::new(0.0, 0.0), Box::new(SendList { messages: msgs }));
+    let msgs: Vec<(Vec<u8>, Vec<NodeId>)> =
+        (0..50u8).map(|i| (vec![i; 100], vec![NodeId(1)])).collect();
+    w.add_node(
+        Position::new(0.0, 0.0),
+        Box::new(SendList { messages: msgs }),
+    );
     let rx = w.add_node(Position::new(30.0, 0.0), Box::new(Sink::new()));
     w.run_until(SimTime::from_secs_f64(5.0));
     let sink = w.app::<Sink>(rx).expect("alive");
@@ -190,31 +192,49 @@ fn full_runs_are_deterministic_per_seed() {
 
 #[test]
 fn prototype_regime_drops_raw_bursts_but_not_paced_ones() {
-    let burst: Vec<(Vec<u8>, Vec<NodeId>)> = (0..2_000u32).map(|_| (vec![1; 1_400], vec![])).collect();
+    let burst: Vec<(Vec<u8>, Vec<NodeId>)> =
+        (0..2_000u32).map(|_| (vec![1; 1_400], vec![])).collect();
     // Raw UDP: ~2.8 MB burst into a 1 MB buffer → drops.
     let mut raw_cfg = SimConfig::prototype();
     raw_cfg.sender = SenderMode::RawUdp;
     raw_cfg.ack = AckConfig::disabled();
     raw_cfg.radio.baseline_loss = 0.0;
     let mut w = World::new(raw_cfg, 6);
-    w.add_node(Position::new(0.0, 0.0), Box::new(SendList { messages: burst.clone() }));
+    w.add_node(
+        Position::new(0.0, 0.0),
+        Box::new(SendList {
+            messages: burst.clone(),
+        }),
+    );
     let rx = w.add_node(Position::new(30.0, 0.0), Box::new(Sink::new()));
     w.run_until(SimTime::from_secs_f64(60.0));
     let raw_got = w.app::<Sink>(rx).expect("alive").payloads.len();
-    assert!(w.stats().frames_dropped_os > 0, "raw bursts overflow the OS buffer");
-    assert!(raw_got < 1_500, "raw reception capped by overflow ({raw_got}/2000)");
+    assert!(
+        w.stats().frames_dropped_os > 0,
+        "raw bursts overflow the OS buffer"
+    );
+    assert!(
+        raw_got < 1_500,
+        "raw reception capped by overflow ({raw_got}/2000)"
+    );
 
     // Paced at the calibrated 4.5 Mbps < 5 Mbps service rate: no drops.
     let mut paced_cfg = SimConfig::prototype();
     paced_cfg.ack = AckConfig::disabled();
     paced_cfg.radio.baseline_loss = 0.0;
     let mut w = World::new(paced_cfg, 6);
-    w.add_node(Position::new(0.0, 0.0), Box::new(SendList { messages: burst }));
+    w.add_node(
+        Position::new(0.0, 0.0),
+        Box::new(SendList { messages: burst }),
+    );
     let rx = w.add_node(Position::new(30.0, 0.0), Box::new(Sink::new()));
     w.run_until(SimTime::from_secs_f64(60.0));
     assert_eq!(w.stats().frames_dropped_os, 0, "pacing prevents overflow");
     let paced_got = w.app::<Sink>(rx).expect("alive").payloads.len();
-    assert!(paced_got > 1_900, "paced reception near-complete ({paced_got}/2000)");
+    assert!(
+        paced_got > 1_900,
+        "paced reception near-complete ({paced_got}/2000)"
+    );
 }
 
 #[test]
@@ -224,8 +244,12 @@ fn backpressure_holds_excess_in_the_bucket() {
     let mut c = lossless();
     c.radio.os_buffer_bytes = 100_000; // deliberately tiny OS buffer
     let mut w = World::new(c, 7);
-    let burst: Vec<(Vec<u8>, Vec<NodeId>)> = (0..500u32).map(|_| (vec![2; 1_400], vec![])).collect();
-    let tx = w.add_node(Position::new(0.0, 0.0), Box::new(SendList { messages: burst }));
+    let burst: Vec<(Vec<u8>, Vec<NodeId>)> =
+        (0..500u32).map(|_| (vec![2; 1_400], vec![])).collect();
+    let tx = w.add_node(
+        Position::new(0.0, 0.0),
+        Box::new(SendList { messages: burst }),
+    );
     let rx = w.add_node(Position::new(30.0, 0.0), Box::new(Sink::new()));
     w.run_until(SimTime::from_secs_f64(0.05));
     let (bucket, os) = w.queue_depths(tx).expect("alive");

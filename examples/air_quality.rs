@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --example air_quality`
 
-use pds::core::{
-    AttrValue, DataDescriptor, PdsConfig, PdsNode, Predicate, QueryFilter, Relation,
-};
+use pds::core::{AttrValue, DataDescriptor, PdsConfig, PdsNode, Predicate, QueryFilter, Relation};
 use pds::mobility::grid;
 use pds::sim::{SimConfig, SimRng, SimTime, World};
 
@@ -31,7 +29,10 @@ fn main() {
                 .attr("type", kind)
                 .attr("x", pos.x)
                 .attr("y", pos.y)
-                .attr("time", AttrValue::Time(1_467_800_000 + (i * 60 + k * 7) as i64))
+                .attr(
+                    "time",
+                    AttrValue::Time(1_467_800_000 + (i * 60 + k * 7) as i64),
+                )
                 .build();
             // The payload is the actual reading (a tiny blob).
             let reading = format!("{kind}={:.1}ppb", rng.range_f64(5.0, 40.0));
@@ -86,8 +87,16 @@ fn main() {
             if shown < 5 {
                 println!(
                     "  ({:>5.0} m, {:>5.0} m): {}",
-                    d.get("x").map(ToString::to_string).unwrap_or_default().parse::<f64>().unwrap_or(0.0),
-                    d.get("y").map(ToString::to_string).unwrap_or_default().parse::<f64>().unwrap_or(0.0),
+                    d.get("x")
+                        .map(ToString::to_string)
+                        .unwrap_or_default()
+                        .parse::<f64>()
+                        .unwrap_or(0.0),
+                    d.get("y")
+                        .map(ToString::to_string)
+                        .unwrap_or_default()
+                        .parse::<f64>()
+                        .unwrap_or(0.0),
                     String::from_utf8_lossy(&payload)
                 );
                 shown += 1;

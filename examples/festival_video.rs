@@ -53,7 +53,11 @@ fn build_crowd(seed: u64, redundancy: usize) -> (World, pds::sim::NodeId) {
             } else {
                 SIZE - c as usize * CHUNK
             };
-            node = node.with_chunk(clip_descriptor(), ChunkId(c), Bytes::from(vec![c as u8; size]));
+            node = node.with_chunk(
+                clip_descriptor(),
+                ChunkId(c),
+                Bytes::from(vec![c as u8; size]),
+            );
         }
         let id = world.add_node(*pos, Box::new(node));
         if i == center {
@@ -98,12 +102,19 @@ fn run(label: &str, mdr: bool, redundancy: usize) {
     );
     // The clip is fully reassembled in the consumer's store.
     let engine = node.engine().expect("started");
-    let have = engine.store().chunk_ids(&ItemName::new("parade-finale")).len();
+    let have = engine
+        .store()
+        .chunk_ids(&ItemName::new("parade-finale"))
+        .len();
     assert_eq!(have as u32, report.received_chunks);
 }
 
 fn main() {
-    println!("Retrieving a {} MB clip ({} chunks):", SIZE / 1_000_000, SIZE.div_ceil(CHUNK));
+    println!(
+        "Retrieving a {} MB clip ({} chunks):",
+        SIZE / 1_000_000,
+        SIZE.div_ceil(CHUNK)
+    );
     for redundancy in [1, 3] {
         run("PDR", false, redundancy);
         run("MDR (base)", true, redundancy);

@@ -12,7 +12,10 @@ fn entry(owner: usize, k: u32) -> DataDescriptor {
     DataDescriptor::builder()
         .attr("ns", "e")
         .attr("type", if k.is_multiple_of(2) { "no2" } else { "co2" })
-        .attr("time", AttrValue::Time((owner as i64) * 1000 + i64::from(k)))
+        .attr(
+            "time",
+            AttrValue::Time((owner as i64) * 1000 + i64::from(k)),
+        )
         .build()
 }
 

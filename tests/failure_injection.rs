@@ -226,5 +226,8 @@ fn consumer_departure_leaves_network_healthy() {
         .and_then(PdsNode::discovery_report)
         .expect("ran")
         .entries;
-    assert!(entries >= 32, "8 remaining producers × 4 entries ({entries})");
+    assert!(
+        entries >= 32,
+        "8 remaining producers × 4 entries ({entries})"
+    );
 }

@@ -34,10 +34,7 @@ fn line_world(n: usize, per_node: u32, pds: PdsConfig, seed: u64) -> (World, Vec
         for k in 0..per_node {
             node = node.with_metadata(entry(i, k), None);
         }
-        ids.push(world.add_node(
-            pds_sim::Position::new(i as f64 * 60.0, 0.0),
-            Box::new(node),
-        ));
+        ids.push(world.add_node(pds_sim::Position::new(i as f64 * 60.0, 0.0), Box::new(node)));
     }
     world.run_until(SimTime::from_secs_f64(0.2));
     (world, ids)
@@ -152,7 +149,11 @@ fn bounded_relay_cache_still_allows_full_retrieval() {
     let mut world = World::new(SimConfig::paper_multi_hop(), 4);
     let mut provider = PdsNode::new(pds.clone(), 1);
     for c in 0..total {
-        provider = provider.with_chunk(item(total), ChunkId(c), Bytes::from(vec![c as u8; 64 * 1024]));
+        provider = provider.with_chunk(
+            item(total),
+            ChunkId(c),
+            Bytes::from(vec![c as u8; 64 * 1024]),
+        );
     }
     world.add_node(pds_sim::Position::new(0.0, 0.0), Box::new(provider));
     let relay = world.add_node(
@@ -183,7 +184,11 @@ fn bounded_relay_cache_still_allows_full_retrieval() {
         .app::<PdsNode>(consumer)
         .and_then(PdsNode::retrieval_report)
         .expect("ran");
-    assert!((report.recall - 1.0).abs() < 1e-9, "recall = {}", report.recall);
+    assert!(
+        (report.recall - 1.0).abs() < 1e-9,
+        "recall = {}",
+        report.recall
+    );
     // The relay respected its budget; the consumer's own copies are its own
     // session data (cached, not pinned — also budgeted, so it holds ≤ 2).
     let relay_cached = world
@@ -191,7 +196,10 @@ fn bounded_relay_cache_still_allows_full_retrieval() {
         .and_then(|n| n.engine())
         .map(|e| e.store().cached_chunk_bytes())
         .expect("relay alive");
-    assert!(relay_cached <= 128 * 1024, "relay over budget: {relay_cached}");
+    assert!(
+        relay_cached <= 128 * 1024,
+        "relay over budget: {relay_cached}"
+    );
 }
 
 #[test]
@@ -263,7 +271,11 @@ fn reassembled_item_bytes_are_exact() {
     let total = 5u32;
     let mut world = World::new(SimConfig::paper_multi_hop(), 7);
     let mut provider = PdsNode::new(PdsConfig::default(), 1);
-    let body = |c: u32| -> Vec<u8> { (0..40_000u32).map(|i| ((i * 31 + c * 7) % 251) as u8).collect() };
+    let body = |c: u32| -> Vec<u8> {
+        (0..40_000u32)
+            .map(|i| ((i * 31 + c * 7) % 251) as u8)
+            .collect()
+    };
     for c in 0..total {
         provider = provider.with_chunk(item(total), ChunkId(c), Bytes::from(body(c)));
     }

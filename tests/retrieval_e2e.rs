@@ -77,7 +77,11 @@ fn pdr_collects_scattered_chunks() {
     run_retrieval(&mut world, consumer, total, false, 120.0);
     let node = world.app::<PdsNode>(consumer).expect("alive");
     let report = node.retrieval_report().expect("ran");
-    assert!((report.recall - 1.0).abs() < 1e-9, "recall = {}", report.recall);
+    assert!(
+        (report.recall - 1.0).abs() < 1e-9,
+        "recall = {}",
+        report.recall
+    );
     // The payload bytes are exactly what the producers held.
     let engine = node.engine().expect("started");
     for c in 0..total {
@@ -112,7 +116,11 @@ fn mdr_baseline_also_completes() {
         .app::<PdsNode>(consumer)
         .and_then(PdsNode::retrieval_report)
         .expect("ran");
-    assert!((report.recall - 1.0).abs() < 1e-9, "recall = {}", report.recall);
+    assert!(
+        (report.recall - 1.0).abs() < 1e-9,
+        "recall = {}",
+        report.recall
+    );
 }
 
 #[test]
@@ -151,8 +159,14 @@ fn sequential_consumer_is_cheaper_after_caching() {
     run_retrieval(&mut world, second, total, false, 240.0);
     let second_cost = world.stats().bytes_sent - after_first;
 
-    let r1 = world.app::<PdsNode>(first).and_then(PdsNode::retrieval_report).expect("ran");
-    let r2 = world.app::<PdsNode>(second).and_then(PdsNode::retrieval_report).expect("ran");
+    let r1 = world
+        .app::<PdsNode>(first)
+        .and_then(PdsNode::retrieval_report)
+        .expect("ran");
+    let r2 = world
+        .app::<PdsNode>(second)
+        .and_then(PdsNode::retrieval_report)
+        .expect("ran");
     assert!((r1.recall - 1.0).abs() < 1e-9);
     assert!((r2.recall - 1.0).abs() < 1e-9);
     assert!(
@@ -210,8 +224,16 @@ fn one_consumer_retrieves_two_items_sequentially() {
     let mut provider = PdsNode::new(PdsConfig::default(), 1);
     for c in 0..4u32 {
         provider = provider
-            .with_chunk(named_item("alpha", 4), ChunkId(c), Bytes::from(vec![1u8; 32 * 1024]))
-            .with_chunk(named_item("beta", 4), ChunkId(c), Bytes::from(vec![2u8; 32 * 1024]));
+            .with_chunk(
+                named_item("alpha", 4),
+                ChunkId(c),
+                Bytes::from(vec![1u8; 32 * 1024]),
+            )
+            .with_chunk(
+                named_item("beta", 4),
+                ChunkId(c),
+                Bytes::from(vec![2u8; 32 * 1024]),
+            );
     }
     world.add_node(pds_sim::Position::new(0.0, 0.0), Box::new(provider));
     let consumer = world.add_node(
@@ -240,14 +262,24 @@ fn one_consumer_retrieves_two_items_sequentially() {
             .app::<PdsNode>(consumer)
             .and_then(PdsNode::retrieval_report)
             .expect("ran");
-        assert!((report.recall - 1.0).abs() < 1e-9, "{name}: recall {}", report.recall);
+        assert!(
+            (report.recall - 1.0).abs() < 1e-9,
+            "{name}: recall {}",
+            report.recall
+        );
         // Content of the right item arrived.
-        let engine = world.app::<PdsNode>(consumer).and_then(|n| n.engine()).expect("alive");
+        let engine = world
+            .app::<PdsNode>(consumer)
+            .and_then(|n| n.engine())
+            .expect("alive");
         let data = engine
             .store()
             .chunk(&ItemName::new(name), ChunkId(0))
             .expect("chunk present");
-        assert!(data.iter().all(|&b| b == fill), "{name}: wrong payload bytes");
+        assert!(
+            data.iter().all(|&b| b == fill),
+            "{name}: wrong payload bytes"
+        );
     }
 }
 
@@ -264,8 +296,16 @@ fn different_consumers_retrieve_different_items_concurrently() {
     let mut provider = PdsNode::new(PdsConfig::default(), 1);
     for c in 0..3u32 {
         provider = provider
-            .with_chunk(named_item("left", 3), ChunkId(c), Bytes::from(vec![3u8; 32 * 1024]))
-            .with_chunk(named_item("right", 3), ChunkId(c), Bytes::from(vec![4u8; 32 * 1024]));
+            .with_chunk(
+                named_item("left", 3),
+                ChunkId(c),
+                Bytes::from(vec![3u8; 32 * 1024]),
+            )
+            .with_chunk(
+                named_item("right", 3),
+                ChunkId(c),
+                Bytes::from(vec![4u8; 32 * 1024]),
+            );
     }
     world.add_node(pds_sim::Position::new(60.0, 0.0), Box::new(provider));
     let a = world.add_node(

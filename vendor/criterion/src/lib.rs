@@ -1,0 +1,283 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal wall-clock benchmark harness exposing the
+//! subset of the criterion API its benches use: [`Criterion`] with the
+//! builder knobs, [`criterion_group!`]/[`criterion_main!`] (named form),
+//! benchmark groups, `Bencher::iter`/`iter_batched` and [`BatchSize`].
+//!
+//! Measurement model: after a warm-up period, iterations run until the
+//! configured measurement time elapses; the mean wall-clock time per
+//! iteration is printed. There is no statistical analysis, HTML report or
+//! comparison baseline — this harness exists so `cargo bench` compiles,
+//! runs and produces a usable time-per-iteration signal in CI.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (accepted for API parity; the
+/// stub runs one setup per iteration regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver passed to `bench_function` closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// Filled by the iteration loop: (total time, iterations).
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement window closes.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run without recording.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            spent += start.elapsed();
+            iters += 1;
+            if spent >= self.measurement {
+                break;
+            }
+        }
+        self.result = Some((spent, iters));
+    }
+}
+
+/// Top-level benchmark registry and configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            measurement: Duration::from_secs(2),
+            warm_up: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample count (accepted for API parity; the stub's
+    /// time-bounded loop does not subdivide into samples).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up period per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result: None,
+        };
+        f(&mut b);
+        report(name, b.result);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A named set of benchmarks sharing group-level configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count for the group (API parity).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement window for the group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, result: Option<(Duration, u64)>) {
+    match result {
+        Some((total, iters)) if iters > 0 => {
+            let per_iter = total.as_secs_f64() / iters as f64;
+            println!(
+                "{name:<40} time: {} ({iters} iterations)",
+                fmt_time(per_iter)
+            );
+        }
+        _ => println!("{name:<40} time: (no measurement)"),
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags (e.g. --bench); ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = fast().sample_size(10);
+        let mut ran = 0u64;
+        c.bench_function("smoke/iter", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            });
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut c = fast();
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 16],
+                |v| {
+                    assert_eq!(v.len(), 16);
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = fast();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(5);
+        g.bench_function("one", |b| b.iter(|| black_box(1)));
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(2.5e-9).ends_with("ns"));
+        assert!(fmt_time(2.5e-6).ends_with("µs"));
+        assert!(fmt_time(2.5e-3).ends_with("ms"));
+        assert!(fmt_time(2.5).ends_with('s'));
+    }
+}
