@@ -10,8 +10,8 @@
 //! written to `<out>/<experiment>[-i].csv` (default `results/`).
 
 use pds_bench::experiments::{self, RunConfig};
+use pds_bench::WallClock;
 use std::path::PathBuf;
-use std::time::Instant;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,7 +63,7 @@ fn main() {
     };
 
     for e in selected {
-        let started = Instant::now();
+        let started = WallClock::start();
         eprintln!(">> running {} ({})", e.name, e.describes);
         let tables = (e.run)(&config);
         for (i, table) in tables.iter().enumerate() {
@@ -80,7 +80,7 @@ fn main() {
         eprintln!(
             "<< {} done in {:.1}s (CSV in {})",
             e.name,
-            started.elapsed().as_secs_f64(),
+            started.elapsed_s(),
             out_dir.display()
         );
     }

@@ -14,12 +14,12 @@
 //! counts (100 / 500 / 1000) stay the same so the scaling trend is always
 //! visible. Without `--quick` the horizon is 4× longer.
 
+use pds_bench::WallClock;
 use pds_sim::{
     Application, Context, MessageMeta, Position, SimConfig, SimDuration, SimTime, SpatialIndex,
     World,
 };
 use std::fmt::Write as _;
-use std::time::Instant;
 
 /// Node counts exercised in both modes.
 const NODE_COUNTS: [usize; 3] = [100, 500, 1000];
@@ -101,9 +101,9 @@ struct ModeRun {
 
 fn run_mode(n: usize, index: SpatialIndex, horizon: SimTime) -> ModeRun {
     let mut world = build_world(n, index, 42);
-    let start = Instant::now();
+    let start = WallClock::start();
     world.run_until(horizon);
-    let wall_s = start.elapsed().as_secs_f64();
+    let wall_s = start.elapsed_s();
     #[cfg(feature = "prof")]
     {
         println!("-- {index:?}");

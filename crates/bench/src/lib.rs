@@ -18,5 +18,5 @@ pub mod metrics;
 pub mod report;
 pub mod scenario;
 
-pub use metrics::{average_runs, RunMetrics};
+pub use metrics::{average_runs, RunMetrics, WallClock};
 pub use scenario::{GridScenario, MobilityScenario, Workload};

@@ -144,7 +144,7 @@ mod tests {
 
     fn assert_valid(plan: &BTreeMap<NodeId, Vec<ChunkId>>, chunks: &[ChunkCandidates]) {
         // Every routable chunk assigned exactly once, to a capable neighbor.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = pds_det::DetSet::default();
         for (node, assigned) in plan {
             for chunk in assigned {
                 assert!(seen.insert(*chunk), "chunk {chunk} assigned twice");

@@ -8,8 +8,9 @@
 //! routes disappear.
 
 use crate::ids::{ChunkId, ItemName};
+use pds_det::DetMap;
 use pds_sim::{NodeId, SimTime};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// One CDI route: chunk reachable `hops` away via `neighbor`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,7 +40,7 @@ pub struct CdiEntry {
 pub struct CdiTable {
     // item → chunk → neighbor → entry  (all min-hop neighbors are kept, so
     // the assignment step can balance load across them).
-    routes: HashMap<ItemName, BTreeMap<ChunkId, BTreeMap<NodeId, CdiEntry>>>,
+    routes: DetMap<ItemName, BTreeMap<ChunkId, BTreeMap<NodeId, CdiEntry>>>,
 }
 
 impl CdiTable {

@@ -19,8 +19,8 @@ use crate::lqt::LingeringQueryTable;
 use crate::message::{PdsMessage, QueryKind, QueryMessage, ResponseKind, ResponseMessage};
 use crate::sessions::{DiscoverySession, RetrievalSession};
 use crate::store::DataStore;
+use pds_det::DetMap;
 use pds_sim::{NodeId, SimRng, SimTime};
-use std::collections::HashMap;
 
 /// Maximum recursion depth of chunk-query division (guards against
 /// transient CDI routing loops; carried in the query's `round` field).
@@ -108,13 +108,13 @@ pub struct PdsEngine {
     pub(crate) store: DataStore,
     pub(crate) lqt: LingeringQueryTable,
     pub(crate) cdi: CdiTable,
-    recent_responses: HashMap<ResponseId, SimTime>,
+    recent_responses: DetMap<ResponseId, SimTime>,
     /// Chunks this node has an outstanding sub-query for (value = that
     /// query's expiry). Prevents every new upstream from spawning another
     /// sub-query tree for the same chunk — without it the recursive
     /// division builds looping query subgraphs and each arriving chunk is
     /// relayed to dozens of upstreams.
-    pub(crate) pending_chunk: HashMap<(ItemName, ChunkId), SimTime>,
+    pub(crate) pending_chunk: DetMap<(ItemName, ChunkId), SimTime>,
     pub(crate) rng: SimRng,
     pub(crate) discovery: Option<DiscoverySession>,
     pub(crate) retrieval: Option<RetrievalSession>,
@@ -134,8 +134,8 @@ impl PdsEngine {
             store,
             lqt: LingeringQueryTable::new(),
             cdi: CdiTable::new(),
-            recent_responses: HashMap::new(),
-            pending_chunk: HashMap::new(),
+            recent_responses: DetMap::default(),
+            pending_chunk: DetMap::default(),
             rng: SimRng::new(seed ^ 0x7064_735f_656e_6769),
             discovery: None,
             retrieval: None,

@@ -11,8 +11,9 @@ use crate::rounds::{RoundController, RoundDecision};
 use crate::sessions::DiscoverySession;
 use bytes::Bytes;
 use pds_bloom::{BloomFilter, BloomParams};
+use pds_det::DetMap;
 use pds_sim::{NodeId, SimTime};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 impl PdsEngine {
     // ---- consumer API -----------------------------------------------------
@@ -43,7 +44,7 @@ impl PdsEngine {
     ) -> Vec<Outgoing> {
         let id = self.new_query_id();
         // The consumer's own matching entries are known from the start.
-        let collected: HashMap<_, _> = self
+        let collected: DetMap<_, _> = self
             .store
             .match_metadata(&filter, now)
             .into_iter()
@@ -489,9 +490,7 @@ impl PdsEngine {
             if !session.filter.matches(e) {
                 continue;
             }
-            if let std::collections::hash_map::Entry::Vacant(slot) =
-                session.collected.entry(e.entry_key())
-            {
+            if let pds_det::MapEntry::Vacant(slot) = session.collected.entry(e.entry_key()) {
                 slot.insert(e.clone());
                 new_count += 1;
             }

@@ -15,8 +15,9 @@ use crate::message::{QueryKind, QueryMessage, ResponseKind, ResponseMessage};
 use crate::predicate::QueryFilter;
 use crate::sessions::{RetrievalPhase, RetrievalSession};
 use bytes::Bytes;
+use pds_det::DetMap;
 use pds_sim::{NodeId, SimTime};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 impl PdsEngine {
     // ---- consumer API -----------------------------------------------------
@@ -330,7 +331,7 @@ impl PdsEngine {
     /// Per-chunk minimum distances as this node sees them: held chunks at
     /// hop 0, otherwise the best unexpired CDI route.
     fn cdi_summary_with_local(&self, item: &ItemName, now: SimTime) -> Vec<(ChunkId, u32)> {
-        let mut best: HashMap<ChunkId, u32> = self.cdi.summary(item, now).into_iter().collect();
+        let mut best: DetMap<ChunkId, u32> = self.cdi.summary(item, now).into_iter().collect();
         for c in self.store.chunk_ids(item) {
             best.insert(c, 0);
         }
@@ -364,7 +365,7 @@ impl PdsEngine {
         let mut sends: Vec<(NodeId, Vec<(ChunkId, u32)>)> = Vec::new();
         {
             let matching = self.lqt.match_cdi(item, now);
-            let mut per_upstream: HashMap<NodeId, Vec<(ChunkId, u32)>> = HashMap::new();
+            let mut per_upstream: DetMap<NodeId, Vec<(ChunkId, u32)>> = DetMap::default();
             for l in matching {
                 if l.upstream == me {
                     continue;

@@ -10,8 +10,9 @@
 use crate::ids::{ChunkId, ItemName, QueryId};
 use crate::message::{QueryKind, QueryMessage};
 use pds_bloom::BloomFilter;
+use pds_det::DetMap;
 use pds_sim::{NodeId, SimTime};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// Canonical Bloom-filter / dedup key for a chunk of an item (used by MDR
 /// redundancy detection and consumer-side chunk tracking).
@@ -38,7 +39,7 @@ pub struct Lingering {
     pub remaining_chunks: BTreeSet<ChunkId>,
     /// For [`QueryKind::Cdi`]: best hop count already reported upstream per
     /// chunk; only improvements are forwarded.
-    pub reported_cdi: HashMap<ChunkId, u32>,
+    pub reported_cdi: DetMap<ChunkId, u32>,
     /// One-shot ablation: set after the first forwarded response.
     pub exhausted: bool,
 }
@@ -92,7 +93,7 @@ impl Lingering {
 /// ```
 #[derive(Debug, Default)]
 pub struct LingeringQueryTable {
-    entries: HashMap<QueryId, Lingering>,
+    entries: DetMap<QueryId, Lingering>,
 }
 
 impl LingeringQueryTable {
@@ -146,7 +147,7 @@ impl LingeringQueryTable {
                 upstream,
                 bloom,
                 remaining_chunks,
-                reported_cdi: HashMap::new(),
+                reported_cdi: DetMap::default(),
                 exhausted: false,
             },
         );

@@ -5,15 +5,16 @@ use crate::descriptor::{DataDescriptor, EntryKey};
 use crate::ids::{ChunkId, ItemName, QueryId};
 use crate::predicate::QueryFilter;
 use crate::rounds::RoundController;
+use pds_det::DetMap;
 use pds_sim::{SimDuration, SimTime};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// A running (or finished) metadata / small-data discovery at a consumer.
 #[derive(Debug)]
 pub struct DiscoverySession {
     pub(crate) filter: QueryFilter,
     pub(crate) small_data: bool,
-    pub(crate) collected: HashMap<EntryKey, DataDescriptor>,
+    pub(crate) collected: DetMap<EntryKey, DataDescriptor>,
     pub(crate) controller: RoundController,
     pub(crate) started_at: SimTime,
     pub(crate) last_new_at: SimTime,
@@ -169,7 +170,7 @@ mod tests {
         let mut s = DiscoverySession {
             filter: QueryFilter::match_all(),
             small_data: false,
-            collected: HashMap::new(),
+            collected: DetMap::default(),
             controller: RoundController::new(RoundParams::default(), t(1.0)),
             started_at: t(1.0),
             last_new_at: t(4.5),

@@ -10,8 +10,9 @@ use crate::descriptor::{DataDescriptor, EntryKey};
 use crate::ids::{ChunkId, ItemName};
 use crate::predicate::QueryFilter;
 use bytes::Bytes;
+use pds_det::DetMap;
 use pds_sim::SimTime;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// One stored metadata entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,14 +72,14 @@ struct CachedChunkMeta {
 /// ```
 #[derive(Debug, Default)]
 pub struct DataStore {
-    metadata: HashMap<EntryKey, MetaEntry>,
-    small_payloads: HashMap<EntryKey, Bytes>,
-    chunks: HashMap<ItemName, BTreeMap<ChunkId, Bytes>>,
+    metadata: DetMap<EntryKey, MetaEntry>,
+    small_payloads: DetMap<EntryKey, Bytes>,
+    chunks: DetMap<ItemName, BTreeMap<ChunkId, Bytes>>,
     // Index: item name → entry key of the whole-item (chunk-less) descriptor.
-    items_by_name: HashMap<ItemName, EntryKey>,
+    items_by_name: DetMap<ItemName, EntryKey>,
     // Cache accounting for opportunistically stored chunks.
     cache_config: ChunkCacheConfig,
-    chunk_meta: HashMap<(ItemName, ChunkId), CachedChunkMeta>,
+    chunk_meta: DetMap<(ItemName, ChunkId), CachedChunkMeta>,
     cached_bytes: usize,
     access_clock: u64,
 }
@@ -130,7 +131,7 @@ impl DataStore {
         let key = descriptor.entry_key();
         let has_payload = self.small_payloads.contains_key(&key) || self.has_any_chunk(&descriptor);
         match self.metadata.entry(key) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
+            pds_det::MapEntry::Occupied(mut e) => {
                 let entry = e.get_mut();
                 if entry.expires_at.is_some() {
                     if has_payload {
@@ -141,7 +142,7 @@ impl DataStore {
                 }
                 false
             }
-            std::collections::hash_map::Entry::Vacant(v) => {
+            pds_det::MapEntry::Vacant(v) => {
                 let descriptor = v
                     .insert(MetaEntry {
                         descriptor,

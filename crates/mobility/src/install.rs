@@ -1,9 +1,9 @@
 //! Installing a mobility trace into a simulated world.
 
 use crate::trace::{MobilityTrace, PersonId, TraceAction};
+use pds_det::DetMap;
 use pds_sim::{Application, NodeId, World};
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Applies a [`MobilityTrace`] to a [`World`], creating protocol nodes as
@@ -37,7 +37,7 @@ use std::rc::Rc;
 /// ```
 #[derive(Debug, Clone)]
 pub struct TraceInstaller {
-    mapping: Rc<RefCell<HashMap<PersonId, NodeId>>>,
+    mapping: Rc<RefCell<DetMap<PersonId, NodeId>>>,
 }
 
 impl TraceInstaller {
@@ -49,7 +49,7 @@ impl TraceInstaller {
         trace: &MobilityTrace,
         factory: impl FnMut(PersonId) -> Box<dyn Application> + 'static,
     ) -> Self {
-        let mapping: Rc<RefCell<HashMap<PersonId, NodeId>>> = Rc::default();
+        let mapping: Rc<RefCell<DetMap<PersonId, NodeId>>> = Rc::default();
         let factory = Rc::new(RefCell::new(factory));
 
         for &(person, pos) in trace.initial_people() {

@@ -1,7 +1,7 @@
 //! Mobility traces: time-stamped join / leave / move event streams.
 
+use pds_det::DetSet;
 use pds_sim::{Position, SimTime};
-use std::collections::HashSet;
 use std::fmt;
 
 /// Identifier of a person in a trace. People are not [`pds_sim::NodeId`]s:
@@ -106,7 +106,7 @@ impl MobilityTrace {
     ///
     /// Returns the first [`InvalidTrace`] violation found.
     pub fn validate(&self) -> Result<(), InvalidTrace> {
-        let mut present: HashSet<PersonId> = HashSet::new();
+        let mut present: DetSet<PersonId> = DetSet::default();
         for &(p, _) in &self.initial {
             if !present.insert(p) {
                 return Err(InvalidTrace::DuplicateJoin(p));

@@ -60,6 +60,8 @@
 #![warn(missing_docs)]
 
 mod config;
+#[cfg(feature = "replay-digest")]
+mod digest;
 mod events;
 mod node;
 mod radio;

@@ -1,10 +1,62 @@
 //! Temporary event-loop profiler (feature-gated, dev only).
+//!
+//! This module is the **only** place in the kernel that reads the host
+//! wall clock. `World::dispatch` holds a [`DispatchTimer`] guard instead
+//! of calling `Instant::now` itself, so the determinism lint can keep the
+//! rest of the crate clock-free.
+//
+// det-lint: allow(wall-clock) -- module is compiled only under the `prof` feature (cfg-gated in lib.rs); it profiles wall time by design and never feeds simulation state.
+
+use crate::events::EventKind;
 use std::cell::RefCell;
+use std::time::Instant;
 
 thread_local! {
     /// Per-thread (count, total nanoseconds) accumulators, one slot per
     /// event kind in declaration order.
     pub static PROF: RefCell<[(u64, u64); 7]> = const { RefCell::new([(0, 0); 7]) };
+}
+
+/// The accumulator slot charged for dispatching `kind`.
+pub(crate) fn slot_of(kind: &EventKind) -> usize {
+    match kind {
+        EventKind::Start(_) => 0,
+        EventKind::MacTry { .. } => 1,
+        EventKind::TxEnd(_) => 2,
+        EventKind::BucketDrain(_) => 3,
+        EventKind::Timer { .. } => 4,
+        EventKind::Control(_) => 5,
+        EventKind::Sweep => 6,
+    }
+}
+
+/// RAII guard that charges the wall-clock time between its construction
+/// and drop to one event-kind slot.
+pub(crate) struct DispatchTimer {
+    slot: usize,
+    t0: Instant,
+}
+
+impl DispatchTimer {
+    /// Starts timing against `slot` (see [`slot_of`]).
+    #[allow(clippy::disallowed_methods)]
+    pub(crate) fn start(slot: usize) -> Self {
+        Self {
+            slot,
+            t0: Instant::now(),
+        }
+    }
+}
+
+impl Drop for DispatchTimer {
+    fn drop(&mut self) {
+        let ns = self.t0.elapsed().as_nanos() as u64;
+        PROF.with(|p| {
+            let mut p = p.borrow_mut();
+            p[self.slot].0 += 1;
+            p[self.slot].1 += ns;
+        });
+    }
 }
 
 /// Prints the accumulated per-event-kind timings and resets them.

@@ -28,43 +28,7 @@
 use crate::node::NodeId;
 use crate::radio::{Motion, Position};
 use crate::time::SimTime;
-use std::collections::HashMap as StdHashMap;
-use std::hash::{BuildHasherDefault, Hasher};
-
-/// Multiply-xor hasher for the small fixed-size keys used here (cell
-/// coordinates, node ids, transmission ids). Grid queries perform dozens
-/// of map probes per simulation event; SipHash's per-lookup cost shows up
-/// directly in the event-loop profile, and HashDoS resistance buys
-/// nothing against keys derived from simulated geometry.
-#[derive(Clone, Copy, Default)]
-pub(crate) struct FastHasher(u64);
-
-impl Hasher for FastHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
-        }
-    }
-    fn write_u32(&mut self, n: u32) {
-        self.write_u64(u64::from(n));
-    }
-    fn write_u64(&mut self, n: u64) {
-        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        self.0 ^= self.0 >> 29;
-    }
-    fn write_i64(&mut self, n: i64) {
-        self.write_u64(n as u64);
-    }
-    fn write_usize(&mut self, n: usize) {
-        self.write_u64(n as u64);
-    }
-}
-
-/// A `HashMap` keyed with [`FastHasher`].
-pub(crate) type FastMap<K, V> = StdHashMap<K, V, BuildHasherDefault<FastHasher>>;
+use pds_det::DetMap;
 
 /// A grid cell coordinate (floor of position / cell size).
 type Cell = (i64, i64);
@@ -87,11 +51,11 @@ pub(crate) struct NodeGrid {
     /// Each entry carries the node's motion, so range queries yield
     /// positions without a per-candidate lookup in the node table. The
     /// copy stays exact because every motion change re-upserts the node.
-    cells: FastMap<Cell, Vec<(NodeId, Motion)>>,
-    entries: FastMap<NodeId, Cell>,
+    cells: DetMap<Cell, Vec<(NodeId, Motion)>>,
+    entries: DetMap<NodeId, Cell>,
     /// Nodes whose motion was still in progress at the last re-bucket (or
     /// that changed motion since), with their walking speeds.
-    moving: FastMap<NodeId, f64>,
+    moving: DetMap<NodeId, f64>,
     /// Fastest walking speed among `moving` since the last re-bucket.
     max_speed: f64,
     /// Time at which every bucket was last known exact.
@@ -111,9 +75,9 @@ impl NodeGrid {
         );
         Self {
             cell_m,
-            cells: FastMap::default(),
-            entries: FastMap::default(),
-            moving: FastMap::default(),
+            cells: DetMap::default(),
+            entries: DetMap::default(),
+            moving: DetMap::default(),
             max_speed: 0.0,
             stamp: now,
         }
@@ -248,8 +212,8 @@ pub(crate) struct TxEntry {
 #[derive(Debug, Default)]
 pub(crate) struct TxGrid {
     cell_m: f64,
-    cells: FastMap<Cell, Vec<TxEntry>>,
-    entries: FastMap<u64, Cell>,
+    cells: DetMap<Cell, Vec<TxEntry>>,
+    entries: DetMap<u64, Cell>,
 }
 
 impl TxGrid {
@@ -265,8 +229,8 @@ impl TxGrid {
         );
         Self {
             cell_m,
-            cells: FastMap::default(),
-            entries: FastMap::default(),
+            cells: DetMap::default(),
+            entries: DetMap::default(),
         }
     }
 

@@ -11,9 +11,9 @@
 use crate::config::SimConfig;
 use crate::node::{MessageHandle, NodeId, TimerId};
 use crate::radio::{FragSet, Frame, FrameKind};
-use crate::spatial::FastMap;
 use crate::time::{SimDuration, SimTime};
 use bytes::Bytes;
+use pds_det::DetMap;
 use std::fmt;
 
 /// Fixed wire overhead of a data frame before the per-receiver id list.
@@ -44,7 +44,7 @@ struct Outgoing {
     frag_count: u32,
     frag_payload: usize,
     msg_wire_bytes: u32,
-    acked: FastMap<NodeId, FragSet>,
+    acked: DetMap<NodeId, FragSet>,
     /// 0 = initial transmission, 1..=max_retr are retransmissions.
     attempt: u32,
     /// Frames of the current attempt not yet off the radio (or dropped).
@@ -97,8 +97,8 @@ struct Incoming {
 /// Per-node transport state.
 #[derive(Debug, Default)]
 pub(crate) struct Transport {
-    outgoing: FastMap<MessageId, Outgoing>,
-    incoming: FastMap<MessageId, Incoming>,
+    outgoing: DetMap<MessageId, Outgoing>,
+    incoming: DetMap<MessageId, Incoming>,
 }
 
 /// Result of submitting a message for transmission.

@@ -6,14 +6,15 @@ use crate::events::{EventKind, EventQueue};
 use crate::node::{Application, Command, Context, MessageHandle, MessageMeta, NodeId, TimerId};
 use crate::radio::{Frame, FrameKind, Motion, Position, Transmission};
 use crate::rng::SimRng;
-use crate::spatial::{FastMap, NodeGrid, TxEntry, TxGrid};
+use crate::spatial::{NodeGrid, TxEntry, TxGrid};
 use crate::stats::{NodeStats, Stats};
 use crate::time::{SimDuration, SimTime};
 use crate::transport::{MessageId, RetrPlan, Transport};
 use bytes::Bytes;
+use pds_det::DetMap;
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// Interval between transport garbage-collection sweeps.
 const SWEEP_INTERVAL: SimDuration = SimDuration::from_secs(5);
@@ -58,7 +59,7 @@ struct NodeState {
     os_used: usize,
     transmitting: bool,
     mac_scheduled: bool,
-    timers: FastMap<TimerId, TimerKind>,
+    timers: DetMap<TimerId, TimerKind>,
     msg_seq: u64,
     rng: SimRng,
     stats: NodeStats,
@@ -78,7 +79,7 @@ impl NodeState {
             os_used: 0,
             transmitting: false,
             mac_scheduled: false,
-            timers: FastMap::default(),
+            timers: DetMap::default(),
             msg_seq: 0,
             rng,
             stats: NodeStats::default(),
@@ -112,7 +113,7 @@ pub struct World {
     /// Spatial index over transmission start positions (carrier sense).
     tx_grid: TxGrid,
     /// Transmission ids per sender, for O(1)-ish half-duplex checks.
-    tx_by_sender: FastMap<NodeId, Vec<u64>>,
+    tx_by_sender: DetMap<NodeId, Vec<u64>>,
     /// Transmission end times, for O(log) pruning instead of map sweeps.
     tx_prune: BinaryHeap<Reverse<(SimTime, u64)>>,
     /// Reusable carrier-sense / interference candidate buffer (avoids
@@ -133,10 +134,13 @@ pub struct World {
     next_tx: u64,
     next_timer: u64,
     next_ctrl: u64,
-    controls: HashMap<u64, ControlFn>,
+    controls: DetMap<u64, ControlFn>,
     rng: SimRng,
     stats: Stats,
     max_airtime: SimDuration,
+    /// Running digest of the dispatched event stream (DESIGN.md §8).
+    #[cfg(feature = "replay-digest")]
+    digest: crate::digest::ReplayDigest,
 }
 
 impl World {
@@ -176,7 +180,7 @@ impl World {
             transmissions: BTreeMap::new(),
             node_grid: NodeGrid::new(cell_m, SimTime::ZERO),
             tx_grid: TxGrid::new(tx_cell_m),
-            tx_by_sender: FastMap::default(),
+            tx_by_sender: DetMap::default(),
             tx_prune: BinaryHeap::new(),
             cs_scratch: Vec::new(),
             rx_scratch: Vec::new(),
@@ -189,11 +193,23 @@ impl World {
             next_tx: 0,
             next_timer: 0,
             next_ctrl: 0,
-            controls: HashMap::new(),
+            controls: DetMap::default(),
             rng: SimRng::new(seed),
             stats: Stats::default(),
             max_airtime,
+            #[cfg(feature = "replay-digest")]
+            digest: crate::digest::ReplayDigest::default(),
         }
+    }
+
+    /// FNV-1a digest of every event dispatched so far: virtual timestamp,
+    /// event kind, and identifying payload, folded in dispatch order. Two
+    /// runs replayed bit-identically iff their digests are equal (the
+    /// converse holds up to hash collisions). See DESIGN.md §8.
+    #[cfg(feature = "replay-digest")]
+    #[must_use]
+    pub fn replay_digest(&self) -> u64 {
+        self.digest.value()
     }
 
     /// The shared configuration.
@@ -454,29 +470,10 @@ impl World {
     }
 
     fn dispatch(&mut self, kind: EventKind) {
+        #[cfg(feature = "replay-digest")]
+        self.digest.record(self.now, &kind);
         #[cfg(feature = "prof")]
-        let (_k, _t0) = (
-            match &kind {
-                EventKind::Start(_) => 0,
-                EventKind::MacTry { .. } => 1,
-                EventKind::TxEnd(_) => 2,
-                EventKind::BucketDrain(_) => 3,
-                EventKind::Timer { .. } => 4,
-                EventKind::Control(_) => 5,
-                EventKind::Sweep => 6,
-            },
-            std::time::Instant::now(),
-        );
-        #[cfg(feature = "prof")]
-        {
-            self.dispatch_inner(kind);
-            crate::prof::PROF.with(|p| {
-                let mut p = p.borrow_mut();
-                p[_k].0 += 1;
-                p[_k].1 += _t0.elapsed().as_nanos() as u64;
-            });
-        }
-        #[cfg(not(feature = "prof"))]
+        let _timer = crate::prof::DispatchTimer::start(crate::prof::slot_of(&kind));
         self.dispatch_inner(kind);
     }
 

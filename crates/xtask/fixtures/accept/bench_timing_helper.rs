@@ -1,0 +1,21 @@
+//! Fixture: the single audited bench timing helper. The file-level pragma
+//! (with its mandatory justification) exempts the wall-clock rule and is
+//! echoed in the lint output as an audited exemption.
+
+// det-lint: allow(wall-clock) -- benches measure host wall time by design;
+// this helper is the one audited place they read the clock.
+
+use std::time::Instant;
+
+/// Wall-clock stopwatch for benchmark binaries.
+pub struct WallClock(Instant);
+
+impl WallClock {
+    pub fn start() -> Self {
+        Self(Instant::now())
+    }
+
+    pub fn elapsed_s(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: deterministic collections and ordered maps — the replacements
+//! the lint steers code toward. Mentions of HashMap and HashSet in
+//! comments and strings (like these, or the error text below) are not
+//! code and must not be flagged.
+
+use pds_det::{DetMap, DetSet};
+use std::collections::BTreeMap;
+
+pub struct Tables {
+    by_id: DetMap<u64, u64>,
+    seen: DetSet<u64>,
+    sorted: BTreeMap<u64, u64>,
+}
+
+impl Tables {
+    pub fn insert(&mut self, k: u64, v: u64) {
+        self.by_id.insert(k, v);
+        self.seen.insert(k);
+        self.sorted.insert(k, v);
+    }
+
+    pub fn explain(&self) -> &'static str {
+        "DetMap replaces std HashMap: fixed-seed hashing, replay-stable iteration"
+    }
+}

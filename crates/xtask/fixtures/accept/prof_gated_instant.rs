@@ -1,0 +1,17 @@
+//! Fixture: wall-clock use gated behind `#[cfg(feature = "prof")]` — the
+//! code is compiled out of every replay build, so the lint accepts it.
+
+pub fn dispatch(run: impl FnOnce()) {
+    #[cfg(feature = "prof")]
+    let t0 = std::time::Instant::now();
+    run();
+    #[cfg(feature = "prof")]
+    println!("dispatch took {:?}", t0.elapsed());
+}
+
+#[cfg(feature = "prof")]
+pub fn profile_block(run: impl FnOnce()) -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    run();
+    t0.elapsed()
+}

@@ -1,0 +1,23 @@
+//! Fixture: simulation-kernel-style code using a std `HashMap`. The
+//! determinism lint must reject it — `RandomState` iteration order
+//! differs per process and leaks into event ordering.
+
+use std::collections::HashMap;
+
+pub struct Timers {
+    by_id: HashMap<u64, u64>,
+}
+
+impl Timers {
+    pub fn new() -> Self {
+        Self {
+            by_id: HashMap::new(),
+        }
+    }
+
+    pub fn drain_in_iteration_order(&mut self) -> Vec<u64> {
+        // Feeding map iteration order into scheduling is exactly the bug
+        // class the lint exists to catch.
+        self.by_id.keys().copied().collect()
+    }
+}

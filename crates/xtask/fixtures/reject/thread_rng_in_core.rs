@@ -1,0 +1,13 @@
+//! Fixture: protocol-engine-style code drawing entropy-seeded randomness.
+//! The lint must reject it — all randomness must flow from the run seed
+//! through `SimRng`, or replays diverge.
+
+pub fn pick_backoff_ms() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..100)
+}
+
+pub fn fresh_query_nonce() -> u64 {
+    let mut rng = rand::rngs::SmallRng::from_entropy();
+    rng.next_u64()
+}

@@ -1,0 +1,580 @@
+//! The determinism lint (DESIGN.md §8).
+//!
+//! The simulation crates promise bit-identical replays for identical
+//! (config, seed, scenario) triples. Three families of std constructs
+//! silently break that promise, and this lint statically rejects them in
+//! `crates/{sim,core,mobility,bloom,bench}` and `tests/`:
+//!
+//! * **`std-collections`** — `HashMap`/`HashSet` (and `RandomState`,
+//!   `hash_map`, `hash_set` paths). `RandomState` seeds SipHash from OS
+//!   entropy per process, so iteration order differs run to run; any
+//!   iteration feeding event ordering, rng consumption, or f64 summation
+//!   order destroys replay equality. Use `pds_det::{DetMap, DetSet}` —
+//!   their iteration order is a pure function of the insert/remove
+//!   history — or `BTreeMap`/`BTreeSet` where sorted order is wanted.
+//!   This also covers the "iteration over unordered maps feeding event
+//!   ordering" hazard by construction: once no unordered map exists in
+//!   the simulation crates, no iteration over one can leak into event
+//!   order.
+//! * **`wall-clock`** — `Instant`/`SystemTime`/`UNIX_EPOCH`. Host time
+//!   must never influence simulation state; virtual time lives in
+//!   `SimTime`. Profiling and benchmarking read the clock through two
+//!   audited exemptions (`pds-sim/src/prof.rs`, `pds-bench` metrics).
+//! * **`entropy-rng`** — `thread_rng`/`from_entropy`/`OsRng`/`getrandom`.
+//!   All randomness must flow from the run's seed through `SimRng`.
+//!
+//! The scan is lexical, not syntactic: comments and string/char literal
+//! contents are blanked (preserving byte positions, hence line numbers)
+//! and the residue is scanned for word-boundary tokens. Two escape
+//! hatches exist, both designed to be visible in review:
+//!
+//! 1. An item or statement immediately preceded by
+//!    `#[cfg(feature = "prof")]` is exempt — it is compiled out of every
+//!    replay build, so it cannot affect replayed state.
+//! 2. A file containing the pragma
+//!    `// det-lint: allow(<rule>) -- <reason>` exempts that rule for the
+//!    whole file. Every pragma is echoed in the lint output as an audited
+//!    exemption, so the full list is one `cargo xtask lint-determinism`
+//!    away.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A lint rule: a name plus the identifier tokens whose presence violates
+/// it.
+pub struct Rule {
+    /// Rule name, as used in `det-lint: allow(<name>)` pragmas.
+    pub name: &'static str,
+    /// Offending identifier tokens, matched at word boundaries.
+    pub tokens: &'static [&'static str],
+    /// What to use instead; printed with each finding.
+    pub instead: &'static str,
+}
+
+/// The rule set enforced on the simulation crates.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "std-collections",
+        tokens: &["HashMap", "HashSet", "hash_map", "hash_set", "RandomState"],
+        instead: "use pds_det::{DetMap, DetSet, MapEntry} (or BTreeMap/BTreeSet for sorted order)",
+    },
+    Rule {
+        name: "wall-clock",
+        tokens: &["Instant", "SystemTime", "UNIX_EPOCH"],
+        instead: "use SimTime/SimDuration; benches go through pds_bench::metrics::WallClock",
+    },
+    Rule {
+        name: "entropy-rng",
+        tokens: &["thread_rng", "from_entropy", "OsRng", "getrandom"],
+        instead: "derive all randomness from the run seed via pds_sim::SimRng",
+    },
+];
+
+/// Workspace-relative directories the lint walks.
+pub const SCAN_ROOTS: &[&str] = &[
+    "crates/sim",
+    "crates/core",
+    "crates/mobility",
+    "crates/bloom",
+    "crates/bench",
+    "tests",
+];
+
+/// One rule violation at a source location.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// File containing the violation.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Violated rule name.
+    pub rule: &'static str,
+    /// The offending token.
+    pub token: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let instead = RULES
+            .iter()
+            .find(|r| r.name == self.rule)
+            .map_or("", |r| r.instead);
+        write!(
+            f,
+            "{}:{}: [{}] forbidden token `{}` — {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.token,
+            instead
+        )
+    }
+}
+
+/// A file-level pragma exemption, echoed as part of the audited list.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Exemption {
+    /// File carrying the pragma.
+    pub file: PathBuf,
+    /// Rule the pragma allows.
+    pub rule: String,
+    /// The justification after `--`.
+    pub reason: String,
+}
+
+/// Result of linting a tree: violations plus the audited exemption list.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All rule violations found.
+    pub findings: Vec<Finding>,
+    /// All pragma exemptions encountered.
+    pub exemptions: Vec<Exemption>,
+}
+
+/// Lints every `.rs` file under `root`'s [`SCAN_ROOTS`].
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for dir in SCAN_ROOTS {
+        let dir = root.join(dir);
+        if dir.is_dir() {
+            lint_tree(&dir, &mut report)?;
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Recursively lints every `.rs` file under `dir` into `report`.
+pub fn lint_tree(dir: &Path, report: &mut Report) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            lint_tree(&path, report)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let text = std::fs::read_to_string(&path)?;
+            lint_source(&path, &text, report);
+        }
+    }
+    Ok(())
+}
+
+/// Lints a single source text into `report`.
+pub fn lint_source(path: &Path, text: &str, report: &mut Report) {
+    let allowed = collect_pragmas(path, text, report);
+    let stripped = strip_comments_and_strings(text);
+    let gated = prof_gated_regions(text, &stripped);
+    for (pos, token) in word_tokens(&stripped) {
+        let Some(rule) = RULES.iter().find(|r| r.tokens.contains(&token)) else {
+            continue;
+        };
+        if allowed.iter().any(|a| a == rule.name) {
+            continue;
+        }
+        if gated.iter().any(|&(lo, hi)| pos >= lo && pos < hi) {
+            continue;
+        }
+        report.findings.push(Finding {
+            file: path.to_path_buf(),
+            line: line_of(text, pos),
+            rule: rule.name,
+            token: token.to_string(),
+        });
+    }
+}
+
+/// Parses `// det-lint: allow(<rule>) -- <reason>` pragmas, recording them
+/// as audited exemptions; returns the allowed rule names.
+fn collect_pragmas(path: &Path, text: &str, report: &mut Report) -> Vec<String> {
+    const TAG: &str = "// det-lint: allow(";
+    let mut allowed = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim_start().strip_prefix(TAG) else {
+            continue;
+        };
+        let Some((rule, after)) = rest.split_once(')') else {
+            continue;
+        };
+        // A pragma without a justification does not count.
+        let Some(reason) = after.trim_start().strip_prefix("--") else {
+            continue;
+        };
+        allowed.push(rule.to_string());
+        report.exemptions.push(Exemption {
+            file: path.to_path_buf(),
+            rule: rule.to_string(),
+            reason: reason.trim().to_string(),
+        });
+    }
+    allowed
+}
+
+/// Blanks comment bodies and string/char literal contents with spaces,
+/// preserving every byte position and all newlines (so offsets and line
+/// numbers computed on the result are valid for the original).
+fn strip_comments_and_strings(text: &str) -> String {
+    #[derive(PartialEq)]
+    enum Mode {
+        Code,
+        Line,
+        Block(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let bytes = text.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut mode = Mode::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match mode {
+            Mode::Code => match (b, next) {
+                (b'/', Some(b'/')) => {
+                    mode = Mode::Line;
+                    out[i] = b' ';
+                    out[i + 1] = b' ';
+                    i += 1;
+                }
+                (b'/', Some(b'*')) => {
+                    mode = Mode::Block(1);
+                    out[i] = b' ';
+                    out[i + 1] = b' ';
+                    i += 1;
+                }
+                (b'"', _) => mode = Mode::Str,
+                (b'r', Some(b'"' | b'#')) | (b'b', Some(b'r')) => {
+                    // Raw string: count the hashes after the leading r.
+                    let start = if b == b'b' { i + 2 } else { i + 1 };
+                    let mut hashes = 0;
+                    while bytes.get(start + hashes) == Some(&b'#') {
+                        hashes += 1;
+                    }
+                    if bytes.get(start + hashes) == Some(&b'"') {
+                        mode = Mode::RawStr(hashes);
+                        i = start + hashes;
+                    }
+                }
+                // A lifetime ('a) is an identifier char after the quote
+                // and no closing quote right behind it; treat a quote as
+                // a char literal only when it closes within 3 bytes or
+                // opens an escape.
+                (b'\'', Some(n))
+                    if n == b'\\'
+                        || bytes.get(i + 2) == Some(&b'\'')
+                        || (n.is_ascii()
+                            && bytes.get(i + 3) == Some(&b'\'')
+                            && next != Some(b'\'')) =>
+                {
+                    mode = Mode::Char;
+                }
+                _ => {}
+            },
+            Mode::Line => {
+                if b == b'\n' {
+                    mode = Mode::Code;
+                } else {
+                    out[i] = b' ';
+                }
+            }
+            Mode::Block(depth) => {
+                if b == b'\n' {
+                    // keep newlines
+                } else {
+                    out[i] = b' ';
+                }
+                if b == b'/' && next == Some(b'*') {
+                    mode = Mode::Block(depth + 1);
+                    out[i + 1] = b' ';
+                    i += 1;
+                } else if b == b'*' && next == Some(b'/') {
+                    out[i + 1] = b' ';
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::Block(depth - 1)
+                    };
+                    i += 1;
+                }
+            }
+            Mode::Str => match (b, next) {
+                (b'\\', Some(_)) => {
+                    out[i] = b' ';
+                    out[i + 1] = b' ';
+                    i += 1;
+                }
+                (b'"', _) => mode = Mode::Code,
+                (b'\n', _) => {}
+                _ => out[i] = b' ',
+            },
+            Mode::RawStr(hashes) => {
+                if b == b'"' && bytes[i + 1..].iter().take(hashes).all(|&c| c == b'#') {
+                    mode = Mode::Code;
+                    i += hashes;
+                } else if b != b'\n' {
+                    out[i] = b' ';
+                }
+            }
+            Mode::Char => match (b, next) {
+                (b'\\', Some(_)) => {
+                    out[i] = b' ';
+                    out[i + 1] = b' ';
+                    i += 1;
+                }
+                (b'\'', _) => mode = Mode::Code,
+                _ => out[i] = b' ',
+            },
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Byte ranges (over the original text) gated by `#[cfg(feature = "prof")]`:
+/// the attribute plus the item or statement it applies to. Code compiled
+/// only under `prof` never runs in a replay build, so it is exempt.
+///
+/// `stripped` must be the same text with comments/strings blanked; it is
+/// used for the balanced-delimiter scan so braces inside literals don't
+/// derail it.
+fn prof_gated_regions(text: &str, stripped: &str) -> Vec<(usize, usize)> {
+    const ATTR: &str = "#[cfg(feature = \"prof\")]";
+    let mut regions = Vec::new();
+    let mut from = 0;
+    while let Some(off) = text[from..].find(ATTR) {
+        let start = from + off;
+        let mut i = start + ATTR.len();
+        let bytes = stripped.as_bytes();
+        // Skip whitespace and any further attributes between the cfg and
+        // the thing it gates.
+        loop {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if bytes.get(i) == Some(&b'#') && bytes.get(i + 1) == Some(&b'[') {
+                while i < bytes.len() && bytes[i] != b']' {
+                    i += 1;
+                }
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        // The gated item/statement ends at the first `;` at depth 0, or —
+        // once a brace block has opened — where depth returns to 0.
+        let mut depth = 0i32;
+        let mut opened = false;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' | b'(' | b'[' => {
+                    depth += 1;
+                    opened = opened || bytes[i] == b'{';
+                }
+                b'}' | b')' | b']' => {
+                    depth -= 1;
+                    if depth == 0 && opened && bytes[i] == b'}' {
+                        i += 1;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        regions.push((start, i));
+        from = i.max(start + ATTR.len());
+    }
+    regions
+}
+
+/// Iterates `(byte_offset, token)` over maximal identifier-like runs.
+fn word_tokens(stripped: &str) -> impl Iterator<Item = (usize, &str)> {
+    let bytes = stripped.as_bytes();
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut i = 0;
+    std::iter::from_fn(move || {
+        while i < bytes.len() && !is_word(bytes[i]) {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return None;
+        }
+        let start = i;
+        while i < bytes.len() && is_word(bytes[i]) {
+            i += 1;
+        }
+        Some((start, &stripped[start..i]))
+    })
+}
+
+/// 1-based line number of byte offset `pos` in `text`.
+fn line_of(text: &str, pos: usize) -> usize {
+    text.as_bytes()[..pos]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(name: &str) -> (PathBuf, String) {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join(name);
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name}: {e}"));
+        (path, text)
+    }
+
+    fn lint_fixture(name: &str) -> Report {
+        let (path, text) = fixture(name);
+        let mut report = Report::default();
+        lint_source(&path, &text, &mut report);
+        report
+    }
+
+    #[test]
+    fn rejects_std_hashmap_in_sim_code() {
+        let report = lint_fixture("reject/std_hashmap_in_sim.rs");
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.rule == "std-collections" && f.token == "HashMap"),
+            "expected a std-collections finding, got {:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn rejects_thread_rng_in_core_code() {
+        let report = lint_fixture("reject/thread_rng_in_core.rs");
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.rule == "entropy-rng" && f.token == "thread_rng"),
+            "expected an entropy-rng finding, got {:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn rejects_bare_wall_clock() {
+        let report = lint_fixture("reject/bare_instant.rs");
+        let lines: Vec<usize> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == "wall-clock")
+            .map(|f| f.line)
+            .collect();
+        assert!(!lines.is_empty(), "expected wall-clock findings");
+        // Line numbers must point at the real occurrences (import + call),
+        // not at comment mentions.
+        assert_eq!(lines, vec![6, 9]);
+    }
+
+    #[test]
+    fn accepts_prof_gated_instant() {
+        let report = lint_fixture("accept/prof_gated_instant.rs");
+        assert!(
+            report.findings.is_empty(),
+            "prof-gated code must be exempt, got {:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn accepts_pragma_exempted_bench_helper() {
+        let report = lint_fixture("accept/bench_timing_helper.rs");
+        assert!(
+            report.findings.is_empty(),
+            "pragma-exempted file must pass, got {:?}",
+            report.findings
+        );
+        assert_eq!(report.exemptions.len(), 1);
+        assert_eq!(report.exemptions[0].rule, "wall-clock");
+        assert!(!report.exemptions[0].reason.is_empty());
+    }
+
+    #[test]
+    fn accepts_det_collections_and_comment_mentions() {
+        let report = lint_fixture("accept/det_collections.rs");
+        assert!(
+            report.findings.is_empty(),
+            "DetMap code (and HashMap in comments/strings) must pass, got {:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn pragma_without_reason_does_not_exempt() {
+        let mut report = Report::default();
+        lint_source(
+            Path::new("x.rs"),
+            "// det-lint: allow(wall-clock)\nuse std::time::Instant;\n",
+            &mut report,
+        );
+        assert_eq!(
+            report.findings.len(),
+            1,
+            "reason-less pragma must not count"
+        );
+        assert!(report.exemptions.is_empty());
+    }
+
+    #[test]
+    fn pragma_only_exempts_named_rule() {
+        let mut report = Report::default();
+        lint_source(
+            Path::new("x.rs"),
+            "// det-lint: allow(wall-clock) -- profiling\n\
+             use std::time::Instant;\n\
+             use std::collections::HashMap;\n",
+            &mut report,
+        );
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "std-collections");
+    }
+
+    #[test]
+    fn strip_preserves_positions_and_newlines() {
+        let text = "let a = \"HashMap\"; // HashMap\nlet b = 1; /* HashSet */\n";
+        let stripped = strip_comments_and_strings(text);
+        assert_eq!(stripped.len(), text.len());
+        assert_eq!(stripped.matches('\n').count(), text.matches('\n').count());
+        assert!(!stripped.contains("HashMap"));
+        assert!(!stripped.contains("HashSet"));
+        assert!(stripped.contains("let a"));
+        assert!(stripped.contains("let b"));
+    }
+
+    #[test]
+    fn prof_gate_covers_statement_and_item() {
+        let text = "#[cfg(feature = \"prof\")]\nlet t = Instant::now();\nlet x = 1;\n";
+        let stripped = strip_comments_and_strings(text);
+        let regions = prof_gated_regions(text, &stripped);
+        assert_eq!(regions.len(), 1);
+        let inst = text.find("Instant").unwrap();
+        assert!(regions[0].0 < inst && inst < regions[0].1);
+        let x = text.find("let x").unwrap();
+        assert!(x >= regions[0].1, "gate must not swallow following code");
+
+        let item = "#[cfg(feature = \"prof\")]\nfn p() { let t = Instant::now(); }\nfn q() { let u = Instant::now(); }\n";
+        let s2 = strip_comments_and_strings(item);
+        let r2 = prof_gated_regions(item, &s2);
+        assert_eq!(r2.len(), 1);
+        let second = item.rfind("Instant").unwrap();
+        assert!(second >= r2[0].1, "only the gated fn is exempt");
+    }
+}

@@ -1,0 +1,94 @@
+//! Workspace automation tasks, invoked as `cargo xtask <task>` (see
+//! `.cargo/config.toml` for the alias).
+//!
+//! The one task so far is `lint-determinism`, the static pass enforcing
+//! the determinism contract of DESIGN.md §8 over the simulation crates.
+
+mod lint;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint-determinism") => {
+            let root = match args.next().as_deref() {
+                Some("--root") => match args.next() {
+                    Some(r) => PathBuf::from(r),
+                    None => {
+                        eprintln!("--root requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                Some(other) => {
+                    eprintln!("unknown argument `{other}`");
+                    return ExitCode::FAILURE;
+                }
+                None => workspace_root(),
+            };
+            lint_determinism(&root)
+        }
+        Some(other) => {
+            eprintln!("unknown task `{other}`");
+            usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask lint-determinism [--root <workspace>]");
+}
+
+/// The workspace root is two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives at <root>/crates/xtask")
+        .to_path_buf()
+}
+
+fn lint_determinism(root: &Path) -> ExitCode {
+    let report = match lint::lint_workspace(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint-determinism: I/O error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !report.exemptions.is_empty() {
+        println!("audited exemptions ({}):", report.exemptions.len());
+        for e in &report.exemptions {
+            let file = e.file.strip_prefix(root).unwrap_or(&e.file);
+            println!("  {}: allow({}) -- {}", file.display(), e.rule, e.reason);
+        }
+    }
+    if report.findings.is_empty() {
+        println!("lint-determinism: clean");
+        ExitCode::SUCCESS
+    } else {
+        for f in &report.findings {
+            let file = f.file.strip_prefix(root).unwrap_or(&f.file);
+            println!(
+                "{}",
+                lint::Finding {
+                    file: file.to_path_buf(),
+                    line: f.line,
+                    rule: f.rule,
+                    token: f.token.clone(),
+                }
+            );
+        }
+        eprintln!(
+            "lint-determinism: {} violation(s); see DESIGN.md §8 for the contract",
+            report.findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}

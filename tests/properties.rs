@@ -224,7 +224,7 @@ proptest! {
             })
             .collect();
         let plan = min_max_assign(&chunks, strategy);
-        let mut assigned = std::collections::HashSet::new();
+        let mut assigned = pds_det::DetSet::default();
         for (node, cs) in &plan {
             for c in cs {
                 prop_assert!(assigned.insert(*c), "chunk assigned twice");
