@@ -12,7 +12,10 @@
 //!
 //! `--quick` shortens the simulated horizon for CI smoke runs; the node
 //! counts (100 / 500 / 1000) stay the same so the scaling trend is always
-//! visible. Without `--quick` the horizon is 4× longer.
+//! visible. Without `--quick` the horizon is 4× longer. `--trace-check`
+//! additionally re-runs the largest scenario with a null trace sink
+//! installed and asserts the instrumented hot path stays within 10% of the
+//! uninstrumented wall time (DESIGN.md §9).
 
 use pds_bench::WallClock;
 use pds_sim::{
@@ -100,7 +103,14 @@ struct ModeRun {
 }
 
 fn run_mode(n: usize, index: SpatialIndex, horizon: SimTime) -> ModeRun {
+    run_mode_traced(n, index, horizon, false)
+}
+
+fn run_mode_traced(n: usize, index: SpatialIndex, horizon: SimTime, traced: bool) -> ModeRun {
     let mut world = build_world(n, index, 42);
+    if traced {
+        world.set_trace_sink(Box::new(pds_sim::obs::NullSink));
+    }
     let start = WallClock::start();
     world.run_until(horizon);
     let wall_s = start.elapsed_s();
@@ -115,9 +125,49 @@ fn run_mode(n: usize, index: SpatialIndex, horizon: SimTime) -> ModeRun {
     }
 }
 
+/// `--trace-check`: runs the largest scenario untraced and with a
+/// [`pds_sim::obs::NullSink`] installed (every emission site live, events
+/// discarded), asserting identical stats and a wall-clock overhead within
+/// the ISSUE 3 budget. Returns (untraced_s, traced_s, ratio).
+fn trace_check(horizon: SimTime) -> (f64, f64, f64) {
+    let n = NODE_COUNTS[NODE_COUNTS.len() - 1];
+    // Best-of-2 per mode to damp scheduler noise on CI runners.
+    let best = |traced: bool| -> ModeRun {
+        let a = run_mode_traced(n, SpatialIndex::Grid, horizon, traced);
+        let b = run_mode_traced(n, SpatialIndex::Grid, horizon, traced);
+        assert_eq!(a.stats, b.stats, "same-seed runs must agree");
+        if a.wall_s <= b.wall_s {
+            a
+        } else {
+            b
+        }
+    };
+    let off = best(false);
+    let on = best(true);
+    assert_eq!(
+        on.stats, off.stats,
+        "trace sink must not perturb simulation results"
+    );
+    let ratio = on.wall_s / off.wall_s.max(1e-9);
+    println!(
+        "trace-check n={n}  untraced {:.3}s  traced {:.3}s  ratio {ratio:.3}",
+        off.wall_s, on.wall_s
+    );
+    // 10% relative budget plus a small absolute pad so sub-second quick
+    // runs don't fail on timer granularity.
+    assert!(
+        on.wall_s <= off.wall_s * 1.10 + 0.05,
+        "tracing overhead above budget: {:.3}s traced vs {:.3}s untraced",
+        on.wall_s,
+        off.wall_s
+    );
+    (off.wall_s, on.wall_s, ratio)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let check_trace = args.iter().any(|a| a == "--trace-check");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -148,12 +198,21 @@ fn main() {
         rows.push((n, grid, brute, speedup, equal));
     }
 
+    let traced = check_trace.then(|| trace_check(horizon));
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"sim_scale\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"sim_seconds\": {sim_seconds},");
     let _ = writeln!(json, "  \"stats_equal\": {all_equal},");
+    if let Some((off_s, on_s, ratio)) = traced {
+        let _ = writeln!(
+            json,
+            "  \"trace_check\": {{\"untraced_wall_s\": {off_s:.6}, \
+             \"traced_wall_s\": {on_s:.6}, \"overhead_ratio\": {ratio:.4}}},"
+        );
+    }
     let _ = writeln!(json, "  \"results\": [");
     let last = rows.len() - 1;
     for (i, (n, grid, brute, speedup, equal)) in rows.iter().enumerate() {

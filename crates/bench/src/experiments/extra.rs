@@ -34,6 +34,7 @@ fn discovery_with(pds: PdsConfig, entries: usize, redundancy: usize, seed: u64) 
         recall: per.iter().map(|m| m.recall).sum::<f64>() / k,
         latency_s: per.iter().map(|m| m.latency_s).sum::<f64>() / k,
         overhead_mb: per[0].overhead_mb, // shared window: total traffic
+        overhead_by_phase_mb: per[0].overhead_by_phase_mb,
         rounds: per.iter().map(|m| m.rounds).sum::<f64>() / k,
         finished: per.iter().all(|m| m.finished),
     }

@@ -39,18 +39,30 @@ pub fn fig11_item_size(cfg: &RunConfig) -> Vec<Table> {
     let sizes_mb: &[usize] = if cfg.quick { &[1, 4] } else { &[1, 5, 10, 20] };
     let mut t = Table::new(
         "Fig. 11 — PDR vs data item size",
-        &["size_mb", "recall", "latency_s", "overhead_mb"],
+        &[
+            "size_mb",
+            "recall",
+            "latency_s",
+            "overhead_mb",
+            "pdd_mb",
+            "pdr_mb",
+            "other_mb",
+        ],
     );
     for &mb in sizes_mb {
         let runs = run_seeds(&cfg.seeds, |seed| {
             retrieval_run(mb * 1_000_000, 1, false, seed)
         });
         let avg = average_runs(&runs);
+        let [pdd, pdr, _mdr, other] = avg.overhead_by_phase_mb;
         t.push_row(vec![
             mb.to_string(),
             pct(avg.recall),
             f2(avg.latency_s),
             f2(avg.overhead_mb),
+            f2(pdd),
+            f2(pdr),
+            f2(other),
         ]);
     }
     vec![t]

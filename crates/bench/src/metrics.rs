@@ -38,6 +38,10 @@ pub struct RunMetrics {
     /// Megabytes of all messages transmitted during the operation
     /// (data, retransmissions and acks alike).
     pub overhead_mb: f64,
+    /// `overhead_mb` decomposed as `[pdd, pdr, mdr, other]` megabytes:
+    /// data-frame bytes attributed by traffic class, with acks and
+    /// unclassified traffic in `other`. Sums to `overhead_mb`.
+    pub overhead_by_phase_mb: [f64; 4],
     /// Discovery rounds (or chunk-query waves) issued.
     pub rounds: f64,
     /// Whether the operation terminated within the horizon.
@@ -52,9 +56,26 @@ impl RunMetrics {
             recall: 0.0,
             latency_s: 0.0,
             overhead_mb: 0.0,
+            overhead_by_phase_mb: [0.0; 4],
             rounds: 0.0,
             finished: false,
         }
+    }
+
+    /// The per-phase overhead split for a stats window: data bytes
+    /// attributed by traffic class, everything else (acks, unclassified)
+    /// folded into the last (`other`) bucket so the four components sum to
+    /// `bytes_sent`.
+    #[must_use]
+    pub fn phase_split_mb(window: &pds_sim::Stats) -> [f64; 4] {
+        let p = window.data_bytes_by_phase;
+        let classified = p.pdd + p.pdr + p.mdr;
+        [
+            p.pdd as f64 / 1e6,
+            p.pdr as f64 / 1e6,
+            p.mdr as f64 / 1e6,
+            window.bytes_sent.saturating_sub(classified) as f64 / 1e6,
+        ]
     }
 }
 
@@ -68,10 +89,17 @@ impl RunMetrics {
 pub fn average_runs(runs: &[RunMetrics]) -> RunMetrics {
     assert!(!runs.is_empty(), "cannot average zero runs");
     let n = runs.len() as f64;
+    let mut overhead_by_phase_mb = [0.0; 4];
+    for r in runs {
+        for (acc, v) in overhead_by_phase_mb.iter_mut().zip(r.overhead_by_phase_mb) {
+            *acc += v / n;
+        }
+    }
     RunMetrics {
         recall: runs.iter().map(|r| r.recall).sum::<f64>() / n,
         latency_s: runs.iter().map(|r| r.latency_s).sum::<f64>() / n,
         overhead_mb: runs.iter().map(|r| r.overhead_mb).sum::<f64>() / n,
+        overhead_by_phase_mb,
         rounds: runs.iter().map(|r| r.rounds).sum::<f64>() / n,
         finished: runs.iter().all(|r| r.finished),
     }
@@ -105,6 +133,7 @@ mod tests {
             recall: 1.0,
             latency_s: 2.0,
             overhead_mb: 4.0,
+            overhead_by_phase_mb: [1.0, 2.0, 0.0, 1.0],
             rounds: 2.0,
             finished: true,
         };
@@ -112,6 +141,7 @@ mod tests {
             recall: 0.5,
             latency_s: 4.0,
             overhead_mb: 8.0,
+            overhead_by_phase_mb: [2.0, 4.0, 0.0, 2.0],
             rounds: 4.0,
             finished: true,
         };
@@ -119,6 +149,7 @@ mod tests {
         assert!((avg.recall - 0.75).abs() < 1e-12);
         assert!((avg.latency_s - 3.0).abs() < 1e-12);
         assert!((avg.overhead_mb - 6.0).abs() < 1e-12);
+        assert_eq!(avg.overhead_by_phase_mb, [1.5, 3.0, 0.0, 1.5]);
         assert!(avg.finished);
     }
 

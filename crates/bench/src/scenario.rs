@@ -284,6 +284,7 @@ impl Built {
             },
             latency_s: report.latency.as_secs_f64(),
             overhead_mb: d.bytes_sent as f64 / 1e6,
+            overhead_by_phase_mb: RunMetrics::phase_split_mb(&d),
             rounds: f64::from(report.rounds),
             finished: report.finished_at.is_some(),
         }
@@ -305,6 +306,7 @@ impl Built {
             recall: report.recall,
             latency_s: report.latency.as_secs_f64(),
             overhead_mb: d.bytes_sent as f64 / 1e6,
+            overhead_by_phase_mb: RunMetrics::phase_split_mb(&d),
             rounds: f64::from(report.rounds),
             finished: report.finished_at.is_some(),
         }

@@ -20,7 +20,7 @@ use crate::message::{PdsMessage, QueryKind, QueryMessage, ResponseKind, Response
 use crate::sessions::{DiscoverySession, RetrievalSession};
 use crate::store::DataStore;
 use pds_det::DetMap;
-use pds_sim::{NodeId, SimRng, SimTime};
+use pds_sim::{NodeId, Phase, SimRng, SimTime};
 
 /// Maximum recursion depth of chunk-query division (guards against
 /// transient CDI routing loops; carried in the query's `round` field).
@@ -63,33 +63,67 @@ pub struct Outgoing {
     /// a relay that failed to push a cached chunk upstream just tries
     /// again).
     pub retries_left: u8,
+    /// Protocol phase this message belongs to (PDD / PDR / MDR); drives the
+    /// frame traffic class for per-phase overhead accounting and trace
+    /// attribution.
+    pub phase: Phase,
+}
+
+/// The protocol phase a message's overhead is attributed to, derived from
+/// its wire kind. MDR chunk *responses* travel as ordinary `Chunk`
+/// responses and are classified where they originate (see
+/// [`Outgoing::response_slow`]); relay hops re-derive from the wire kind,
+/// so relayed MDR chunk data counts as PDR — a documented approximation
+/// (DESIGN.md §9).
+pub(crate) fn phase_of(message: &PdsMessage) -> Phase {
+    match message {
+        PdsMessage::Query(q) => match q.kind {
+            QueryKind::Metadata | QueryKind::SmallData => Phase::Pdd,
+            QueryKind::Cdi { .. } | QueryKind::Chunks { .. } => Phase::Pdr,
+            QueryKind::MdrChunks { .. } => Phase::Mdr,
+        },
+        PdsMessage::Response(r) => match r.kind {
+            ResponseKind::Metadata { .. } | ResponseKind::SmallData { .. } => Phase::Pdd,
+            ResponseKind::Cdi { .. } | ResponseKind::Chunk { .. } => Phase::Pdr,
+        },
+    }
 }
 
 impl Outgoing {
     pub(crate) fn query(q: QueryMessage, intended: Vec<NodeId>) -> Self {
+        let message = PdsMessage::Query(q);
+        let phase = phase_of(&message);
         Self {
-            message: PdsMessage::Query(q),
+            message,
             intended,
             jitter: Jitter::None,
             retries_left: 2,
+            phase,
         }
     }
 
     pub(crate) fn response(r: ResponseMessage, intended: Vec<NodeId>, jitter: bool) -> Self {
+        let message = PdsMessage::Response(r);
+        let phase = phase_of(&message);
         Self {
-            message: PdsMessage::Response(r),
+            message,
             intended,
             jitter: if jitter { Jitter::Fast } else { Jitter::None },
             retries_left: 2,
+            phase,
         }
     }
 
+    /// Slow-jittered chunk response — only the MDR baseline uses this
+    /// (staggering flooded chunk responders), so the phase is MDR even
+    /// though the wire kind is a plain `Chunk` response.
     pub(crate) fn response_slow(r: ResponseMessage, intended: Vec<NodeId>) -> Self {
         Self {
             message: PdsMessage::Response(r),
             intended,
             jitter: Jitter::Slow,
             retries_left: 2,
+            phase: Phase::Mdr,
         }
     }
 }

@@ -5,13 +5,13 @@
 
 use crate::config::PdsConfig;
 use crate::descriptor::DataDescriptor;
-use crate::engine::{Outgoing, PdsEngine};
+use crate::engine::{phase_of, Outgoing, PdsEngine};
 use crate::ids::ChunkId;
 use crate::message::PdsMessage;
 use crate::predicate::QueryFilter;
 use crate::sessions::{DiscoveryReport, RetrievalReport};
 use bytes::Bytes;
-use pds_sim::{Application, Context, MessageMeta, SimDuration, SimTime};
+use pds_sim::{Application, Context, MessageMeta, Phase, SimDuration, SimTime, TraceKind};
 
 const TAG_POLL: u64 = 1;
 const TAG_GC: u64 = 2;
@@ -62,6 +62,10 @@ pub struct PdsNode {
     in_flight: Vec<(pds_sim::MessageHandle, SimTime, Outgoing)>,
     decode_errors: u64,
     resends: u64,
+    // Tracing only: whether a SessionFinished event has already been
+    // emitted for the current discovery / retrieval session.
+    discovery_finished: bool,
+    retrieval_finished: bool,
 }
 
 impl PdsNode {
@@ -80,6 +84,8 @@ impl PdsNode {
             in_flight: Vec::new(),
             decode_errors: 0,
             resends: 0,
+            discovery_finished: false,
+            retrieval_finished: false,
         }
     }
 
@@ -158,6 +164,8 @@ impl PdsNode {
     pub fn start_discovery(&mut self, ctx: &mut Context, filter: QueryFilter) {
         let now = ctx.now();
         let out = self.ensure_engine(ctx).start_discovery(now, filter);
+        self.discovery_finished = false;
+        ctx.trace(Phase::Pdd, TraceKind::SessionStarted);
         self.dispatch(ctx, out);
     }
 
@@ -167,6 +175,8 @@ impl PdsNode {
         let out = self
             .ensure_engine(ctx)
             .start_small_data_retrieval(now, filter);
+        self.discovery_finished = false;
+        ctx.trace(Phase::Pdd, TraceKind::SessionStarted);
         self.dispatch(ctx, out);
     }
 
@@ -178,6 +188,8 @@ impl PdsNode {
     pub fn start_retrieval(&mut self, ctx: &mut Context, descriptor: DataDescriptor) {
         let now = ctx.now();
         let out = self.ensure_engine(ctx).start_retrieval(now, descriptor);
+        self.retrieval_finished = false;
+        ctx.trace(Phase::Pdr, TraceKind::SessionStarted);
         self.dispatch(ctx, out);
     }
 
@@ -189,6 +201,8 @@ impl PdsNode {
     pub fn start_mdr_retrieval(&mut self, ctx: &mut Context, descriptor: DataDescriptor) {
         let now = ctx.now();
         let out = self.ensure_engine(ctx).start_mdr_retrieval(now, descriptor);
+        self.retrieval_finished = false;
+        ctx.trace(Phase::Mdr, TraceKind::SessionStarted);
         self.dispatch(ctx, out);
     }
 
@@ -214,7 +228,14 @@ impl PdsNode {
     }
 
     fn transmit(&mut self, ctx: &mut Context, out: Outgoing) {
-        let handle = ctx.broadcast(out.message.encode(), &out.intended);
+        if ctx.trace_enabled() {
+            let kind = match &out.message {
+                PdsMessage::Query(q) => TraceKind::QuerySent { query: q.id.0 },
+                PdsMessage::Response(r) => TraceKind::ResponseSent { response: r.id.0 },
+            };
+            ctx.trace(out.phase, kind);
+        }
+        let handle = ctx.broadcast_class(out.message.encode(), &out.intended, out.phase.class());
         // Only directed messages get transport verdicts; track them for
         // failure-driven resends.
         if !out.intended.is_empty() && out.retries_left > 0 {
@@ -237,6 +258,50 @@ impl PdsNode {
             self.transmit(ctx, out);
         }
     }
+
+    /// Emits `SessionFinished` trace events the first time a consumer
+    /// session's controller reports termination. Tracing-only: a no-op
+    /// (beyond one branch) when no sink is installed.
+    fn note_finishes(&mut self, ctx: &mut Context) {
+        if !ctx.trace_enabled() {
+            return;
+        }
+        let Some(engine) = self.engine.as_ref() else {
+            return;
+        };
+        if !self.discovery_finished {
+            if let Some(report) = engine.discovery().map(|d| d.report()) {
+                if report.finished_at.is_some() {
+                    self.discovery_finished = true;
+                    ctx.trace(
+                        Phase::Pdd,
+                        TraceKind::SessionFinished {
+                            delay_us: report.latency.as_micros(),
+                            rounds: u64::from(report.rounds),
+                            items: report.entries as u64,
+                        },
+                    );
+                }
+            }
+        }
+        if !self.retrieval_finished {
+            if let Some(session) = engine.retrieval() {
+                let report = session.report();
+                if report.finished_at.is_some() {
+                    let phase = if session.mdr { Phase::Mdr } else { Phase::Pdr };
+                    self.retrieval_finished = true;
+                    ctx.trace(
+                        phase,
+                        TraceKind::SessionFinished {
+                            delay_us: report.latency.as_micros(),
+                            rounds: u64::from(report.rounds),
+                            items: u64::from(report.received_chunks),
+                        },
+                    );
+                }
+            }
+        }
+    }
 }
 
 impl Application for PdsNode {
@@ -257,10 +322,25 @@ impl Application for PdsNode {
         let me = ctx.node_id();
         let me_intended = meta.intended.is_empty() || meta.intended.contains(&me);
         let now = ctx.now();
+        if ctx.trace_enabled() {
+            let from = u64::from(meta.from.0);
+            let kind = match &message {
+                PdsMessage::Query(q) => TraceKind::QueryReceived {
+                    query: q.id.0,
+                    from,
+                },
+                PdsMessage::Response(r) => TraceKind::ResponseReceived {
+                    response: r.id.0,
+                    from,
+                },
+            };
+            ctx.trace(phase_of(&message), kind);
+        }
         let out = self
             .ensure_engine(ctx)
             .handle_message(now, meta.from, me_intended, message);
         self.dispatch(ctx, out);
+        self.note_finishes(ctx);
     }
 
     fn on_send_result(
@@ -300,6 +380,7 @@ impl Application for PdsNode {
                 if let Some(engine) = self.engine.as_mut() {
                     let out = engine.poll(ctx.now());
                     self.dispatch(ctx, out);
+                    self.note_finishes(ctx);
                 }
                 ctx.set_timer(self.config.rounds.poll, TAG_POLL);
             }

@@ -1,0 +1,97 @@
+//! `pds-obs` — trace-analysis CLI for PDS JSONL traces.
+//!
+//! ```text
+//! pds-obs summary <trace.jsonl>            per-phase overhead, delay CDFs,
+//!                                          metrics registry
+//! pds-obs cdf <trace.jsonl> [--session]    message (default) or session
+//!                                          delay CDF
+//! pds-obs diff <a.jsonl> <b.jsonl> [--context N]
+//!                                          first diverging event between
+//!                                          two traces
+//! ```
+//!
+//! Exit codes: `0` success / traces identical, `1` traces diverge,
+//! `2` usage or parse error.
+
+use pds_obs::{
+    first_divergence, message_delays_us, read_trace_file, render_cdf, render_divergence,
+    render_summary, session_delays_us, TraceEvent,
+};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  pds-obs summary <trace.jsonl>
+  pds-obs cdf <trace.jsonl> [--session]
+  pds-obs diff <a.jsonl> <b.jsonl> [--context N]";
+
+fn load(path: &str) -> Result<Vec<TraceEvent>, String> {
+    read_trace_file(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    match args {
+        [cmd, path] if cmd == "summary" => {
+            print!("{}", render_summary(&load(path)?));
+            Ok(ExitCode::SUCCESS)
+        }
+        [cmd, path, rest @ ..] if cmd == "cdf" => {
+            let session = match rest {
+                [] => false,
+                [flag] if flag == "--session" => true,
+                _ => return Err(USAGE.to_string()),
+            };
+            let events = load(path)?;
+            if session {
+                let delays = session_delays_us(&events);
+                if delays.is_empty() {
+                    println!("<no finished sessions in trace>");
+                }
+                for (phase, samples) in delays {
+                    print!(
+                        "{}",
+                        render_cdf(&format!("{} session delay CDF", phase.name()), &samples, 10)
+                    );
+                }
+            } else {
+                print!(
+                    "{}",
+                    render_cdf("message delay CDF", &message_delays_us(&events), 10)
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        [cmd, a, b, rest @ ..] if cmd == "diff" => {
+            let context = match rest {
+                [] => 3usize,
+                [flag, n] if flag == "--context" => {
+                    n.parse().map_err(|_| format!("bad --context value: {n}"))?
+                }
+                _ => return Err(USAGE.to_string()),
+            };
+            let left = load(a)?;
+            let right = load(b)?;
+            match first_divergence(&left, &right) {
+                None => {
+                    println!("traces identical ({} events)", left.len());
+                    Ok(ExitCode::SUCCESS)
+                }
+                Some(d) => {
+                    print!("{}", render_divergence(&left, &right, &d, context));
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! The trace event vocabulary.
+//!
+//! Events are deliberately flat — virtual timestamp, node, phase, kind plus
+//! a handful of integer payload ids — so they serialize to one JSONL object
+//! each and can be compared field-wise by the `diff` analysis. All
+//! timestamps are *virtual* microseconds; no wall-clock value ever enters a
+//! trace (DESIGN.md §8).
+
+use std::fmt;
+
+/// Layer or protocol phase an event is attributed to.
+///
+/// `Pdd`/`Pdr`/`Mdr` carry the paper's Fig. 9 overhead decomposition;
+/// `Kernel`/`Radio`/`Transport` attribute simulator-level events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Simulation-kernel events (the dispatch stream the replay digest
+    /// folds).
+    Kernel,
+    /// Physical/MAC-layer events: transmissions, deliveries, losses.
+    Radio,
+    /// Reliable-transport events: messages, acks, retransmissions.
+    Transport,
+    /// Peer Data Discovery (metadata / small-data queries and responses).
+    Pdd,
+    /// Peer Data Retrieval (CDI collection and chunk retrieval).
+    Pdr,
+    /// The MDR baseline (multi-round chunk retrieval without CDI).
+    Mdr,
+    /// Unattributed traffic (e.g. non-PDS test applications).
+    Other,
+}
+
+/// Traffic class byte carried by data frames so the radio layer can split
+/// byte counters by protocol phase without understanding PDS messages.
+pub mod class {
+    /// Unclassified traffic (also acks and non-PDS applications).
+    pub const OTHER: u8 = 0;
+    /// PDD control traffic (discovery queries/responses).
+    pub const PDD: u8 = 1;
+    /// PDR traffic (CDI collection + chunk retrieval).
+    pub const PDR: u8 = 2;
+    /// MDR baseline traffic.
+    pub const MDR: u8 = 3;
+}
+
+impl Phase {
+    /// All phases, in canonical (sort) order.
+    pub const ALL: [Phase; 7] = [
+        Phase::Kernel,
+        Phase::Radio,
+        Phase::Transport,
+        Phase::Pdd,
+        Phase::Pdr,
+        Phase::Mdr,
+        Phase::Other,
+    ];
+
+    /// Stable lowercase name used in the JSONL schema.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Kernel => "kernel",
+            Phase::Radio => "radio",
+            Phase::Transport => "transport",
+            Phase::Pdd => "pdd",
+            Phase::Pdr => "pdr",
+            Phase::Mdr => "mdr",
+            Phase::Other => "other",
+        }
+    }
+
+    /// Inverse of [`Phase::name`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    /// The frame traffic-class byte for this phase (see [`class`]).
+    #[must_use]
+    pub fn class(self) -> u8 {
+        match self {
+            Phase::Pdd => class::PDD,
+            Phase::Pdr => class::PDR,
+            Phase::Mdr => class::MDR,
+            _ => class::OTHER,
+        }
+    }
+
+    /// Maps a frame traffic-class byte back to its protocol phase.
+    /// Unknown classes collapse to [`Phase::Other`].
+    #[must_use]
+    pub fn from_class(c: u8) -> Phase {
+        match c {
+            class::PDD => Phase::Pdd,
+            class::PDR => Phase::Pdr,
+            class::MDR => Phase::Mdr,
+            _ => Phase::Other,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What happened. Payload fields are raw integer ids so the crate stays a
+/// leaf dependency (no simulator types).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    // ---- kernel: mirrors the dispatched event stream ---------------------
+    /// A node's `on_start` fired.
+    NodeStart,
+    /// A MAC transmission attempt (`deferred` = second phase of
+    /// sense–defer–transmit).
+    MacTry {
+        /// Whether the initial random defer has already been served.
+        deferred: bool,
+    },
+    /// A transmission's end event was dispatched.
+    TxEnd {
+        /// Transmission id.
+        tx: u64,
+    },
+    /// A leaky-bucket drain event fired.
+    BucketDrain,
+    /// A timer (application or transport) fired.
+    TimerFired {
+        /// Timer id within the node's table.
+        timer: u64,
+    },
+    /// A scheduled control closure ran.
+    Control {
+        /// Control-closure id.
+        ctrl: u64,
+    },
+    /// Periodic transport garbage collection ran.
+    Sweep,
+
+    // ---- radio -----------------------------------------------------------
+    /// A frame went on the air. `node` is the sender.
+    TxStart {
+        /// Transmission id.
+        tx: u64,
+        /// On-air bytes.
+        bytes: u64,
+        /// Traffic class (see [`class`]).
+        class: u64,
+    },
+    /// A frame reception succeeded at `node`.
+    FrameDelivered {
+        /// Transmission id.
+        tx: u64,
+        /// On-air bytes received.
+        bytes: u64,
+    },
+    /// A frame reception at `node` was lost to a collision.
+    FrameCollided {
+        /// Transmission id.
+        tx: u64,
+    },
+    /// A frame reception at `node` was lost to baseline (fading) loss.
+    FrameLostRandom {
+        /// Transmission id.
+        tx: u64,
+    },
+    /// A frame reception at `node` was missed because it was transmitting.
+    FrameHalfDuplex {
+        /// Transmission id.
+        tx: u64,
+    },
+    /// The OS UDP send buffer at `node` overflowed and dropped a frame.
+    FrameDroppedOs {
+        /// Dropped frame's on-air bytes.
+        bytes: u64,
+    },
+    /// OS send-buffer occupancy at `node` after an enqueue.
+    QueueDepth {
+        /// Bytes currently queued in the OS buffer.
+        bytes: u64,
+    },
+
+    // ---- transport -------------------------------------------------------
+    /// `node` submitted an application message for transmission.
+    MessageSent {
+        /// Per-origin sequence number (message id = `node#seq`).
+        seq: u64,
+        /// Total wire bytes of the initial transmission (all fragments).
+        bytes: u64,
+        /// Traffic class of the message's frames.
+        class: u64,
+    },
+    /// A complete message was delivered to `node`'s application.
+    MessageDelivered {
+        /// Originating node.
+        origin: u64,
+        /// Per-origin sequence number.
+        seq: u64,
+        /// Total wire bytes of the message.
+        bytes: u64,
+        /// Whether `node` merely overheard it.
+        overheard: bool,
+    },
+    /// A reliable message from `node` was fully acknowledged.
+    MessageAcked {
+        /// Per-origin sequence number.
+        seq: u64,
+    },
+    /// A reliable message from `node` was abandoned after exhausting its
+    /// retry budget.
+    MessageFailed {
+        /// Per-origin sequence number.
+        seq: u64,
+    },
+    /// `node` retransmitted the missing fragments of a message.
+    Retransmit {
+        /// Per-origin sequence number.
+        seq: u64,
+        /// Fragments retransmitted in this attempt.
+        frames: u64,
+    },
+    /// `node` transmitted a selective ack.
+    AckSent {
+        /// Origin of the acknowledged message.
+        origin: u64,
+        /// Per-origin sequence number of the acknowledged message.
+        seq: u64,
+        /// Ack frame wire bytes.
+        bytes: u64,
+    },
+
+    // ---- protocol (phase = Pdd / Pdr / Mdr) ------------------------------
+    /// `node` transmitted a PDS query.
+    QuerySent {
+        /// Query id.
+        query: u64,
+    },
+    /// `node` received (and accepted for processing) a PDS query.
+    QueryReceived {
+        /// Query id.
+        query: u64,
+        /// Transmitting one-hop neighbor.
+        from: u64,
+    },
+    /// `node` transmitted a PDS response.
+    ResponseSent {
+        /// Response id.
+        response: u64,
+    },
+    /// `node` received a PDS response.
+    ResponseReceived {
+        /// Response id.
+        response: u64,
+        /// Transmitting one-hop neighbor.
+        from: u64,
+    },
+    /// `node` started a consumer session (discovery or retrieval; the
+    /// event's phase says which protocol).
+    SessionStarted,
+    /// `node`'s consumer session finished.
+    SessionFinished {
+        /// The paper's latency metric for the session, in virtual µs.
+        delay_us: u64,
+        /// Rounds (PDD/MDR) or query waves (PDR) issued.
+        rounds: u64,
+        /// Entries discovered or chunks received.
+        items: u64,
+    },
+}
+
+impl TraceKind {
+    /// Stable snake_case name used in the JSONL schema.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceKind::NodeStart => "node_start",
+            TraceKind::MacTry { .. } => "mac_try",
+            TraceKind::TxEnd { .. } => "tx_end",
+            TraceKind::BucketDrain => "bucket_drain",
+            TraceKind::TimerFired { .. } => "timer_fired",
+            TraceKind::Control { .. } => "control",
+            TraceKind::Sweep => "sweep",
+            TraceKind::TxStart { .. } => "tx_start",
+            TraceKind::FrameDelivered { .. } => "frame_delivered",
+            TraceKind::FrameCollided { .. } => "frame_collided",
+            TraceKind::FrameLostRandom { .. } => "frame_lost_random",
+            TraceKind::FrameHalfDuplex { .. } => "frame_half_duplex",
+            TraceKind::FrameDroppedOs { .. } => "frame_dropped_os",
+            TraceKind::QueueDepth { .. } => "queue_depth",
+            TraceKind::MessageSent { .. } => "message_sent",
+            TraceKind::MessageDelivered { .. } => "message_delivered",
+            TraceKind::MessageAcked { .. } => "message_acked",
+            TraceKind::MessageFailed { .. } => "message_failed",
+            TraceKind::Retransmit { .. } => "retransmit",
+            TraceKind::AckSent { .. } => "ack_sent",
+            TraceKind::QuerySent { .. } => "query_sent",
+            TraceKind::QueryReceived { .. } => "query_received",
+            TraceKind::ResponseSent { .. } => "response_sent",
+            TraceKind::ResponseReceived { .. } => "response_received",
+            TraceKind::SessionStarted => "session_started",
+            TraceKind::SessionFinished { .. } => "session_finished",
+        }
+    }
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual timestamp in microseconds.
+    pub at_us: u64,
+    /// Node the event is attributed to (`u32::MAX` = no node, e.g. a
+    /// control closure or the periodic sweep).
+    pub node: u32,
+    /// Layer / protocol phase.
+    pub phase: Phase,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.node == u32::MAX {
+            write!(
+                f,
+                "[{:>12} µs]    -  {} {:?}",
+                self.at_us, self.phase, self.kind
+            )
+        } else {
+            write!(
+                f,
+                "[{:>12} µs] n{:<4} {} {:?}",
+                self.at_us, self.node, self.phase, self.kind
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_round_trip() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::parse(p.name()), Some(p));
+        }
+        assert_eq!(Phase::parse("bogus"), None);
+    }
+
+    #[test]
+    fn class_mapping_round_trips_protocol_phases() {
+        for p in [Phase::Pdd, Phase::Pdr, Phase::Mdr] {
+            assert_eq!(Phase::from_class(p.class()), p);
+        }
+        assert_eq!(Phase::from_class(class::OTHER), Phase::Other);
+        assert_eq!(Phase::from_class(250), Phase::Other);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let ev = TraceEvent {
+            at_us: 1500,
+            node: 3,
+            phase: Phase::Radio,
+            kind: TraceKind::TxStart {
+                tx: 9,
+                bytes: 1466,
+                class: 1,
+            },
+        };
+        let s = ev.to_string();
+        assert!(s.contains("n3"), "{s}");
+        assert!(s.contains("radio"), "{s}");
+    }
+}

@@ -1,0 +1,550 @@
+//! Hand-rolled JSONL codec for trace events.
+//!
+//! The workspace is offline (no serde); the schema is deliberately flat —
+//! one JSON object per line, values restricted to unsigned integers,
+//! booleans and bare identifier strings — so a ~150-line parser covers it
+//! exactly. Field order in serialized output is fixed (`t`, `node`,
+//! `phase`, `kind`, then payload fields in declaration order), which makes
+//! traces byte-comparable with `diff(1)` as well as with
+//! [`crate::analysis::first_divergence`].
+
+use crate::event::{Phase, TraceEvent, TraceKind};
+use std::io::BufRead;
+use std::path::Path;
+
+/// A parse failure, with the offending line number when known.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number (0 = unknown).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(message: impl Into<String>) -> ParseError {
+    ParseError {
+        line: 0,
+        message: message.into(),
+    }
+}
+
+/// Serializes one event as a single-line JSON object (no trailing newline).
+#[must_use]
+pub fn to_json(ev: &TraceEvent) -> String {
+    let mut s = String::with_capacity(96);
+    s.push_str("{\"t\":");
+    push_u64(&mut s, ev.at_us);
+    s.push_str(",\"node\":");
+    push_u64(&mut s, u64::from(ev.node));
+    s.push_str(",\"phase\":\"");
+    s.push_str(ev.phase.name());
+    s.push_str("\",\"kind\":\"");
+    s.push_str(ev.kind.name());
+    s.push('"');
+    let mut field = |name: &str, v: u64| {
+        s.push_str(",\"");
+        s.push_str(name);
+        s.push_str("\":");
+        push_u64(&mut s, v);
+    };
+    match &ev.kind {
+        TraceKind::NodeStart
+        | TraceKind::BucketDrain
+        | TraceKind::Sweep
+        | TraceKind::SessionStarted => {}
+        TraceKind::MacTry { deferred } => {
+            s.push_str(",\"deferred\":");
+            s.push_str(if *deferred { "true" } else { "false" });
+        }
+        TraceKind::TxEnd { tx }
+        | TraceKind::FrameCollided { tx }
+        | TraceKind::FrameLostRandom { tx }
+        | TraceKind::FrameHalfDuplex { tx } => field("tx", *tx),
+        TraceKind::TimerFired { timer } => field("timer", *timer),
+        TraceKind::Control { ctrl } => field("ctrl", *ctrl),
+        TraceKind::TxStart { tx, bytes, class } => {
+            field("tx", *tx);
+            field("bytes", *bytes);
+            field("class", *class);
+        }
+        TraceKind::FrameDelivered { tx, bytes } => {
+            field("tx", *tx);
+            field("bytes", *bytes);
+        }
+        TraceKind::FrameDroppedOs { bytes } | TraceKind::QueueDepth { bytes } => {
+            field("bytes", *bytes);
+        }
+        TraceKind::MessageSent { seq, bytes, class } => {
+            field("seq", *seq);
+            field("bytes", *bytes);
+            field("class", *class);
+        }
+        TraceKind::MessageDelivered {
+            origin,
+            seq,
+            bytes,
+            overheard,
+        } => {
+            field("origin", *origin);
+            field("seq", *seq);
+            field("bytes", *bytes);
+            s.push_str(",\"overheard\":");
+            s.push_str(if *overheard { "true" } else { "false" });
+        }
+        TraceKind::MessageAcked { seq } | TraceKind::MessageFailed { seq } => field("seq", *seq),
+        TraceKind::Retransmit { seq, frames } => {
+            field("seq", *seq);
+            field("frames", *frames);
+        }
+        TraceKind::AckSent { origin, seq, bytes } => {
+            field("origin", *origin);
+            field("seq", *seq);
+            field("bytes", *bytes);
+        }
+        TraceKind::QuerySent { query } => field("query", *query),
+        TraceKind::QueryReceived { query, from } => {
+            field("query", *query);
+            field("from", *from);
+        }
+        TraceKind::ResponseSent { response } => field("response", *response),
+        TraceKind::ResponseReceived { response, from } => {
+            field("response", *response);
+            field("from", *from);
+        }
+        TraceKind::SessionFinished {
+            delay_us,
+            rounds,
+            items,
+        } => {
+            field("delay_us", *delay_us);
+            field("rounds", *rounds);
+            field("items", *items);
+        }
+    }
+    s.push('}');
+    s
+}
+
+fn push_u64(s: &mut String, v: u64) {
+    // itoa without allocation churn: u64::MAX is 20 digits.
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    s.push_str(std::str::from_utf8(&buf[i..]).expect("digits"));
+}
+
+/// A parsed scalar value from a flat trace object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Value {
+    Num(u64),
+    Bool(bool),
+    Str(String),
+}
+
+/// Parses one flat JSON object into key/value pairs. Order-preserving is
+/// unnecessary; keys are looked up by name afterwards.
+fn parse_object(s: &str) -> Result<Vec<(String, Value)>, ParseError> {
+    let bytes = s.trim().as_bytes();
+    let mut pos = 0usize;
+    let mut fields = Vec::new();
+    let eat = |pos: &mut usize, b: u8| -> Result<(), ParseError> {
+        if bytes.get(*pos) == Some(&b) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(err(format!("expected '{}' at byte {}", b as char, *pos)))
+        }
+    };
+    let skip_ws = |pos: &mut usize| {
+        while matches!(bytes.get(*pos), Some(b' ' | b'\t')) {
+            *pos += 1;
+        }
+    };
+    let parse_string = |pos: &mut usize| -> Result<String, ParseError> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(err(format!("expected string at byte {}", *pos)));
+        }
+        *pos += 1;
+        let start = *pos;
+        while let Some(&b) = bytes.get(*pos) {
+            match b {
+                b'"' => {
+                    let out = std::str::from_utf8(&bytes[start..*pos])
+                        .map_err(|_| err("invalid utf-8 in string"))?
+                        .to_string();
+                    *pos += 1;
+                    return Ok(out);
+                }
+                // The schema only emits bare identifiers; escapes mean a
+                // foreign or corrupted file.
+                b'\\' => return Err(err("escape sequences are not part of the trace schema")),
+                _ => *pos += 1,
+            }
+        }
+        Err(err("unterminated string"))
+    };
+    eat(&mut pos, b'{')?;
+    skip_ws(&mut pos);
+    if bytes.get(pos) == Some(&b'}') {
+        return Ok(fields);
+    }
+    loop {
+        skip_ws(&mut pos);
+        let key = parse_string(&mut pos)?;
+        skip_ws(&mut pos);
+        eat(&mut pos, b':')?;
+        skip_ws(&mut pos);
+        let value = match bytes.get(pos) {
+            Some(b'"') => Value::Str(parse_string(&mut pos)?),
+            Some(b't') => {
+                if bytes[pos..].starts_with(b"true") {
+                    pos += 4;
+                    Value::Bool(true)
+                } else {
+                    return Err(err(format!("bad literal at byte {pos}")));
+                }
+            }
+            Some(b'f') => {
+                if bytes[pos..].starts_with(b"false") {
+                    pos += 5;
+                    Value::Bool(false)
+                } else {
+                    return Err(err(format!("bad literal at byte {pos}")));
+                }
+            }
+            Some(b'0'..=b'9') => {
+                let start = pos;
+                while matches!(bytes.get(pos), Some(b'0'..=b'9')) {
+                    pos += 1;
+                }
+                let digits = std::str::from_utf8(&bytes[start..pos]).expect("digits");
+                Value::Num(
+                    digits
+                        .parse::<u64>()
+                        .map_err(|_| err(format!("integer out of range: {digits}")))?,
+                )
+            }
+            _ => {
+                return Err(err(format!(
+                    "unsupported value at byte {pos} (schema allows unsigned ints, bools, strings)"
+                )))
+            }
+        };
+        fields.push((key, value));
+        skip_ws(&mut pos);
+        match bytes.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b'}') => {
+                pos += 1;
+                skip_ws(&mut pos);
+                if pos != bytes.len() {
+                    return Err(err("trailing garbage after object"));
+                }
+                return Ok(fields);
+            }
+            _ => return Err(err(format!("expected ',' or '}}' at byte {pos}"))),
+        }
+    }
+}
+
+struct Fields(Vec<(String, Value)>);
+
+impl Fields {
+    fn num(&self, key: &str) -> Result<u64, ParseError> {
+        match self.0.iter().find(|(k, _)| k == key) {
+            Some((_, Value::Num(n))) => Ok(*n),
+            Some(_) => Err(err(format!("field '{key}' is not an integer"))),
+            None => Err(err(format!("missing field '{key}'"))),
+        }
+    }
+
+    fn boolean(&self, key: &str) -> Result<bool, ParseError> {
+        match self.0.iter().find(|(k, _)| k == key) {
+            Some((_, Value::Bool(b))) => Ok(*b),
+            Some(_) => Err(err(format!("field '{key}' is not a bool"))),
+            None => Err(err(format!("missing field '{key}'"))),
+        }
+    }
+
+    fn str(&self, key: &str) -> Result<&str, ParseError> {
+        match self.0.iter().find(|(k, _)| k == key) {
+            Some((_, Value::Str(s))) => Ok(s),
+            Some(_) => Err(err(format!("field '{key}' is not a string"))),
+            None => Err(err(format!("missing field '{key}'"))),
+        }
+    }
+}
+
+/// Parses one JSONL line back into a [`TraceEvent`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] when the line is not a flat object of the trace
+/// schema or required fields are missing/mistyped.
+pub fn parse_line(line: &str) -> Result<TraceEvent, ParseError> {
+    let f = Fields(parse_object(line)?);
+    let at_us = f.num("t")?;
+    let node_raw = f.num("node")?;
+    let node = u32::try_from(node_raw).map_err(|_| err("node id exceeds u32"))?;
+    let phase = Phase::parse(f.str("phase")?)
+        .ok_or_else(|| err(format!("unknown phase '{}'", f.str("phase").unwrap_or(""))))?;
+    let kind = match f.str("kind")? {
+        "node_start" => TraceKind::NodeStart,
+        "mac_try" => TraceKind::MacTry {
+            deferred: f.boolean("deferred")?,
+        },
+        "tx_end" => TraceKind::TxEnd { tx: f.num("tx")? },
+        "bucket_drain" => TraceKind::BucketDrain,
+        "timer_fired" => TraceKind::TimerFired {
+            timer: f.num("timer")?,
+        },
+        "control" => TraceKind::Control {
+            ctrl: f.num("ctrl")?,
+        },
+        "sweep" => TraceKind::Sweep,
+        "tx_start" => TraceKind::TxStart {
+            tx: f.num("tx")?,
+            bytes: f.num("bytes")?,
+            class: f.num("class")?,
+        },
+        "frame_delivered" => TraceKind::FrameDelivered {
+            tx: f.num("tx")?,
+            bytes: f.num("bytes")?,
+        },
+        "frame_collided" => TraceKind::FrameCollided { tx: f.num("tx")? },
+        "frame_lost_random" => TraceKind::FrameLostRandom { tx: f.num("tx")? },
+        "frame_half_duplex" => TraceKind::FrameHalfDuplex { tx: f.num("tx")? },
+        "frame_dropped_os" => TraceKind::FrameDroppedOs {
+            bytes: f.num("bytes")?,
+        },
+        "queue_depth" => TraceKind::QueueDepth {
+            bytes: f.num("bytes")?,
+        },
+        "message_sent" => TraceKind::MessageSent {
+            seq: f.num("seq")?,
+            bytes: f.num("bytes")?,
+            class: f.num("class")?,
+        },
+        "message_delivered" => TraceKind::MessageDelivered {
+            origin: f.num("origin")?,
+            seq: f.num("seq")?,
+            bytes: f.num("bytes")?,
+            overheard: f.boolean("overheard")?,
+        },
+        "message_acked" => TraceKind::MessageAcked { seq: f.num("seq")? },
+        "message_failed" => TraceKind::MessageFailed { seq: f.num("seq")? },
+        "retransmit" => TraceKind::Retransmit {
+            seq: f.num("seq")?,
+            frames: f.num("frames")?,
+        },
+        "ack_sent" => TraceKind::AckSent {
+            origin: f.num("origin")?,
+            seq: f.num("seq")?,
+            bytes: f.num("bytes")?,
+        },
+        "query_sent" => TraceKind::QuerySent {
+            query: f.num("query")?,
+        },
+        "query_received" => TraceKind::QueryReceived {
+            query: f.num("query")?,
+            from: f.num("from")?,
+        },
+        "response_sent" => TraceKind::ResponseSent {
+            response: f.num("response")?,
+        },
+        "response_received" => TraceKind::ResponseReceived {
+            response: f.num("response")?,
+            from: f.num("from")?,
+        },
+        "session_started" => TraceKind::SessionStarted,
+        "session_finished" => TraceKind::SessionFinished {
+            delay_us: f.num("delay_us")?,
+            rounds: f.num("rounds")?,
+            items: f.num("items")?,
+        },
+        other => return Err(err(format!("unknown event kind '{other}'"))),
+    };
+    Ok(TraceEvent {
+        at_us,
+        node,
+        phase,
+        kind,
+    })
+}
+
+/// Reads a whole JSONL trace from a reader. Blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns the first I/O or parse error, annotated with its line number.
+pub fn read_trace<R: BufRead>(reader: R) -> Result<Vec<TraceEvent>, ParseError> {
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| ParseError {
+            line: i + 1,
+            message: format!("read error: {e}"),
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_line(&line).map_err(|mut e| {
+            e.line = i + 1;
+            e
+        })?);
+    }
+    Ok(out)
+}
+
+/// Reads a JSONL trace file.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the file cannot be opened or any line fails
+/// to parse.
+pub fn read_trace_file(path: impl AsRef<Path>) -> Result<Vec<TraceEvent>, ParseError> {
+    let file = std::fs::File::open(path.as_ref())
+        .map_err(|e| err(format!("cannot open {}: {e}", path.as_ref().display())))?;
+    read_trace(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One instance of every kind, exercising every payload field.
+    pub(crate) fn one_of_each() -> Vec<TraceEvent> {
+        let kinds = vec![
+            TraceKind::NodeStart,
+            TraceKind::MacTry { deferred: true },
+            TraceKind::MacTry { deferred: false },
+            TraceKind::TxEnd { tx: 7 },
+            TraceKind::BucketDrain,
+            TraceKind::TimerFired { timer: 11 },
+            TraceKind::Control { ctrl: 2 },
+            TraceKind::Sweep,
+            TraceKind::TxStart {
+                tx: 3,
+                bytes: 1466,
+                class: 1,
+            },
+            TraceKind::FrameDelivered { tx: 3, bytes: 1466 },
+            TraceKind::FrameCollided { tx: 4 },
+            TraceKind::FrameLostRandom { tx: 5 },
+            TraceKind::FrameHalfDuplex { tx: 6 },
+            TraceKind::FrameDroppedOs { bytes: 999 },
+            TraceKind::QueueDepth { bytes: 4096 },
+            TraceKind::MessageSent {
+                seq: 1,
+                bytes: 540,
+                class: 2,
+            },
+            TraceKind::MessageDelivered {
+                origin: 9,
+                seq: 1,
+                bytes: 540,
+                overheard: true,
+            },
+            TraceKind::MessageAcked { seq: 1 },
+            TraceKind::MessageFailed { seq: 2 },
+            TraceKind::Retransmit { seq: 2, frames: 3 },
+            TraceKind::AckSent {
+                origin: 9,
+                seq: 1,
+                bytes: 40,
+            },
+            TraceKind::QuerySent { query: u64::MAX },
+            TraceKind::QueryReceived {
+                query: 88,
+                from: 12,
+            },
+            TraceKind::ResponseSent { response: 0 },
+            TraceKind::ResponseReceived {
+                response: 77,
+                from: 3,
+            },
+            TraceKind::SessionStarted,
+            TraceKind::SessionFinished {
+                delay_us: 1_250_000,
+                rounds: 3,
+                items: 45,
+            },
+        ];
+        kinds
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| TraceEvent {
+                at_us: i as u64 * 1000,
+                node: if i % 5 == 0 { u32::MAX } else { i as u32 },
+                phase: Phase::ALL[i % Phase::ALL.len()],
+                kind,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        for ev in one_of_each() {
+            let line = to_json(&ev);
+            let back = parse_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, ev, "round trip of {line}");
+        }
+    }
+
+    #[test]
+    fn whole_trace_round_trips_through_reader() {
+        let events = one_of_each();
+        let mut buf = String::new();
+        for ev in &events {
+            buf.push_str(&to_json(ev));
+            buf.push('\n');
+        }
+        buf.push('\n'); // trailing blank line is tolerated
+        let back = read_trace(buf.as_bytes()).expect("parse");
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line("{\"t\":1}").is_err(), "missing fields");
+        assert!(
+            parse_line("{\"t\":1,\"node\":0,\"phase\":\"kernel\",\"kind\":\"nope\"}").is_err(),
+            "unknown kind"
+        );
+        assert!(
+            parse_line("{\"t\":-5,\"node\":0,\"phase\":\"kernel\",\"kind\":\"sweep\"}").is_err(),
+            "negative numbers are outside the schema"
+        );
+        assert!(
+            parse_line("{\"t\":1,\"node\":0,\"phase\":\"kernel\",\"kind\":\"sweep\"}x").is_err(),
+            "trailing garbage"
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "{\"t\":1,\"node\":0,\"phase\":\"kernel\",\"kind\":\"sweep\"}\nbroken\n";
+        let e = read_trace(text.as_bytes()).expect_err("second line is broken");
+        assert_eq!(e.line, 2);
+    }
+}

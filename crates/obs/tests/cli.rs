@@ -1,0 +1,109 @@
+//! Black-box tests of the `pds-obs` binary: exit codes and the shape of
+//! `diff` / `summary` output over small synthetic JSONL traces.
+
+use pds_obs::{JsonlSink, Phase, TraceEvent, TraceKind, TraceSink};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pds-obs"))
+}
+
+fn write_trace(name: &str, events: &[TraceEvent]) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("pds-obs-cli-{}-{name}.jsonl", std::process::id()));
+    let mut sink = JsonlSink::create(&path).expect("create trace");
+    for ev in events {
+        sink.record(ev);
+    }
+    drop(sink.into_inner());
+    path
+}
+
+fn ev(at_us: u64, node: u32, phase: Phase, kind: TraceKind) -> TraceEvent {
+    TraceEvent {
+        at_us,
+        node,
+        phase,
+        kind,
+    }
+}
+
+fn base_trace() -> Vec<TraceEvent> {
+    vec![
+        ev(0, 0, Phase::Kernel, TraceKind::NodeStart),
+        ev(10, 0, Phase::Pdd, TraceKind::SessionStarted),
+        ev(10, 0, Phase::Pdd, TraceKind::QuerySent { query: 7 }),
+        ev(
+            15,
+            0,
+            Phase::Radio,
+            TraceKind::TxStart {
+                tx: 1,
+                bytes: 80,
+                class: 1,
+            },
+        ),
+        ev(
+            900,
+            0,
+            Phase::Pdd,
+            TraceKind::SessionFinished {
+                delay_us: 890,
+                rounds: 1,
+                items: 3,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn diff_identical_traces_exits_zero() {
+    let a = write_trace("same-a", &base_trace());
+    let b = write_trace("same-b", &base_trace());
+    let out = bin().args(["diff"]).arg(&a).arg(&b).output().expect("run");
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "identical traces must exit 0");
+    assert!(stdout.contains("traces identical"), "{stdout}");
+}
+
+#[test]
+fn diff_divergent_traces_exits_one_and_pinpoints_event() {
+    let left = base_trace();
+    let mut right = base_trace();
+    // Same prefix, diverging third event: a different query id.
+    right[2] = ev(10, 0, Phase::Pdd, TraceKind::QuerySent { query: 9 });
+    let a = write_trace("div-a", &left);
+    let b = write_trace("div-b", &right);
+    let out = bin().args(["diff"]).arg(&a).arg(&b).output().expect("run");
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "divergent traces must exit 1");
+    assert!(stdout.contains("first divergence at event #2"), "{stdout}");
+    assert!(stdout.contains("QuerySent { query: 7 }"), "{stdout}");
+    assert!(stdout.contains("QuerySent { query: 9 }"), "{stdout}");
+}
+
+#[test]
+fn summary_renders_phases_and_exits_zero() {
+    let a = write_trace("summary", &base_trace());
+    let out = bin().args(["summary"]).arg(&a).output().expect("run");
+    std::fs::remove_file(&a).ok();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(stdout.contains("pdd"), "{stdout}");
+}
+
+#[test]
+fn usage_and_parse_errors_exit_two() {
+    let out = bin().output().expect("run");
+    assert_eq!(out.status.code(), Some(2), "no args is a usage error");
+    let out = bin()
+        .args(["summary", "/nonexistent/trace.jsonl"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2), "unreadable trace is an error");
+}

@@ -12,6 +12,9 @@
 //!   a grid of festival-goers (PDR), compared with the MDR baseline.
 //! * `mobile_campus` — discovery while people join, leave and wander a
 //!   student center.
+//! * `trace` — records a discovery + retrieval run as a JSONL trace and
+//!   walks through it with the [`mod@obs`] analysis toolkit (per-phase
+//!   overhead, delay CDF, event census).
 //!
 //! ```
 //! use pds::core::{PdsConfig, PdsNode, QueryFilter};
@@ -44,4 +47,5 @@ pub use pds_bench as bench;
 pub use pds_bloom as bloom;
 pub use pds_core as core;
 pub use pds_mobility as mobility;
+pub use pds_obs as obs;
 pub use pds_sim as sim;

@@ -79,6 +79,11 @@ pub use config::{AckConfig, RadioConfig, SenderMode, SimConfig, SpatialConfig, S
 pub use node::{Application, Command, Context, MessageHandle, MessageMeta, NodeId, TimerId};
 pub use radio::Position;
 pub use rng::SimRng;
-pub use stats::{EnergyModel, NodeStats, Stats};
+pub use stats::{EnergyModel, NodeStats, PhaseBytes, Stats};
 pub use time::{SimDuration, SimTime};
 pub use world::World;
+
+// Re-exported so applications can emit trace events through [`Context`]
+// without naming the observability crate.
+pub use pds_obs as obs;
+pub use pds_obs::{Phase, TraceEvent, TraceKind, TraceSink};

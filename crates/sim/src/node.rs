@@ -7,6 +7,7 @@
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use bytes::Bytes;
+use pds_obs::{Phase, TraceEvent, TraceKind};
 use std::any::Any;
 use std::fmt;
 
@@ -89,6 +90,9 @@ pub enum Command {
         intended: Vec<NodeId>,
         /// Handle pre-assigned by the context.
         handle: MessageHandle,
+        /// Traffic class of the message's frames (see [`pds_obs::class`]),
+        /// used to split the radio byte counters by protocol phase.
+        class: u8,
     },
     /// Arm a timer.
     SetTimer {
@@ -101,6 +105,9 @@ pub enum Command {
     },
     /// Disarm a previously set timer.
     CancelTimer(TimerId),
+    /// Forward a trace event to the world's sink. Only ever issued while a
+    /// sink is installed (see [`Context::trace`]).
+    Trace(TraceEvent),
 }
 
 /// The application's window into the kernel during a callback.
@@ -114,6 +121,7 @@ pub struct Context<'a> {
     next_msg: u64,
     rng: &'a mut SimRng,
     commands: Vec<Command>,
+    trace_enabled: bool,
 }
 
 impl<'a> Context<'a> {
@@ -124,6 +132,7 @@ impl<'a> Context<'a> {
         next_msg: u64,
         rng: &'a mut SimRng,
         commands: Vec<Command>,
+        trace_enabled: bool,
     ) -> Self {
         Self {
             now,
@@ -132,6 +141,7 @@ impl<'a> Context<'a> {
             next_msg,
             rng,
             commands,
+            trace_enabled,
         }
     }
 
@@ -165,14 +175,48 @@ impl<'a> Context<'a> {
     /// [`Application::on_send_result`]. An empty list means "all neighbors"
     /// and is sent unreliably (PDS floods fresh queries this way).
     pub fn broadcast(&mut self, payload: Bytes, intended: &[NodeId]) -> MessageHandle {
+        self.broadcast_class(payload, intended, pds_obs::class::OTHER)
+    }
+
+    /// Like [`Context::broadcast`], additionally tagging the message's
+    /// frames with a traffic class (see [`pds_obs::class`]) so the radio
+    /// layer can attribute on-air bytes to a protocol phase.
+    pub fn broadcast_class(
+        &mut self,
+        payload: Bytes,
+        intended: &[NodeId],
+        class: u8,
+    ) -> MessageHandle {
         let handle = MessageHandle(self.next_msg);
         self.next_msg += 1;
         self.commands.push(Command::Broadcast {
             payload,
             intended: intended.to_vec(),
             handle,
+            class,
         });
         handle
+    }
+
+    /// Whether a trace sink is installed. Applications may use this to skip
+    /// building expensive trace payloads.
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_enabled
+    }
+
+    /// Emits a structured trace event attributed to this node at the
+    /// current virtual time. No-op (a single branch) when no sink is
+    /// installed; tracing never alters simulation behavior.
+    pub fn trace(&mut self, phase: Phase, kind: TraceKind) {
+        if self.trace_enabled {
+            self.commands.push(Command::Trace(TraceEvent {
+                at_us: self.now.as_micros(),
+                node: self.node.0,
+                phase,
+                kind,
+            }));
+        }
     }
 
     /// Arms a timer that fires `delay` from now, delivering `tag` to
@@ -211,7 +255,7 @@ mod tests {
     #[test]
     fn context_allocates_monotonic_handles() {
         let mut rng = SimRng::new(1);
-        let mut ctx = Context::new(SimTime::ZERO, NodeId(0), 5, 9, &mut rng, Vec::new());
+        let mut ctx = Context::new(SimTime::ZERO, NodeId(0), 5, 9, &mut rng, Vec::new(), false);
         let m1 = ctx.broadcast(Bytes::from_static(b"a"), &[]);
         let m2 = ctx.broadcast(Bytes::from_static(b"b"), &[NodeId(1)]);
         assert_ne!(m1, m2);
@@ -228,7 +272,7 @@ mod tests {
     fn set_timer_schedules_at_now_plus_delay() {
         let mut rng = SimRng::new(1);
         let now = SimTime::from_secs_f64(2.0);
-        let mut ctx = Context::new(now, NodeId(3), 0, 0, &mut rng, Vec::new());
+        let mut ctx = Context::new(now, NodeId(3), 0, 0, &mut rng, Vec::new(), false);
         ctx.set_timer(SimDuration::from_secs(1), 42);
         let (commands, _, _) = ctx.finish();
         match &commands[0] {
@@ -243,5 +287,34 @@ mod tests {
     #[test]
     fn node_id_displays_compactly() {
         assert_eq!(NodeId(17).to_string(), "n17");
+    }
+
+    #[test]
+    fn trace_is_a_noop_without_a_sink() {
+        let mut rng = SimRng::new(1);
+        let mut ctx = Context::new(SimTime::ZERO, NodeId(0), 0, 0, &mut rng, Vec::new(), false);
+        assert!(!ctx.trace_enabled());
+        ctx.trace(Phase::Pdd, TraceKind::SessionStarted);
+        let (commands, _, _) = ctx.finish();
+        assert!(commands.is_empty());
+    }
+
+    #[test]
+    fn trace_stamps_time_and_node_when_enabled() {
+        let mut rng = SimRng::new(1);
+        let now = SimTime::from_secs_f64(1.5);
+        let mut ctx = Context::new(now, NodeId(7), 0, 0, &mut rng, Vec::new(), true);
+        assert!(ctx.trace_enabled());
+        ctx.trace(Phase::Pdr, TraceKind::QuerySent { query: 42 });
+        let (commands, _, _) = ctx.finish();
+        match &commands[0] {
+            Command::Trace(ev) => {
+                assert_eq!(ev.at_us, 1_500_000);
+                assert_eq!(ev.node, 7);
+                assert_eq!(ev.phase, Phase::Pdr);
+                assert_eq!(ev.kind, TraceKind::QuerySent { query: 42 });
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
     }
 }

@@ -192,6 +192,9 @@ impl FragSet {
 pub(crate) struct Frame {
     pub sender: NodeId,
     pub wire_bytes: usize,
+    /// Traffic class of the carried message (see [`pds_obs::class`]);
+    /// always `OTHER` for acks.
+    pub class: u8,
     pub kind: FrameKind,
 }
 
@@ -313,6 +316,7 @@ mod tests {
             frame: Frame {
                 sender: NodeId(0),
                 wire_bytes: 100,
+                class: 0,
                 kind: FrameKind::Ack {
                     msg: MessageId {
                         origin: NodeId(0),

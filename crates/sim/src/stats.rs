@@ -4,6 +4,54 @@
 //! messages" (§VI-A); [`Stats::bytes_sent`] counts every on-air byte —
 //! data fragments, retransmissions and acks alike.
 
+/// On-air data bytes split by protocol phase (traffic class).
+///
+/// Carried by every data frame as a one-byte class tag (see
+/// [`pds_obs::class`]); the radio layer buckets bytes here at the single
+/// transmission-counting site, so the split is exact:
+/// `total() == Stats::data_bytes_sent` always.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBytes {
+    /// PDD (discovery) traffic.
+    pub pdd: u64,
+    /// PDR (CDI collection + chunk retrieval) traffic.
+    pub pdr: u64,
+    /// MDR baseline traffic.
+    pub mdr: u64,
+    /// Unclassified traffic (non-PDS applications).
+    pub other: u64,
+}
+
+impl PhaseBytes {
+    /// Sum over all phases — equals the old undivided counter.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.pdd + self.pdr + self.mdr + self.other
+    }
+
+    /// Adds `bytes` to the bucket for traffic class `class` (unknown
+    /// classes count as `other`).
+    pub fn add(&mut self, class: u8, bytes: u64) {
+        match class {
+            pds_obs::class::PDD => self.pdd += bytes,
+            pds_obs::class::PDR => self.pdr += bytes,
+            pds_obs::class::MDR => self.mdr += bytes,
+            _ => self.other += bytes,
+        }
+    }
+
+    /// Bucket-wise difference `self - earlier` (saturating).
+    #[must_use]
+    pub fn since(&self, earlier: &PhaseBytes) -> PhaseBytes {
+        PhaseBytes {
+            pdd: self.pdd.saturating_sub(earlier.pdd),
+            pdr: self.pdr.saturating_sub(earlier.pdr),
+            mdr: self.mdr.saturating_sub(earlier.mdr),
+            other: self.other.saturating_sub(earlier.other),
+        }
+    }
+}
+
 /// Global traffic counters for a [`World`](crate::World).
 ///
 /// Snapshot with `clone()` before a measurement window and subtract with
@@ -26,6 +74,10 @@ pub struct Stats {
     pub bytes_sent: u64,
     /// On-air bytes of data frames only.
     pub data_bytes_sent: u64,
+    /// `data_bytes_sent` split by protocol phase (the paper's Fig. 9
+    /// overhead decomposition); `data_bytes_by_phase.total() ==
+    /// data_bytes_sent` is an invariant.
+    pub data_bytes_by_phase: PhaseBytes,
     /// On-air bytes of ack frames only.
     pub ack_bytes_sent: u64,
     /// Application messages submitted for sending.
@@ -59,6 +111,7 @@ impl Stats {
                 .saturating_sub(earlier.frames_dropped_os),
             bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
             data_bytes_sent: self.data_bytes_sent.saturating_sub(earlier.data_bytes_sent),
+            data_bytes_by_phase: self.data_bytes_by_phase.since(&earlier.data_bytes_by_phase),
             ack_bytes_sent: self.ack_bytes_sent.saturating_sub(earlier.ack_bytes_sent),
             messages_sent: self.messages_sent.saturating_sub(earlier.messages_sent),
             messages_delivered: self
@@ -174,12 +227,66 @@ mod tests {
     fn since_saturates_instead_of_underflowing() {
         let a = Stats {
             frames_sent: 1,
+            data_bytes_by_phase: PhaseBytes {
+                pdd: 10,
+                ..PhaseBytes::default()
+            },
             ..Stats::default()
         };
         let b = Stats {
             frames_sent: 5,
+            data_bytes_by_phase: PhaseBytes {
+                pdd: 50,
+                pdr: 7,
+                ..PhaseBytes::default()
+            },
             ..Stats::default()
         };
-        assert_eq!(a.since(&b).frames_sent, 0);
+        let d = a.since(&b);
+        assert_eq!(d.frames_sent, 0);
+        assert_eq!(d.data_bytes_by_phase.pdd, 0);
+        assert_eq!(d.data_bytes_by_phase.pdr, 0);
+    }
+
+    #[test]
+    fn phase_bytes_add_and_total() {
+        let mut p = PhaseBytes::default();
+        p.add(pds_obs::class::PDD, 100);
+        p.add(pds_obs::class::PDR, 200);
+        p.add(pds_obs::class::MDR, 300);
+        p.add(pds_obs::class::OTHER, 5);
+        p.add(200, 7); // unknown class counts as "other"
+        assert_eq!(p.pdd, 100);
+        assert_eq!(p.pdr, 200);
+        assert_eq!(p.mdr, 300);
+        assert_eq!(p.other, 12);
+        assert_eq!(p.total(), 612);
+    }
+
+    #[test]
+    fn phase_bytes_since_subtracts_per_bucket() {
+        let early = PhaseBytes {
+            pdd: 10,
+            pdr: 20,
+            mdr: 30,
+            other: 40,
+        };
+        let late = PhaseBytes {
+            pdd: 15,
+            pdr: 120,
+            mdr: 30,
+            other: 41,
+        };
+        let d = late.since(&early);
+        assert_eq!(
+            d,
+            PhaseBytes {
+                pdd: 5,
+                pdr: 100,
+                mdr: 0,
+                other: 1
+            }
+        );
+        assert_eq!(d.total(), 106);
     }
 }

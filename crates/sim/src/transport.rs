@@ -44,6 +44,9 @@ struct Outgoing {
     frag_count: u32,
     frag_payload: usize,
     msg_wire_bytes: u32,
+    /// Traffic class carried by every frame of this message, including
+    /// retransmissions (see [`pds_obs::class`]).
+    class: u8,
     acked: DetMap<NodeId, FragSet>,
     /// 0 = initial transmission, 1..=max_retr are retransmissions.
     attempt: u32,
@@ -173,6 +176,7 @@ impl Transport {
         handle: MessageHandle,
         payload: Bytes,
         intended: Vec<NodeId>,
+        class: u8,
         cfg: &SimConfig,
     ) -> SendPlan {
         let msg = MessageId { origin, seq };
@@ -188,6 +192,7 @@ impl Transport {
             frag_payload,
             frag_count,
             msg_wire_bytes,
+            class,
             (0..frag_count).map(|f| (f, intended.clone())),
         );
         let tracked = cfg.ack.enabled && !intended.is_empty();
@@ -205,6 +210,7 @@ impl Transport {
                     frag_count,
                     frag_payload,
                     msg_wire_bytes,
+                    class,
                     acked,
                     attempt: 0,
                     in_flight: frag_count,
@@ -320,6 +326,7 @@ impl Transport {
         Some(Frame {
             sender: me,
             wire_bytes: wire,
+            class: pds_obs::class::OTHER,
             kind: FrameKind::Ack { msg, received },
         })
     }
@@ -395,6 +402,7 @@ impl Transport {
             out.frag_payload,
             out.frag_count,
             out.msg_wire_bytes,
+            out.class,
             missing.into_iter(),
         );
         RetrPlan::Retransmit(frames)
@@ -435,6 +443,7 @@ fn build_frames(
     frag_payload: usize,
     frag_count: u32,
     msg_wire_bytes: u32,
+    class: u8,
     frags: impl Iterator<Item = (u32, Vec<NodeId>)>,
 ) -> Vec<Frame> {
     let total_len = payload.len() as u32;
@@ -456,6 +465,7 @@ fn build_frames(
             Frame {
                 sender,
                 wire_bytes: wire,
+                class,
                 kind: FrameKind::Data {
                     msg,
                     frag,
@@ -496,6 +506,7 @@ mod tests {
             MessageHandle(seq),
             payload(len),
             intended,
+            pds_obs::class::OTHER,
             &cfg(),
         )
     }

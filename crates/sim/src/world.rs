@@ -12,6 +12,7 @@ use crate::time::{SimDuration, SimTime};
 use crate::transport::{MessageId, RetrPlan, Transport};
 use bytes::Bytes;
 use pds_det::DetMap;
+use pds_obs::{Phase, TraceEvent, TraceKind, TraceSink};
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
@@ -138,6 +139,10 @@ pub struct World {
     rng: SimRng,
     stats: Stats,
     max_airtime: SimDuration,
+    /// Structured trace sink; `None` (the default) keeps every emission
+    /// site a single branch. Sinks observe, never influence: installing
+    /// one must not change replay digests, stats, or rng consumption.
+    sink: Option<Box<dyn TraceSink>>,
     /// Running digest of the dispatched event stream (DESIGN.md §8).
     #[cfg(feature = "replay-digest")]
     digest: crate::digest::ReplayDigest,
@@ -197,6 +202,7 @@ impl World {
             rng: SimRng::new(seed),
             stats: Stats::default(),
             max_airtime,
+            sink: None,
             #[cfg(feature = "replay-digest")]
             digest: crate::digest::ReplayDigest::default(),
         }
@@ -210,6 +216,45 @@ impl World {
     #[must_use]
     pub fn replay_digest(&self) -> u64 {
         self.digest.value()
+    }
+
+    /// Installs a structured trace sink. Every kernel, radio, transport
+    /// and application trace event from now on is recorded into it. The
+    /// sink only observes — replay digests and statistics are identical
+    /// with or without one — but emission itself costs time, so leave
+    /// tracing off for performance measurements.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Removes and returns the installed trace sink, flushed. Downcast via
+    /// [`TraceSink::as_any`] to recover the concrete sink (e.g. a
+    /// [`pds_obs::RingSink`] to read events back).
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        let mut sink = self.sink.take();
+        if let Some(s) = sink.as_mut() {
+            s.flush();
+        }
+        sink
+    }
+
+    /// Whether a trace sink is currently installed.
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records `kind` into the sink, if one is installed.
+    #[inline]
+    fn emit(&mut self, node: u32, phase: Phase, kind: TraceKind) {
+        if let Some(s) = self.sink.as_mut() {
+            s.record(&TraceEvent {
+                at_us: self.now.as_micros(),
+                node,
+                phase,
+                kind,
+            });
+        }
     }
 
     /// The shared configuration.
@@ -400,13 +445,14 @@ impl World {
     ) -> Option<R> {
         let now = self.now;
         let next_timer = self.next_timer;
+        let trace_on = self.sink.is_some();
         let mut buf = std::mem::take(&mut self.cmd_scratch);
         buf.clear();
         let state = self.nodes.get_mut(&id)?;
         let msg_seq = state.msg_seq;
         let NodeState { app, rng, .. } = state;
         let app = (app.as_mut() as &mut dyn Any).downcast_mut::<T>()?;
-        let mut ctx = Context::new(now, id, next_timer, msg_seq, rng, buf);
+        let mut ctx = Context::new(now, id, next_timer, msg_seq, rng, buf, trace_on);
         let out = f(app, &mut ctx);
         let (mut commands, next_timer, next_msg) = ctx.finish();
         self.next_timer = next_timer;
@@ -472,9 +518,31 @@ impl World {
     fn dispatch(&mut self, kind: EventKind) {
         #[cfg(feature = "replay-digest")]
         self.digest.record(self.now, &kind);
+        if self.sink.is_some() {
+            self.trace_kernel(&kind);
+        }
         #[cfg(feature = "prof")]
         let _timer = crate::prof::DispatchTimer::start(crate::prof::slot_of(&kind));
         self.dispatch_inner(kind);
+    }
+
+    /// Mirrors the dispatched event stream — exactly what the replay
+    /// digest folds — into the trace, so `pds-obs diff` of two traces
+    /// explains any digest mismatch down to the first diverging event.
+    fn trace_kernel(&mut self, kind: &EventKind) {
+        let (node, tk) = match *kind {
+            EventKind::Start(id) => (id.0, TraceKind::NodeStart),
+            EventKind::MacTry { node, deferred } => (node.0, TraceKind::MacTry { deferred }),
+            EventKind::TxEnd(tx) => (
+                self.transmissions.get(&tx).map_or(u32::MAX, |t| t.sender.0),
+                TraceKind::TxEnd { tx },
+            ),
+            EventKind::BucketDrain(node) => (node.0, TraceKind::BucketDrain),
+            EventKind::Timer { node, id } => (node.0, TraceKind::TimerFired { timer: id.0 }),
+            EventKind::Control(ctrl) => (u32::MAX, TraceKind::Control { ctrl }),
+            EventKind::Sweep => (u32::MAX, TraceKind::Sweep),
+        };
+        self.emit(node, Phase::Kernel, tk);
     }
 
     fn dispatch_inner(&mut self, kind: EventKind) {
@@ -509,6 +577,7 @@ impl World {
     fn call_app(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Application, &mut Context)) {
         let now = self.now;
         let next_timer = self.next_timer;
+        let trace_on = self.sink.is_some();
         let mut buf = std::mem::take(&mut self.cmd_scratch);
         buf.clear();
         let Some(state) = self.nodes.get_mut(&id) else {
@@ -517,7 +586,7 @@ impl World {
         };
         let msg_seq = state.msg_seq;
         let NodeState { app, rng, .. } = state;
-        let mut ctx = Context::new(now, id, next_timer, msg_seq, rng, buf);
+        let mut ctx = Context::new(now, id, next_timer, msg_seq, rng, buf, trace_on);
         f(app.as_mut(), &mut ctx);
         let (mut commands, next_timer, next_msg) = ctx.finish();
         self.next_timer = next_timer;
@@ -537,7 +606,8 @@ impl World {
                     payload,
                     intended,
                     handle,
-                } => self.start_send(id, handle, payload, intended),
+                    class,
+                } => self.start_send(id, handle, payload, intended, class),
                 Command::SetTimer { id: tid, at, tag } => {
                     if let Some(state) = self.nodes.get_mut(&id) {
                         state.timers.insert(tid, TimerKind::App(tag));
@@ -547,6 +617,11 @@ impl World {
                 Command::CancelTimer(tid) => {
                     if let Some(state) = self.nodes.get_mut(&id) {
                         state.timers.remove(&tid);
+                    }
+                }
+                Command::Trace(ev) => {
+                    if let Some(s) = self.sink.as_mut() {
+                        s.record(&ev);
                     }
                 }
             }
@@ -559,20 +634,35 @@ impl World {
         handle: MessageHandle,
         payload: Bytes,
         intended: Vec<NodeId>,
+        class: u8,
     ) {
-        let Self {
-            config,
-            nodes,
-            stats,
-            ..
-        } = self;
-        let Some(state) = nodes.get_mut(&id) else {
-            return;
+        let plan = {
+            let Self {
+                config,
+                nodes,
+                stats,
+                ..
+            } = self;
+            let Some(state) = nodes.get_mut(&id) else {
+                return;
+            };
+            stats.messages_sent += 1;
+            state
+                .transport
+                .send_message(id, handle.0, handle, payload, intended, class, config)
         };
-        stats.messages_sent += 1;
-        let plan = state
-            .transport
-            .send_message(id, handle.0, handle, payload, intended, config);
+        if self.sink.is_some() {
+            let bytes: u64 = plan.frames.iter().map(|f| f.wire_bytes as u64).sum();
+            self.emit(
+                id.0,
+                Phase::Transport,
+                TraceKind::MessageSent {
+                    seq: handle.0,
+                    bytes,
+                    class: u64::from(class),
+                },
+            );
+        }
         for frame in plan.frames {
             self.pace_frame(id, frame, SendClass::Data);
         }
@@ -668,6 +758,8 @@ impl World {
         let cap = self.config.radio.os_buffer_bytes;
         let now = self.now;
         let mut dropped_msg = None;
+        let mut dropped_bytes = None;
+        let mut queued_depth = None;
         let mut schedule_mac = false;
         {
             let Some(state) = self.nodes.get_mut(&id) else {
@@ -676,11 +768,13 @@ impl World {
             if state.os_used + frame.wire_bytes > cap {
                 // The OS silently discards the datagram (§V-2).
                 self.stats.frames_dropped_os += 1;
+                dropped_bytes = Some(frame.wire_bytes as u64);
                 if let FrameKind::Data { msg, .. } = frame.kind {
                     dropped_msg = Some(msg);
                 }
             } else {
                 state.os_used += frame.wire_bytes;
+                queued_depth = Some(state.os_used as u64);
                 if priority {
                     state.os_buffer.push_front(frame);
                 } else {
@@ -690,6 +784,14 @@ impl World {
                     state.mac_scheduled = true;
                     schedule_mac = true;
                 }
+            }
+        }
+        if self.sink.is_some() {
+            if let Some(bytes) = dropped_bytes {
+                self.emit(id.0, Phase::Radio, TraceKind::FrameDroppedOs { bytes });
+            }
+            if let Some(bytes) = queued_depth {
+                self.emit(id.0, Phase::Radio, TraceKind::QueueDepth { bytes });
             }
         }
         if schedule_mac {
@@ -808,9 +910,16 @@ impl World {
         state.stats.bytes_sent += frame.wire_bytes as u64;
         self.stats.frames_sent += 1;
         self.stats.bytes_sent += frame.wire_bytes as u64;
+        let wire = frame.wire_bytes as u64;
+        let frame_class = frame.class;
         match frame.kind {
-            FrameKind::Data { .. } => self.stats.data_bytes_sent += frame.wire_bytes as u64,
-            FrameKind::Ack { .. } => self.stats.ack_bytes_sent += frame.wire_bytes as u64,
+            FrameKind::Data { .. } => {
+                // The single site where on-air data bytes are counted;
+                // splitting here keeps total() == data_bytes_sent exact.
+                self.stats.data_bytes_sent += wire;
+                self.stats.data_bytes_by_phase.add(frame_class, wire);
+            }
+            FrameKind::Ack { .. } => self.stats.ack_bytes_sent += wire,
         }
         let duration = airtime_cfg.frame_airtime(frame.wire_bytes);
         let tx_id = self.next_tx;
@@ -836,6 +945,17 @@ impl World {
         self.tx_by_sender.entry(id).or_default().push(tx_id);
         self.tx_prune.push(Reverse((now + duration, tx_id)));
         self.queue.push(now + duration, EventKind::TxEnd(tx_id));
+        if self.sink.is_some() {
+            self.emit(
+                id.0,
+                Phase::Radio,
+                TraceKind::TxStart {
+                    tx: tx_id,
+                    bytes: wire,
+                    class: u64::from(frame_class),
+                },
+            );
+        }
     }
 
     // ---- transmission end: delivery --------------------------------------
@@ -962,6 +1082,7 @@ impl World {
             });
             if half_duplex {
                 self.stats.frames_half_duplex += 1;
+                self.emit(r.0, Phase::Radio, TraceKind::FrameHalfDuplex { tx: tx_id });
                 continue;
             }
             // Physical capture: the frame survives overlap when its power
@@ -976,15 +1097,27 @@ impl World {
                 .sum();
             if interference > 0.0 && power(tx_pos.distance(&rpos)) < capture * interference {
                 self.stats.frames_collided += 1;
+                self.emit(r.0, Phase::Radio, TraceKind::FrameCollided { tx: tx_id });
                 continue;
             }
             if self.rng.chance(baseline_loss) {
                 self.stats.frames_lost_random += 1;
+                self.emit(r.0, Phase::Radio, TraceKind::FrameLostRandom { tx: tx_id });
                 continue;
             }
             self.stats.frames_delivered += 1;
             if let Some(state) = self.nodes.get_mut(&r) {
                 state.stats.bytes_received += tx.frame.wire_bytes as u64;
+            }
+            if self.sink.is_some() {
+                self.emit(
+                    r.0,
+                    Phase::Radio,
+                    TraceKind::FrameDelivered {
+                        tx: tx_id,
+                        bytes: tx.frame.wire_bytes as u64,
+                    },
+                );
             }
             deliveries.push(r);
         }
@@ -1077,6 +1210,18 @@ impl World {
                             state.stats.messages_overheard += 1;
                         }
                     }
+                    if self.sink.is_some() {
+                        self.emit(
+                            r.0,
+                            Phase::Transport,
+                            TraceKind::MessageDelivered {
+                                origin: u64::from(msg.origin.0),
+                                seq: msg.seq,
+                                bytes: d.wire_bytes as u64,
+                                overheard: d.overheard,
+                            },
+                        );
+                    }
                     let meta = MessageMeta {
                         from: d.from,
                         intended: d.intended,
@@ -1103,6 +1248,11 @@ impl World {
                             state.timers.remove(&tid);
                         }
                     }
+                    self.emit(
+                        r.0,
+                        Phase::Transport,
+                        TraceKind::MessageAcked { seq: msg.seq },
+                    );
                     self.call_app(r, move |app, ctx| app.on_send_result(ctx, handle, true));
                 }
             }
@@ -1157,6 +1307,17 @@ impl World {
                     state.transport.make_ack(node, msg)
                 };
                 if let Some(frame) = ack {
+                    if self.sink.is_some() {
+                        self.emit(
+                            node.0,
+                            Phase::Transport,
+                            TraceKind::AckSent {
+                                origin: u64::from(msg.origin.0),
+                                seq: msg.seq,
+                                bytes: frame.wire_bytes as u64,
+                            },
+                        );
+                    }
                     self.pace_frame(node, frame, SendClass::Ack);
                 }
             }
@@ -1172,11 +1333,26 @@ impl World {
                     RetrPlan::Nothing => {}
                     RetrPlan::GiveUp(handle) => {
                         self.stats.messages_failed += 1;
+                        self.emit(
+                            node.0,
+                            Phase::Transport,
+                            TraceKind::MessageFailed { seq: msg.seq },
+                        );
                         self.call_app(node, move |app, ctx| {
                             app.on_send_result(ctx, handle, false);
                         });
                     }
                     RetrPlan::Retransmit(frames) => {
+                        if self.sink.is_some() {
+                            self.emit(
+                                node.0,
+                                Phase::Transport,
+                                TraceKind::Retransmit {
+                                    seq: msg.seq,
+                                    frames: frames.len() as u64,
+                                },
+                            );
+                        }
                         for frame in frames {
                             self.pace_frame(node, frame, SendClass::Repair);
                         }

@@ -47,11 +47,46 @@ impl Application for Blaster {
 /// timers, MAC attempts and defers, transmissions, bucket drains, control
 /// closures and sweeps.
 fn run(index: SpatialIndex, rebucket_ms: u64, seed: u64) -> (u64, u64) {
+    run_traced(index, rebucket_ms, seed, false)
+}
+
+/// With `PDS_TRACE_DIR` set, a JSONL sink writing one uniquely named trace
+/// file per run into that directory; `None` otherwise.
+fn jsonl_sink_from_env(
+    index: SpatialIndex,
+    rebucket_ms: u64,
+    seed: u64,
+) -> Option<Box<dyn pds_sim::TraceSink>> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static RUN: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::var_os("PDS_TRACE_DIR")?;
+    let run = RUN.fetch_add(1, Ordering::Relaxed);
+    let path = std::path::Path::new(&dir).join(format!(
+        "replay-{index:?}-rebucket{rebucket_ms}-seed{seed}-run{run}.jsonl"
+    ));
+    match pds_sim::obs::JsonlSink::create(&path) {
+        Ok(sink) => Some(Box::new(sink)),
+        Err(e) => {
+            eprintln!("PDS_TRACE_DIR: cannot create {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+fn run_traced(index: SpatialIndex, rebucket_ms: u64, seed: u64, traced: bool) -> (u64, u64) {
     let mut c = SimConfig::default();
     c.radio.baseline_loss = 0.1;
     c.spatial.index = index;
     c.spatial.rebucket_interval = SimDuration::from_millis(rebucket_ms);
     let mut w = World::new(c, seed);
+    if traced {
+        w.set_trace_sink(Box::new(pds_sim::obs::RingSink::new(0)));
+    } else if let Some(sink) = jsonl_sink_from_env(index, rebucket_ms, seed) {
+        // CI failure forensics: PDS_TRACE_DIR=<dir> dumps every run's full
+        // event stream as JSONL so `pds-obs diff` can explain a digest
+        // mismatch offline.
+        w.set_trace_sink(sink);
+    }
     w.add_node(
         Position::new(0.0, 0.0),
         Box::new(Blaster {
@@ -89,6 +124,18 @@ fn replay_digest_is_stable_across_runs_and_spatial_indices() {
     assert_eq!(run(SpatialIndex::BruteForce, 0, 42).0, brute);
     assert_eq!(run(SpatialIndex::Grid, 0, 42).0, brute);
     assert_eq!(run(SpatialIndex::Grid, 500, 42).0, brute);
+}
+
+#[test]
+fn replay_digest_unchanged_by_tracing() {
+    // Installing a trace sink is observation, not simulation: the dispatched
+    // event stream (and therefore the digest) must be bit-identical with
+    // tracing on and off.
+    let (off, delivered) = run_traced(SpatialIndex::Grid, 0, 42, false);
+    let (on, delivered_on) = run_traced(SpatialIndex::Grid, 0, 42, true);
+    assert!(delivered > 0, "scenario must actually exchange traffic");
+    assert_eq!(on, off, "trace sink must not perturb the event stream");
+    assert_eq!(delivered_on, delivered);
 }
 
 #[test]

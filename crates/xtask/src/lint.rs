@@ -77,6 +77,7 @@ pub const SCAN_ROOTS: &[&str] = &[
     "crates/mobility",
     "crates/bloom",
     "crates/bench",
+    "crates/obs",
     "tests",
 ];
 

@@ -1,0 +1,152 @@
+//! End-to-end observability contract (ISSUE 3, DESIGN.md §9): traces from a
+//! real PDS scenario are deterministic (same seed → byte-identical event
+//! stream, no divergence), discriminating (different seeds → a first
+//! diverging event with virtual time, node and kind), non-perturbing
+//! (identical `Stats` with tracing on and off), and round-trippable
+//! through the JSONL schema the `pds-obs` CLI reads.
+
+use bytes::Bytes;
+use pds_core::{DataDescriptor, PdsConfig, PdsNode, QueryFilter};
+use pds_obs::{
+    first_divergence, phase_overhead, read_trace_file, render_divergence, JsonlSink, Phase,
+    RingSink, TraceEvent, TraceKind, TraceSink,
+};
+use pds_sim::{Position, SimConfig, SimTime, Stats, World};
+
+fn entry(n: u32) -> DataDescriptor {
+    DataDescriptor::builder()
+        .attr("type", "no2")
+        .attr("seq", i64::from(n))
+        .build()
+}
+
+fn video(total: u32) -> DataDescriptor {
+    DataDescriptor::builder()
+        .attr("type", "video")
+        .attr("name", "clip")
+        .attr("total_chunks", i64::from(total))
+        .build()
+}
+
+/// Discovery plus a two-hop PDR retrieval: exercises PDD, PDR, transport
+/// and radio trace events in one run.
+fn run(seed: u64, sink: Option<Box<dyn TraceSink>>) -> (World, Stats) {
+    let mut world = World::new(SimConfig::default(), seed);
+    if let Some(sink) = sink {
+        world.set_trace_sink(sink);
+    }
+    let chunk = |c: u32| Bytes::from(vec![c as u8; 4 * 1024]);
+    let mut provider = PdsNode::new(PdsConfig::default(), 1)
+        .with_chunk(video(3), pds_core::ChunkId(0), chunk(0))
+        .with_chunk(video(3), pds_core::ChunkId(1), chunk(1))
+        .with_chunk(video(3), pds_core::ChunkId(2), chunk(2));
+    for k in 0..4u32 {
+        provider = provider.with_metadata(entry(k), None);
+    }
+    world.add_node(Position::new(0.0, 0.0), Box::new(provider));
+    world.add_node(
+        Position::new(60.0, 0.0),
+        Box::new(PdsNode::new(PdsConfig::default(), 2).with_metadata(entry(10), None)),
+    );
+    let consumer = world.add_node(
+        Position::new(120.0, 0.0),
+        Box::new(PdsNode::new(PdsConfig::default(), 3)),
+    );
+    world.run_until(SimTime::from_secs_f64(0.5));
+    world.with_app::<PdsNode, _>(consumer, |node, ctx| {
+        node.start_discovery(ctx, QueryFilter::match_all());
+    });
+    world.schedule(SimTime::from_secs_f64(8.0), move |w| {
+        w.with_app::<PdsNode, _>(consumer, |node, ctx| {
+            node.start_retrieval(ctx, video(3));
+        });
+    });
+    world.run_until(SimTime::from_secs_f64(30.0));
+    let stats = world.stats().clone();
+    (world, stats)
+}
+
+fn traced_events(seed: u64) -> Vec<TraceEvent> {
+    let (mut world, _) = run(seed, Some(Box::new(RingSink::new(0))));
+    let sink = world.take_trace_sink().expect("sink installed");
+    sink.as_any()
+        .downcast_ref::<RingSink>()
+        .expect("ring sink")
+        .events()
+}
+
+#[test]
+fn same_seed_traces_have_no_divergence() {
+    let a = traced_events(42);
+    let b = traced_events(42);
+    assert!(!a.is_empty(), "scenario must emit trace events");
+    assert!(
+        first_divergence(&a, &b).is_none(),
+        "same seed must replay to an identical trace"
+    );
+}
+
+#[test]
+fn different_seed_traces_report_first_divergence() {
+    let a = traced_events(42);
+    let b = traced_events(43);
+    let d = first_divergence(&a, &b).expect("different seeds must diverge");
+    let rendered = render_divergence(&a, &b, &d, 3);
+    // The report names the first diverging event: virtual time, node, kind.
+    let ev = d.left.as_ref().or(d.right.as_ref()).expect("one side set");
+    assert!(
+        rendered.contains(&format!("{}", ev.at_us)),
+        "report must show the virtual time: {rendered}"
+    );
+    assert!(
+        rendered.contains(&format!("{:?}", ev.kind)),
+        "report must show the event kind: {rendered}"
+    );
+    assert!(
+        rendered.contains(&format!("n{}", ev.node)),
+        "report must show the node: {rendered}"
+    );
+}
+
+#[test]
+fn tracing_does_not_perturb_stats() {
+    let (_, traced) = run(42, Some(Box::new(RingSink::new(0))));
+    let (_, untraced) = run(42, None);
+    assert_eq!(traced, untraced, "tracing must be observation-only");
+}
+
+#[test]
+fn jsonl_file_round_trips_the_ring_trace() {
+    let ring = traced_events(42);
+    let path = std::env::temp_dir().join(format!("pds-obs-rt-{}.jsonl", std::process::id()));
+    let (mut world, _) = run(
+        42,
+        Some(Box::new(
+            JsonlSink::create(&path).expect("create trace file"),
+        )),
+    );
+    drop(world.take_trace_sink()); // flushes
+    let from_file = read_trace_file(&path).expect("parse trace file");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(from_file, ring, "JSONL round trip must be lossless");
+}
+
+#[test]
+fn protocol_phases_appear_in_the_trace() {
+    let events = traced_events(42);
+    let overhead = phase_overhead(&events);
+    assert!(
+        overhead.get(&Phase::Pdd).is_some_and(|o| o.bytes > 0),
+        "discovery traffic must be attributed to PDD: {overhead:?}"
+    );
+    assert!(
+        overhead.get(&Phase::Pdr).is_some_and(|o| o.bytes > 0),
+        "chunk traffic must be attributed to PDR: {overhead:?}"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::SessionFinished { .. })),
+        "consumer sessions must emit SessionFinished"
+    );
+}
