@@ -2,12 +2,17 @@
 //! files.
 //!
 //! ```text
-//! figures [--quick] [--seeds N] [--out DIR] <experiment>... | all | list
+//! figures [--quick] [--seeds N] [--jobs N] [--out DIR] <experiment>... | all | list
 //! ```
 //!
 //! Each experiment name matches a paper figure (`fig3` … `fig16`,
 //! `saturation`, `leaky-sweep`, `ack-sweep`). Results are printed and
 //! written to `<out>/<experiment>[-i].csv` (default `results/`).
+//!
+//! `--jobs N` (or `PDS_BENCH_JOBS=N`) sets the sweep-executor worker
+//! count; the default is the number of available cores and `--jobs 1`
+//! restores fully sequential runs. Output is bit-identical across job
+//! counts (see `pds_bench::sweep`).
 
 use pds_bench::experiments::{self, RunConfig};
 use pds_bench::WallClock;
@@ -30,6 +35,15 @@ fn main() {
             .unwrap_or_else(|| usage("--seeds needs a number"));
         args.remove(i);
         config.seeds = (1..=n as u64).map(|k| k * 11).collect();
+    }
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        args.remove(i);
+        let n: usize = args
+            .get(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage("--jobs needs a number"));
+        args.remove(i);
+        pds_bench::sweep::set_jobs(n);
     }
     if let Some(i) = args.iter().position(|a| a == "--out") {
         args.remove(i);
@@ -88,6 +102,8 @@ fn main() {
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: figures [--quick] [--seeds N] [--out DIR] <experiment>... | all | list");
+    eprintln!(
+        "usage: figures [--quick] [--seeds N] [--jobs N] [--out DIR] <experiment>... | all | list"
+    );
     std::process::exit(2);
 }

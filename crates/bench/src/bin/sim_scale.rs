@@ -16,8 +16,17 @@
 //! additionally re-runs the largest scenario with a null trace sink
 //! installed and asserts the instrumented hot path stays within 10% of the
 //! uninstrumented wall time (DESIGN.md §9).
+//!
+//! `--jobs N` (default: available cores) sets the worker count for the
+//! sweep-executor benchmark: the node-count × seed grid is run once
+//! sequentially and once through the parallel [`SweepRunner`], the two
+//! result vectors are asserted identical, and both wall times land in the
+//! JSON record (`"sweep"`). All other sections — the grid/brute
+//! comparison and `--trace-check` — are single runs on the main thread,
+//! i.e. always `--jobs 1` semantics, so their wall-time gates compare
+//! like-for-like regardless of the flag.
 
-use pds_bench::WallClock;
+use pds_bench::{SweepRunner, WallClock};
 use pds_sim::{
     Application, Context, MessageMeta, Position, SimConfig, SimDuration, SimTime, SpatialIndex,
     World,
@@ -164,10 +173,70 @@ fn trace_check(horizon: SimTime) -> (f64, f64, f64) {
     (off.wall_s, on.wall_s, ratio)
 }
 
+/// Sequential-vs-parallel sweep benchmark: the node-count × seed grid as
+/// one flat job list, run at 1 worker and at `jobs` workers. Each job
+/// builds its own world from its own seed, so the executor can only change
+/// wall-clock order — asserted by comparing the full result vectors.
+struct SweepBench {
+    jobs: usize,
+    sequential_wall_s: f64,
+    parallel_wall_s: f64,
+    speedup: f64,
+    results_equal: bool,
+}
+
+fn sweep_bench(horizon: SimTime, jobs: usize) -> SweepBench {
+    const SEEDS: [u64; 4] = [11, 22, 33, 44];
+    let points: Vec<(usize, u64)> = NODE_COUNTS
+        .iter()
+        .flat_map(|&n| SEEDS.iter().map(move |&s| (n, s)))
+        .collect();
+    let run_all = |runner: &SweepRunner| -> (f64, Vec<pds_sim::Stats>) {
+        let start = WallClock::start();
+        let stats = runner.run(points.len(), |i| {
+            let (n, seed) = points[i];
+            let mut world = build_world(n, SpatialIndex::Grid, seed);
+            world.run_until(horizon);
+            world.stats().clone()
+        });
+        (start.elapsed_s(), stats)
+    };
+    let (sequential_wall_s, seq_stats) = run_all(&SweepRunner::new(1));
+    let (parallel_wall_s, par_stats) = run_all(&SweepRunner::new(jobs));
+    let results_equal = seq_stats == par_stats;
+    assert!(
+        results_equal,
+        "parallel sweep diverged from sequential run at {jobs} jobs"
+    );
+    let speedup = sequential_wall_s / parallel_wall_s.max(1e-9);
+    println!(
+        "sweep ({} worlds)  sequential {sequential_wall_s:.3}s  \
+         parallel({jobs} jobs) {parallel_wall_s:.3}s  speedup {speedup:.2}x  \
+         results_equal={results_equal}",
+        points.len()
+    );
+    SweepBench {
+        jobs,
+        sequential_wall_s,
+        parallel_wall_s,
+        speedup,
+        results_equal,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let check_trace = args.iter().any(|a| a == "--trace-check");
+    if let Some(n) = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        pds_bench::sweep::set_jobs(n);
+    }
+    let jobs = pds_bench::sweep::jobs();
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -198,6 +267,11 @@ fn main() {
         rows.push((n, grid, brute, speedup, equal));
     }
 
+    let sweep = sweep_bench(horizon, jobs);
+
+    // Both trace-check arms are single runs on the main thread (jobs = 1
+    // semantics), so the 110% budget always compares like-for-like even
+    // when the sweep above ran wide.
     let traced = check_trace.then(|| trace_check(horizon));
 
     let mut json = String::new();
@@ -206,10 +280,20 @@ fn main() {
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"sim_seconds\": {sim_seconds},");
     let _ = writeln!(json, "  \"stats_equal\": {all_equal},");
+    let _ = writeln!(
+        json,
+        "  \"sweep\": {{\"jobs\": {}, \"sequential_wall_s\": {:.6}, \
+         \"parallel_wall_s\": {:.6}, \"speedup\": {:.3}, \"results_equal\": {}}},",
+        sweep.jobs,
+        sweep.sequential_wall_s,
+        sweep.parallel_wall_s,
+        sweep.speedup,
+        sweep.results_equal
+    );
     if let Some((off_s, on_s, ratio)) = traced {
         let _ = writeln!(
             json,
-            "  \"trace_check\": {{\"untraced_wall_s\": {off_s:.6}, \
+            "  \"trace_check\": {{\"jobs\": 1, \"untraced_wall_s\": {off_s:.6}, \
              \"traced_wall_s\": {on_s:.6}, \"overhead_ratio\": {ratio:.4}}},"
         );
     }

@@ -7,6 +7,7 @@ use super::RunConfig;
 use crate::metrics::{average_runs, run_seeds, RunMetrics};
 use crate::report::{f2, pct, Table};
 use crate::scenario::{GridScenario, Workload};
+use crate::sweep::run_grid;
 use pds_core::{AssignStrategy, PdsConfig};
 use pds_mobility::grid;
 use pds_sim::{EnergyModel, SimTime};
@@ -98,13 +99,13 @@ pub fn ablations(cfg: &RunConfig) -> Vec<Table> {
             },
         ),
     ];
-    for (label, pds) in variants {
-        let runs = run_seeds(&cfg.seeds, |seed| {
-            discovery_with(pds.clone(), entries, redundancy, seed)
-        });
-        let avg = average_runs(&runs);
+    let grid = run_grid(&variants, &cfg.seeds, |(_, pds), seed| {
+        discovery_with(pds.clone(), entries, redundancy, seed)
+    });
+    for ((label, _), runs) in variants.iter().zip(&grid) {
+        let avg = average_runs(runs);
         t.push_row(vec![
-            label.to_owned(),
+            (*label).to_owned(),
             pct(avg.recall),
             f2(avg.latency_s),
             f2(avg.overhead_mb),
@@ -119,18 +120,19 @@ pub fn ablations(cfg: &RunConfig) -> Vec<Table> {
         ),
         &["variant", "recall", "latency_s", "overhead_mb"],
     );
-    for (label, assign) in [
+    let assigns = [
         ("min-max heuristic (paper)", AssignStrategy::MinMax),
         ("greedy least-hop", AssignStrategy::Greedy),
-    ] {
+    ];
+    let grid = run_grid(&assigns, &cfg.seeds, |&(_, assign), seed| {
         let pds = PdsConfig {
             assign,
             ..PdsConfig::default()
         };
-        let runs = run_seeds(&cfg.seeds, |seed| {
-            retrieval_with(pds.clone(), size, 3, seed)
-        });
-        let avg = average_runs(&runs);
+        retrieval_with(pds, size, 3, seed)
+    });
+    for (&(label, _), runs) in assigns.iter().zip(&grid) {
+        let avg = average_runs(runs);
         t2.push_row(vec![
             label.to_owned(),
             pct(avg.recall),
@@ -170,9 +172,17 @@ pub fn energy(cfg: &RunConfig) -> Vec<Table> {
             f2(total / 100.0),
         ]);
     };
+    // Summing in seed order over the ordered `run_seeds` results keeps the
+    // float accumulation identical to the old sequential loops.
+    let fold = |runs: Vec<(f64, f64, f64)>| {
+        let n = runs.len() as f64;
+        let acc = runs
+            .into_iter()
+            .fold((0.0, 0.0, 0.0), |a, r| (a.0 + r.0, a.1 + r.1, a.2 + r.2));
+        (acc.0 / n, acc.1 / n, acc.2 / n)
+    };
     // Discovery.
-    let mut acc = (0.0, 0.0, 0.0);
-    for &seed in &cfg.seeds {
+    let runs = run_seeds(&cfg.seeds, |seed| {
         let sc = GridScenario::paper_default(seed);
         let wl = Workload::new(sc.node_count()).with_metadata(entries, 1, seed);
         let mut built = sc.build(&wl);
@@ -182,18 +192,11 @@ pub fn energy(cfg: &RunConfig) -> Vec<Table> {
         let elapsed = built.world.now().as_secs_f64();
         let total = built.world.energy_j(&model);
         let idle = model.idle_mw / 1e3 * elapsed * built.nodes.len() as f64;
-        acc.0 += elapsed;
-        acc.1 += total;
-        acc.2 += idle;
-    }
-    let n = cfg.seeds.len() as f64;
-    row(
-        &format!("PDD ({entries} entries)"),
-        (acc.0 / n, acc.1 / n, acc.2 / n),
-    );
+        (elapsed, total, idle)
+    });
+    row(&format!("PDD ({entries} entries)"), fold(runs));
     // Retrieval.
-    let mut acc = (0.0, 0.0, 0.0);
-    for &seed in &cfg.seeds {
+    let runs = run_seeds(&cfg.seeds, |seed| {
         let sc = GridScenario::paper_default(seed);
         let center = grid::center_index(10, 10);
         let wl = Workload::new(sc.node_count()).with_chunked_item(
@@ -211,13 +214,8 @@ pub fn energy(cfg: &RunConfig) -> Vec<Table> {
         let elapsed = built.world.now().as_secs_f64();
         let total = built.world.energy_j(&model);
         let idle = model.idle_mw / 1e3 * elapsed * built.nodes.len() as f64;
-        acc.0 += elapsed;
-        acc.1 += total;
-        acc.2 += idle;
-    }
-    row(
-        &format!("PDR ({} MB)", size / 1_000_000),
-        (acc.0 / n, acc.1 / n, acc.2 / n),
-    );
+        (elapsed, total, idle)
+    });
+    row(&format!("PDR ({} MB)", size / 1_000_000), fold(runs));
     vec![t]
 }

@@ -2,9 +2,10 @@
 //! Classroom mobility) and Fig. 12 (PDR under Student Center mobility).
 
 use super::RunConfig;
-use crate::metrics::{average_runs, run_seeds, RunMetrics};
+use crate::metrics::{average_runs, RunMetrics};
 use crate::report::{f2, pct, Table};
 use crate::scenario::{MobilityScenario, Workload};
+use crate::sweep::run_grid;
 use pds_core::PdsConfig;
 use pds_mobility::{presets, ObservationParams};
 use pds_sim::{SimConfig, SimDuration, SimTime};
@@ -57,19 +58,28 @@ pub fn fig09_10_mobility_pdd(cfg: &RunConfig) -> Vec<Table> {
     } else {
         &[0.5, 1.0, 1.5, 2.0]
     };
-    let mut out = Vec::new();
-    for (label, params) in [
+    let venues = [
         ("Student Center", presets::student_center()),
         ("Classroom", presets::classroom()),
-    ] {
+    ];
+    // One flat venue × multiplier × seed grid keeps all workers busy across
+    // both tables.
+    let points: Vec<(ObservationParams, f64)> = venues
+        .iter()
+        .flat_map(|&(_, params)| multipliers.iter().map(move |&m| (params, m)))
+        .collect();
+    let grid = run_grid(&points, &cfg.seeds, |&(params, m), seed| {
+        pdd_mobility_run(params, m, entries, seed)
+    });
+    let mut grid = grid.into_iter();
+    let mut out = Vec::new();
+    for (label, _) in venues {
         let mut t = Table::new(
             format!("Figs. 9/10 — PDD under {label} mobility ({entries} entries)"),
             &["multiplier", "recall", "latency_s", "overhead_mb"],
         );
         for &m in multipliers {
-            let runs = run_seeds(&cfg.seeds, |seed| {
-                pdd_mobility_run(params, m, entries, seed)
-            });
+            let runs = grid.next().expect("one result set per (venue, multiplier)");
             let avg = average_runs(&runs);
             t.push_row(vec![
                 f2(m),
@@ -100,28 +110,28 @@ pub fn fig12_mobility_pdr(cfg: &RunConfig) -> Vec<Table> {
         ),
         &["multiplier", "recall", "latency_s", "overhead_mb"],
     );
-    for &m in multipliers {
-        let runs = run_seeds(&cfg.seeds, |seed| {
-            let sc = scenario(params, m, 600, seed);
-            // Chunks seeded on initial people, never on the consumer
-            // (index 0).
-            let wl = Workload::new(params.population).with_chunked_item(
-                "clip",
-                size,
-                256 * 1024,
-                1,
-                0,
-                seed,
-            );
-            let mut built = sc.build(&wl);
-            built.world.run_until(SimTime::from_secs_f64(5.0));
-            let before = built.world.stats().clone();
-            let consumer = built.consumer;
-            built.start_retrieval(consumer);
-            built.run_until_done(&[consumer], SimTime::from_secs_f64(500.0));
-            built.retrieval_metrics(consumer, &before)
-        });
-        let avg = average_runs(&runs);
+    let grid = run_grid(multipliers, &cfg.seeds, |&m, seed| {
+        let sc = scenario(params, m, 600, seed);
+        // Chunks seeded on initial people, never on the consumer
+        // (index 0).
+        let wl = Workload::new(params.population).with_chunked_item(
+            "clip",
+            size,
+            256 * 1024,
+            1,
+            0,
+            seed,
+        );
+        let mut built = sc.build(&wl);
+        built.world.run_until(SimTime::from_secs_f64(5.0));
+        let before = built.world.stats().clone();
+        let consumer = built.consumer;
+        built.start_retrieval(consumer);
+        built.run_until_done(&[consumer], SimTime::from_secs_f64(500.0));
+        built.retrieval_metrics(consumer, &before)
+    });
+    for (&m, runs) in multipliers.iter().zip(&grid) {
+        let avg = average_runs(runs);
         t.push_row(vec![
             f2(m),
             pct(avg.recall),

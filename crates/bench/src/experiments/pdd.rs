@@ -6,6 +6,7 @@ use super::RunConfig;
 use crate::metrics::{average_runs, run_seeds, RunMetrics};
 use crate::report::{f2, pct, Table};
 use crate::scenario::{GridScenario, Workload};
+use crate::sweep::run_grid;
 use pds_core::{PdsConfig, RoundParams};
 use pds_sim::{AckConfig, SimConfig, SimDuration, SimTime};
 
@@ -66,21 +67,29 @@ pub fn saturation(cfg: &RunConfig) -> Vec<Table> {
     );
     let mut sim = SimConfig::paper_multi_hop();
     sim.ack = AckConfig::disabled();
+    let points: Vec<(usize, usize)> = amounts
+        .iter()
+        .flat_map(|&amount| [1usize, 2].into_iter().map(move |r| (amount, r)))
+        .collect();
+    let grid = run_grid(&points, &cfg.seeds, |&(amount, redundancy), seed| {
+        discovery_run(
+            10,
+            10,
+            sim.clone(),
+            single_round(),
+            amount,
+            redundancy,
+            60.0,
+            seed,
+        )
+    });
+    let mut grid = grid.into_iter();
     for &amount in amounts {
         let mut cells = vec![amount.to_string()];
-        for redundancy in [1usize, 2] {
-            let runs = run_seeds(&cfg.seeds, |seed| {
-                discovery_run(
-                    10,
-                    10,
-                    sim.clone(),
-                    single_round(),
-                    amount,
-                    redundancy,
-                    60.0,
-                    seed,
-                )
-            });
+        for _redundancy in [1usize, 2] {
+            let runs = grid
+                .next()
+                .expect("one result set per (amount, redundancy)");
             cells.push(pct(average_runs(&runs).recall));
         }
         t.push_row(cells);
@@ -126,20 +135,20 @@ pub fn fig04_hops(cfg: &RunConfig) -> Vec<Table> {
         "Fig. 4 — single-round PDD vs max hop count (50 entries/node)",
         &["grid", "max_hops", "recall", "latency_s", "overhead_mb"],
     );
-    for &n in sizes {
-        let runs = run_seeds(&cfg.seeds, |seed| {
-            discovery_run(
-                n,
-                n,
-                SimConfig::paper_multi_hop(),
-                single_round(),
-                50 * n * n,
-                1,
-                60.0,
-                seed,
-            )
-        });
-        let avg = average_runs(&runs);
+    let grid = run_grid(sizes, &cfg.seeds, |&n, seed| {
+        discovery_run(
+            n,
+            n,
+            SimConfig::paper_multi_hop(),
+            single_round(),
+            50 * n * n,
+            1,
+            60.0,
+            seed,
+        )
+    });
+    for (&n, runs) in sizes.iter().zip(&grid) {
+        let avg = average_runs(runs);
         t.push_row(vec![
             format!("{n}x{n}"),
             (n / 2).to_string(),
@@ -173,31 +182,37 @@ pub fn fig05_rounds(cfg: &RunConfig) -> Vec<Table> {
         "Fig. 5 (companion) — overhead (MB) vs T",
         &["T_s", "Td=0", "Td=0.1", "Td=0.3"],
     );
+    let points: Vec<(u64, f64)> = windows
+        .iter()
+        .flat_map(|&w| tds.iter().map(move |&td| (w, td)))
+        .collect();
+    let grid = run_grid(&points, &cfg.seeds, |&(window, td), seed| {
+        let pds = PdsConfig {
+            rounds: RoundParams {
+                t_window: SimDuration::from_millis(window),
+                t_d: td,
+                ..RoundParams::default()
+            },
+            ..PdsConfig::default()
+        };
+        discovery_run(
+            10,
+            10,
+            SimConfig::paper_multi_hop(),
+            pds,
+            entries,
+            1,
+            90.0,
+            seed,
+        )
+    });
+    let mut grid = grid.into_iter();
     for &window in windows {
         let mut rc = vec![f2(window as f64 / 1000.0)];
         let mut lc = rc.clone();
         let mut oc = rc.clone();
-        for &td in &tds {
-            let pds = PdsConfig {
-                rounds: RoundParams {
-                    t_window: SimDuration::from_millis(window),
-                    t_d: td,
-                    ..RoundParams::default()
-                },
-                ..PdsConfig::default()
-            };
-            let runs = run_seeds(&cfg.seeds, |seed| {
-                discovery_run(
-                    10,
-                    10,
-                    SimConfig::paper_multi_hop(),
-                    pds.clone(),
-                    entries,
-                    1,
-                    90.0,
-                    seed,
-                )
-            });
+        for _td in &tds {
+            let runs = grid.next().expect("one result set per (window, td)");
             let avg = average_runs(&runs);
             rc.push(pct(avg.recall));
             lc.push(f2(avg.latency_s));
@@ -222,20 +237,20 @@ pub fn fig06_amount(cfg: &RunConfig) -> Vec<Table> {
         "Fig. 6 — multi-round PDD vs metadata amount",
         &["entries", "recall", "latency_s", "overhead_mb", "rounds"],
     );
-    for &amount in amounts {
-        let runs = run_seeds(&cfg.seeds, |seed| {
-            discovery_run(
-                10,
-                10,
-                SimConfig::paper_multi_hop(),
-                PdsConfig::default(),
-                amount,
-                1,
-                120.0,
-                seed,
-            )
-        });
-        let avg = average_runs(&runs);
+    let grid = run_grid(amounts, &cfg.seeds, |&amount, seed| {
+        discovery_run(
+            10,
+            10,
+            SimConfig::paper_multi_hop(),
+            PdsConfig::default(),
+            amount,
+            1,
+            120.0,
+            seed,
+        )
+    });
+    for (&amount, runs) in amounts.iter().zip(&grid) {
+        let avg = average_runs(runs);
         t.push_row(vec![
             amount.to_string(),
             pct(avg.recall),
@@ -256,18 +271,28 @@ pub fn fig07_sequential(cfg: &RunConfig) -> Vec<Table> {
         "Fig. 7 — PDD with sequential consumers",
         &["consumer", "recall", "latency_s", "overhead_mb"],
     );
-    // Sequential runs yield one metric per consumer per seed.
-    let mut all: Vec<Vec<RunMetrics>> = vec![Vec::new(); consumers];
-    for &seed in &cfg.seeds {
+    // Sequential runs yield one metric per consumer per seed. The unit of
+    // parallelism is the seed: consumers within one world stay strictly
+    // serial (the whole point of Fig. 7 is caching from earlier consumers).
+    let per_seed: Vec<Vec<RunMetrics>> = run_seeds(&cfg.seeds, |seed| {
         let sc = GridScenario::paper_default(seed);
         let wl = Workload::new(sc.node_count()).with_metadata(entries, 1, seed);
         let mut built = sc.build(&wl);
         let pool = built.center_pool.clone();
-        for (i, &consumer) in pool.iter().take(consumers).enumerate() {
-            let before = built.world.stats().clone();
-            built.start_discovery(consumer);
-            built.run_until_done(&[consumer], built.world.now() + SimDuration::from_secs(120));
-            all[i].push(built.discovery_metrics(consumer, &before));
+        pool.iter()
+            .take(consumers)
+            .map(|&consumer| {
+                let before = built.world.stats().clone();
+                built.start_discovery(consumer);
+                built.run_until_done(&[consumer], built.world.now() + SimDuration::from_secs(120));
+                built.discovery_metrics(consumer, &before)
+            })
+            .collect()
+    });
+    let mut all: Vec<Vec<RunMetrics>> = vec![Vec::new(); consumers];
+    for seed_run in per_seed {
+        for (i, m) in seed_run.into_iter().enumerate() {
+            all[i].push(m);
         }
     }
     for (i, runs) in all.iter().enumerate() {
@@ -290,35 +315,35 @@ pub fn fig08_simultaneous(cfg: &RunConfig) -> Vec<Table> {
         "Fig. 8 — PDD with simultaneous consumers",
         &["consumers", "recall", "mean_latency_s", "overhead_mb"],
     );
-    for k in 1..=5usize {
-        let mut recalls = Vec::new();
-        let mut latencies = Vec::new();
-        let mut overheads = Vec::new();
-        for &seed in &cfg.seeds {
-            let sc = GridScenario::paper_default(seed);
-            let wl = Workload::new(sc.node_count()).with_metadata(entries, 1, seed);
-            let mut built = sc.build(&wl);
-            let consumers: Vec<_> = built.center_pool.iter().copied().take(k).collect();
-            let before = built.world.stats().clone();
-            for &c in &consumers {
-                built.start_discovery(c);
-            }
-            built.run_until_done(&consumers, deadline(120.0));
-            let metrics: Vec<RunMetrics> = consumers
-                .iter()
-                .map(|&c| built.discovery_metrics(c, &before))
-                .collect();
-            recalls.push(metrics.iter().map(|m| m.recall).sum::<f64>() / k as f64);
-            latencies.push(metrics.iter().map(|m| m.latency_s).sum::<f64>() / k as f64);
-            // Overhead window is shared; take it once per seed.
-            overheads.push(metrics[0].overhead_mb);
+    let ks: Vec<usize> = (1..=5).collect();
+    let grid = run_grid(&ks, &cfg.seeds, |&k, seed| {
+        let sc = GridScenario::paper_default(seed);
+        let wl = Workload::new(sc.node_count()).with_metadata(entries, 1, seed);
+        let mut built = sc.build(&wl);
+        let consumers: Vec<_> = built.center_pool.iter().copied().take(k).collect();
+        let before = built.world.stats().clone();
+        for &c in &consumers {
+            built.start_discovery(c);
         }
+        built.run_until_done(&consumers, deadline(120.0));
+        let metrics: Vec<RunMetrics> = consumers
+            .iter()
+            .map(|&c| built.discovery_metrics(c, &before))
+            .collect();
+        (
+            metrics.iter().map(|m| m.recall).sum::<f64>() / k as f64,
+            metrics.iter().map(|m| m.latency_s).sum::<f64>() / k as f64,
+            // Overhead window is shared; take it once per seed.
+            metrics[0].overhead_mb,
+        )
+    });
+    for (&k, runs) in ks.iter().zip(&grid) {
         let n = cfg.seeds.len() as f64;
         t.push_row(vec![
             k.to_string(),
-            pct(recalls.iter().sum::<f64>() / n),
-            f2(latencies.iter().sum::<f64>() / n),
-            f2(overheads.iter().sum::<f64>() / n),
+            pct(runs.iter().map(|r| r.0).sum::<f64>() / n),
+            f2(runs.iter().map(|r| r.1).sum::<f64>() / n),
+            f2(runs.iter().map(|r| r.2).sum::<f64>() / n),
         ]);
     }
     vec![t]

@@ -6,6 +6,7 @@ use super::RunConfig;
 use crate::metrics::{average_runs, run_seeds, RunMetrics};
 use crate::report::{f2, pct, Table};
 use crate::scenario::{GridScenario, Workload};
+use crate::sweep::run_grid;
 use pds_mobility::grid;
 use pds_sim::{SimDuration, SimTime};
 
@@ -49,11 +50,11 @@ pub fn fig11_item_size(cfg: &RunConfig) -> Vec<Table> {
             "other_mb",
         ],
     );
-    for &mb in sizes_mb {
-        let runs = run_seeds(&cfg.seeds, |seed| {
-            retrieval_run(mb * 1_000_000, 1, false, seed)
-        });
-        let avg = average_runs(&runs);
+    let grid = run_grid(sizes_mb, &cfg.seeds, |&mb, seed| {
+        retrieval_run(mb * 1_000_000, 1, false, seed)
+    });
+    for (&mb, runs) in sizes_mb.iter().zip(&grid) {
+        let avg = average_runs(runs);
         let [pdd, pdr, _mdr, other] = avg.overhead_by_phase_mb;
         t.push_row(vec![
             mb.to_string(),
@@ -82,13 +83,19 @@ pub fn fig13_14_redundancy(cfg: &RunConfig) -> Vec<Table> {
         "Fig. 14 — message overhead (MB) vs chunk redundancy (20 MB)",
         &["redundancy", "PDR", "MDR"],
     );
+    // One flat (redundancy, mdr?) × seed grid so the slow MDR points
+    // overlap the fast PDR ones instead of running after them.
+    let points: Vec<(usize, bool)> = redundancies
+        .iter()
+        .flat_map(|&r| [(r, false), (r, true)])
+        .collect();
+    let grid = run_grid(&points, &cfg.seeds, |&(r, mdr), seed| {
+        retrieval_run(size, r, mdr, seed)
+    });
+    let mut grid = grid.into_iter();
     for &r in redundancies {
-        let pdr = average_runs(&run_seeds(&cfg.seeds, |seed| {
-            retrieval_run(size, r, false, seed)
-        }));
-        let mdr = average_runs(&run_seeds(&cfg.seeds, |seed| {
-            retrieval_run(size, r, true, seed)
-        }));
+        let pdr = average_runs(&grid.next().expect("one PDR result set per redundancy"));
+        let mdr = average_runs(&grid.next().expect("one MDR result set per redundancy"));
         lat.push_row(vec![
             r.to_string(),
             f2(pdr.latency_s),
@@ -114,19 +121,29 @@ pub fn fig15_sequential(cfg: &RunConfig) -> Vec<Table> {
         "Fig. 15 — PDR with sequential consumers (20 MB)",
         &["consumer", "recall", "latency_s", "overhead_mb"],
     );
-    let mut all: Vec<Vec<RunMetrics>> = vec![Vec::new(); consumers];
-    for &seed in &cfg.seeds {
+    // Seeds run in parallel; consumers within one world stay serial (the
+    // figure measures caching left behind by earlier retrievals).
+    let per_seed: Vec<Vec<RunMetrics>> = run_seeds(&cfg.seeds, |seed| {
         let sc = GridScenario::paper_default(seed);
         let center = grid::center_index(10, 10);
         let wl =
             Workload::new(sc.node_count()).with_chunked_item("clip", size, CHUNK, 1, center, seed);
         let mut built = sc.build(&wl);
         let pool = built.center_pool.clone();
-        for (i, &consumer) in pool.iter().take(consumers).enumerate() {
-            let before = built.world.stats().clone();
-            built.start_retrieval(consumer);
-            built.run_until_done(&[consumer], built.world.now() + SimDuration::from_secs(600));
-            all[i].push(built.retrieval_metrics(consumer, &before));
+        pool.iter()
+            .take(consumers)
+            .map(|&consumer| {
+                let before = built.world.stats().clone();
+                built.start_retrieval(consumer);
+                built.run_until_done(&[consumer], built.world.now() + SimDuration::from_secs(600));
+                built.retrieval_metrics(consumer, &before)
+            })
+            .collect()
+    });
+    let mut all: Vec<Vec<RunMetrics>> = vec![Vec::new(); consumers];
+    for seed_run in per_seed {
+        for (i, m) in seed_run.into_iter().enumerate() {
+            all[i].push(m);
         }
     }
     for (i, runs) in all.iter().enumerate() {
@@ -150,36 +167,36 @@ pub fn fig16_simultaneous(cfg: &RunConfig) -> Vec<Table> {
         "Fig. 16 — PDR with simultaneous consumers (20 MB)",
         &["consumers", "recall", "mean_latency_s", "overhead_mb"],
     );
-    for k in 1..=max_consumers {
-        let mut recalls = Vec::new();
-        let mut latencies = Vec::new();
-        let mut overheads = Vec::new();
-        for &seed in &cfg.seeds {
-            let sc = GridScenario::paper_default(seed);
-            let center = grid::center_index(10, 10);
-            let wl = Workload::new(sc.node_count())
-                .with_chunked_item("clip", size, CHUNK, 1, center, seed);
-            let mut built = sc.build(&wl);
-            let consumers: Vec<_> = built.center_pool.iter().copied().take(k).collect();
-            let before = built.world.stats().clone();
-            for &c in &consumers {
-                built.start_retrieval(c);
-            }
-            built.run_until_done(&consumers, deadline(900.0));
-            let metrics: Vec<RunMetrics> = consumers
-                .iter()
-                .map(|&c| built.retrieval_metrics(c, &before))
-                .collect();
-            recalls.push(metrics.iter().map(|m| m.recall).sum::<f64>() / k as f64);
-            latencies.push(metrics.iter().map(|m| m.latency_s).sum::<f64>() / k as f64);
-            overheads.push(metrics[0].overhead_mb);
+    let ks: Vec<usize> = (1..=max_consumers).collect();
+    let grid = run_grid(&ks, &cfg.seeds, |&k, seed| {
+        let sc = GridScenario::paper_default(seed);
+        let center = grid::center_index(10, 10);
+        let wl =
+            Workload::new(sc.node_count()).with_chunked_item("clip", size, CHUNK, 1, center, seed);
+        let mut built = sc.build(&wl);
+        let consumers: Vec<_> = built.center_pool.iter().copied().take(k).collect();
+        let before = built.world.stats().clone();
+        for &c in &consumers {
+            built.start_retrieval(c);
         }
+        built.run_until_done(&consumers, deadline(900.0));
+        let metrics: Vec<RunMetrics> = consumers
+            .iter()
+            .map(|&c| built.retrieval_metrics(c, &before))
+            .collect();
+        (
+            metrics.iter().map(|m| m.recall).sum::<f64>() / k as f64,
+            metrics.iter().map(|m| m.latency_s).sum::<f64>() / k as f64,
+            metrics[0].overhead_mb,
+        )
+    });
+    for (&k, runs) in ks.iter().zip(&grid) {
         let n = cfg.seeds.len() as f64;
         t.push_row(vec![
             k.to_string(),
-            pct(recalls.iter().sum::<f64>() / n),
-            f2(latencies.iter().sum::<f64>() / n),
-            f2(overheads.iter().sum::<f64>() / n),
+            pct(runs.iter().map(|r| r.0).sum::<f64>() / n),
+            f2(runs.iter().map(|r| r.1).sum::<f64>() / n),
+            f2(runs.iter().map(|r| r.2).sum::<f64>() / n),
         ]);
     }
     vec![t]

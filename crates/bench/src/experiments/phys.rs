@@ -7,6 +7,7 @@
 
 use super::RunConfig;
 use crate::report::{f2, pct, Table};
+use crate::sweep::run_grid;
 use bytes::Bytes;
 use pds_sim::{
     AckConfig, Application, Context, MessageMeta, Position, SenderMode, SimConfig, SimDuration,
@@ -143,15 +144,18 @@ pub fn fig03_single_hop(cfg: &RunConfig) -> Vec<Table> {
         "Fig. 3 — receiver data rate (Mbps) vs concurrent senders",
         &["senders", "raw-udp", "leaky", "leaky+ack"],
     );
+    let points: Vec<(usize, &SimConfig)> = (1..=4usize)
+        .flat_map(|senders| modes.iter().map(move |(_, c)| (senders, c)))
+        .collect();
+    let grid = run_grid(&points, &cfg.seeds, |&(senders, config), seed| {
+        single_hop_run(config.clone(), senders, count, seed)
+    });
+    let mut grid = grid.into_iter();
     for senders in 1..=4usize {
         let mut rec_cells = vec![senders.to_string()];
         let mut rate_cells = vec![senders.to_string()];
-        for (_, config) in &modes {
-            let runs: Vec<(f64, f64)> = cfg
-                .seeds
-                .iter()
-                .map(|&s| single_hop_run(config.clone(), senders, count, s))
-                .collect();
+        for _ in &modes {
+            let runs = grid.next().expect("one result set per (senders, mode)");
             let n = runs.len() as f64;
             rec_cells.push(pct(runs.iter().map(|r| r.0).sum::<f64>() / n));
             rate_cells.push(f2(runs.iter().map(|r| r.1).sum::<f64>() / n));
@@ -172,20 +176,24 @@ pub fn leaky_sweep(cfg: &RunConfig) -> Vec<Table> {
         "§V-2 — reception vs LeakingRate × BucketCapacity (1 sender, 1 receiver)",
         &["rate_mbps", "100KB", "300KB", "600KB", "1200KB"],
     );
+    let points: Vec<(f64, usize)> = rates
+        .iter()
+        .flat_map(|&rate| capacities.iter().map(move |&cap| (rate, cap)))
+        .collect();
+    let grid = run_grid(&points, &cfg.seeds, |&(rate, capacity), seed| {
+        let mut c = SimConfig::prototype();
+        c.ack = AckConfig::disabled();
+        c.sender = SenderMode::LeakyBucket {
+            capacity_bytes: capacity,
+            rate_bps: rate,
+        };
+        single_hop_run(c, 1, count, seed).0
+    });
+    let mut grid = grid.into_iter();
     for &rate in &rates {
         let mut cells = vec![f2(rate / 1e6)];
-        for &capacity in &capacities {
-            let mut c = SimConfig::prototype();
-            c.ack = AckConfig::disabled();
-            c.sender = SenderMode::LeakyBucket {
-                capacity_bytes: capacity,
-                rate_bps: rate,
-            };
-            let runs: Vec<f64> = cfg
-                .seeds
-                .iter()
-                .map(|&s| single_hop_run(c.clone(), 1, count, s).0)
-                .collect();
+        for _ in &capacities {
+            let runs = grid.next().expect("one result set per (rate, capacity)");
             cells.push(pct(runs.iter().sum::<f64>() / runs.len() as f64));
         }
         t.push_row(cells);
@@ -210,21 +218,25 @@ pub fn ack_sweep(cfg: &RunConfig) -> Vec<Table> {
             "retr=8",
         ],
     );
+    let points: Vec<(u64, u32)> = timeouts
+        .iter()
+        .flat_map(|&t| retries.iter().map(move |&r| (t, r)))
+        .collect();
+    let grid = run_grid(&points, &cfg.seeds, |&(timeout, max_retr), seed| {
+        let mut c = SimConfig::prototype();
+        c.ack = AckConfig {
+            enabled: true,
+            retr_timeout: SimDuration::from_millis(timeout),
+            max_retr,
+            ack_delay: SimDuration::from_millis(40),
+        };
+        single_hop_run(c, 4, count, seed).0
+    });
+    let mut grid = grid.into_iter();
     for &timeout in &timeouts {
         let mut cells = vec![timeout.to_string()];
-        for &max_retr in &retries {
-            let mut c = SimConfig::prototype();
-            c.ack = AckConfig {
-                enabled: true,
-                retr_timeout: SimDuration::from_millis(timeout),
-                max_retr,
-                ack_delay: SimDuration::from_millis(40),
-            };
-            let runs: Vec<f64> = cfg
-                .seeds
-                .iter()
-                .map(|&s| single_hop_run(c.clone(), 4, count, s).0)
-                .collect();
+        for _ in &retries {
+            let runs = grid.next().expect("one result set per (timeout, retries)");
             cells.push(pct(runs.iter().sum::<f64>() / runs.len() as f64));
         }
         t.push_row(cells);

@@ -17,6 +17,8 @@ pub mod experiments;
 pub mod metrics;
 pub mod report;
 pub mod scenario;
+pub mod sweep;
 
-pub use metrics::{average_runs, RunMetrics, WallClock};
+pub use metrics::{average_runs, run_seeds, RunMetrics, WallClock};
 pub use scenario::{GridScenario, MobilityScenario, Workload};
+pub use sweep::{run_grid, SweepRunner};

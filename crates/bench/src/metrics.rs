@@ -105,22 +105,20 @@ pub fn average_runs(runs: &[RunMetrics]) -> RunMetrics {
     }
 }
 
-/// Runs `f` once per seed on parallel threads (each run builds its own
-/// world) and collects the results in seed order.
-pub fn run_seeds<F>(seeds: &[u64], f: F) -> Vec<RunMetrics>
+/// Runs `f` once per seed on the process-wide [`crate::sweep::SweepRunner`]
+/// pool (each run builds its own world) and returns the results **in
+/// input-seed order**, regardless of which worker finishes first.
+///
+/// The ordering contract is load-bearing: every table and CSV averages
+/// `results[i]` against `seeds[i]`, and the parallel executor's
+/// bit-identical-to-sequential guarantee rests on it (see
+/// `run_seeds_preserves_order` below and `crate::sweep`).
+pub fn run_seeds<T, F>(seeds: &[u64], f: F) -> Vec<T>
 where
-    F: Fn(u64) -> RunMetrics + Sync,
+    T: Send,
+    F: Fn(u64) -> T + Sync,
 {
-    let mut results: Vec<Option<RunMetrics>> = vec![None; seeds.len()];
-    std::thread::scope(|scope| {
-        for (slot, &seed) in results.iter_mut().zip(seeds.iter()) {
-            let f = &f;
-            scope.spawn(move || {
-                *slot = Some(f(seed));
-            });
-        }
-    });
-    results.into_iter().map(|r| r.expect("filled")).collect()
+    crate::sweep::SweepRunner::from_env().run(seeds.len(), |i| f(seeds[i]))
 }
 
 #[cfg(test)]

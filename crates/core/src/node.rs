@@ -426,6 +426,15 @@ mod tests {
             .build()
     }
 
+    #[test]
+    fn pds_node_is_send() {
+        // Worlds full of PdsNodes move onto sweep worker threads in
+        // pds-bench; this fails to compile if the protocol state ever grows
+        // a non-Send field (Rc, RefCell, raw pointers, ...).
+        fn assert_send<T: Send>() {}
+        assert_send::<PdsNode>();
+    }
+
     fn video(total: u32) -> DataDescriptor {
         DataDescriptor::builder()
             .attr("type", "video")

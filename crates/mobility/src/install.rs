@@ -3,8 +3,7 @@
 use crate::trace::{MobilityTrace, PersonId, TraceAction};
 use pds_det::DetMap;
 use pds_sim::{Application, NodeId, World};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Applies a [`MobilityTrace`] to a [`World`], creating protocol nodes as
 /// people join and removing them when they leave.
@@ -37,46 +36,51 @@ use std::rc::Rc;
 /// ```
 #[derive(Debug, Clone)]
 pub struct TraceInstaller {
-    mapping: Rc<RefCell<DetMap<PersonId, NodeId>>>,
+    // Arc<Mutex> rather than Rc<RefCell>: the scheduled closures holding the
+    // other handles live inside the World, which must stay `Send` so sweep
+    // workers can own one per thread. The lock is never contended — a world
+    // is driven by exactly one thread at a time.
+    mapping: Arc<Mutex<DetMap<PersonId, NodeId>>>,
 }
 
 impl TraceInstaller {
     /// Installs `trace` into `world`. `factory` builds the application for
     /// each person when (and each time) they join; initial people join at
-    /// the current world time.
+    /// the current world time. The factory must be `Send` because it is
+    /// captured by closures scheduled into the (`Send`) world.
     pub fn install(
         world: &mut World,
         trace: &MobilityTrace,
-        factory: impl FnMut(PersonId) -> Box<dyn Application> + 'static,
+        factory: impl FnMut(PersonId) -> Box<dyn Application> + Send + 'static,
     ) -> Self {
-        let mapping: Rc<RefCell<DetMap<PersonId, NodeId>>> = Rc::default();
-        let factory = Rc::new(RefCell::new(factory));
+        let mapping: Arc<Mutex<DetMap<PersonId, NodeId>>> = Arc::default();
+        let factory = Arc::new(Mutex::new(factory));
 
         for &(person, pos) in trace.initial_people() {
-            let app = (factory.borrow_mut())(person);
+            let app = (factory.lock().expect("uncontended"))(person);
             let id = world.add_node(pos, app);
-            mapping.borrow_mut().insert(person, id);
+            mapping.lock().expect("uncontended").insert(person, id);
         }
 
         let base = world.now();
         for ev in trace.events().iter().cloned() {
-            let mapping = Rc::clone(&mapping);
-            let factory = Rc::clone(&factory);
+            let mapping = Arc::clone(&mapping);
+            let factory = Arc::clone(&factory);
             // Trace times are relative to the start of the trace.
             let at = base + ev.at.since(pds_sim::SimTime::ZERO);
             world.schedule(at, move |w| match ev.action {
                 TraceAction::Join { pos } => {
-                    let app = (factory.borrow_mut())(ev.person);
+                    let app = (factory.lock().expect("uncontended"))(ev.person);
                     let id = w.add_node(pos, app);
-                    mapping.borrow_mut().insert(ev.person, id);
+                    mapping.lock().expect("uncontended").insert(ev.person, id);
                 }
                 TraceAction::Leave => {
-                    if let Some(id) = mapping.borrow_mut().remove(&ev.person) {
+                    if let Some(id) = mapping.lock().expect("uncontended").remove(&ev.person) {
                         w.remove_node(id);
                     }
                 }
                 TraceAction::Move { dest, speed_mps } => {
-                    if let Some(&id) = mapping.borrow().get(&ev.person) {
+                    if let Some(&id) = mapping.lock().expect("uncontended").get(&ev.person) {
                         w.move_node(id, dest, speed_mps);
                     }
                 }
@@ -88,19 +92,33 @@ impl TraceInstaller {
     /// The node currently embodying `person`, if they are present.
     #[must_use]
     pub fn node_of(&self, person: PersonId) -> Option<NodeId> {
-        self.mapping.borrow().get(&person).copied()
+        self.mapping
+            .lock()
+            .expect("uncontended")
+            .get(&person)
+            .copied()
     }
 
     /// People currently present, in unspecified order.
     #[must_use]
     pub fn present_people(&self) -> Vec<PersonId> {
-        self.mapping.borrow().keys().copied().collect()
+        self.mapping
+            .lock()
+            .expect("uncontended")
+            .keys()
+            .copied()
+            .collect()
     }
 
     /// Nodes currently embodying present people, in unspecified order.
     #[must_use]
     pub fn present_nodes(&self) -> Vec<NodeId> {
-        self.mapping.borrow().values().copied().collect()
+        self.mapping
+            .lock()
+            .expect("uncontended")
+            .values()
+            .copied()
+            .collect()
     }
 }
 

@@ -17,7 +17,10 @@ use std::path::Path;
 ///
 /// `Any` is a supertrait so a sink handed to the simulator can be recovered
 /// and downcast after a run (e.g. to read a ring buffer's events back).
-pub trait TraceSink: Any {
+/// `Send` is a supertrait so a simulated world carrying a sink can move to a
+/// sweep worker thread; a sink is only ever driven by the one thread that
+/// owns its world.
+pub trait TraceSink: Any + Send {
     /// Records one event. Called synchronously from the emission site;
     /// implementations must not block on anything but local I/O.
     fn record(&mut self, ev: &TraceEvent);
@@ -115,7 +118,7 @@ impl TraceSink for RingSink {
 /// I/O errors are counted, not propagated — an emission site inside the
 /// simulation kernel has no useful way to surface a disk error, and
 /// aborting a run over its *diagnostics* would be backwards.
-pub struct JsonlSink<W: Write + 'static> {
+pub struct JsonlSink<W: Write + Send + 'static> {
     writer: W,
     lines: u64,
     errors: u64,
@@ -133,7 +136,7 @@ impl JsonlSink<io::BufWriter<std::fs::File>> {
     }
 }
 
-impl<W: Write + 'static> JsonlSink<W> {
+impl<W: Write + Send + 'static> JsonlSink<W> {
     /// Wraps an arbitrary writer.
     pub fn new(writer: W) -> Self {
         Self {
@@ -162,7 +165,7 @@ impl<W: Write + 'static> JsonlSink<W> {
     }
 }
 
-impl<W: Write + 'static> TraceSink for JsonlSink<W> {
+impl<W: Write + Send + 'static> TraceSink for JsonlSink<W> {
     fn record(&mut self, ev: &TraceEvent) {
         let mut line = json::to_json(ev);
         line.push('\n');
@@ -185,7 +188,7 @@ impl<W: Write + 'static> TraceSink for JsonlSink<W> {
     }
 }
 
-impl<W: Write + 'static> std::fmt::Debug for JsonlSink<W> {
+impl<W: Write + Send + 'static> std::fmt::Debug for JsonlSink<W> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("JsonlSink")
             .field("lines", &self.lines)

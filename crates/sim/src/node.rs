@@ -54,8 +54,10 @@ pub struct MessageMeta {
 /// Callbacks are invoked by the simulation kernel; all interaction with the
 /// outside world goes through the provided [`Context`]. Implementations must
 /// be `'static` so results can be extracted by downcasting after a run (see
-/// [`World::app`](crate::World::app)).
-pub trait Application: Any {
+/// [`World::app`](crate::World::app)), and `Send` so a whole
+/// [`World`](crate::World) can be moved onto a sweep worker thread (worlds
+/// are never shared between threads, only moved).
+pub trait Application: Any + Send {
     /// Invoked once when the node joins the world.
     fn on_start(&mut self, ctx: &mut Context);
 

@@ -11,6 +11,7 @@ use crate::time::SimTime;
 use crate::transport::MessageId;
 use bytes::Bytes;
 use std::fmt;
+use std::sync::Arc;
 
 /// A point in the 2-D simulation area, in meters.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -205,7 +206,10 @@ pub(crate) enum FrameKind {
         msg: MessageId,
         frag: u32,
         frag_count: u32,
-        intended: Vec<NodeId>,
+        /// Shared across all fragments of a message (and with the sender's
+        /// tracking state): cloning a frame is a refcount bump, not a list
+        /// copy.
+        intended: Arc<[NodeId]>,
         payload: Bytes,
         /// Total application payload length of the whole message.
         total_len: u32,

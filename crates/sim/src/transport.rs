@@ -15,6 +15,7 @@ use crate::time::{SimDuration, SimTime};
 use bytes::Bytes;
 use pds_det::DetMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Fixed wire overhead of a data frame before the per-receiver id list.
 pub(crate) const DATA_HEADER_BASE: usize = 40;
@@ -40,7 +41,7 @@ impl fmt::Display for MessageId {
 struct Outgoing {
     handle: MessageHandle,
     payload: Bytes,
-    intended: Vec<NodeId>,
+    intended: Arc<[NodeId]>,
     frag_count: u32,
     frag_payload: usize,
     msg_wire_bytes: u32,
@@ -66,10 +67,10 @@ impl Outgoing {
 
     /// Fragments still missing at any intended receiver, each with the
     /// receivers that miss it.
-    fn missing(&self) -> Vec<(u32, Vec<NodeId>)> {
+    fn missing(&self) -> Vec<(u32, Arc<[NodeId]>)> {
         let mut out = Vec::new();
         for frag in 0..self.frag_count {
-            let missing_at: Vec<NodeId> = self
+            let missing_at: Arc<[NodeId]> = self
                 .intended
                 .iter()
                 .copied()
@@ -89,7 +90,7 @@ struct Incoming {
     received: FragSet,
     frag_count: u32,
     from: NodeId,
-    intended: Vec<NodeId>,
+    intended: Arc<[NodeId]>,
     intended_me: bool,
     msg_wire_bytes: u32,
     delivered: bool,
@@ -168,6 +169,10 @@ impl Transport {
     }
 
     /// Fragments `payload` and registers tracking state when reliable.
+    ///
+    /// `frames` is a recycled buffer (cleared here) that the built frames
+    /// are pushed into; it is handed back via [`SendPlan::frames`] so the
+    /// caller can drain and reuse it.
     #[allow(clippy::too_many_arguments)] // mirrors the frame-header fields
     pub fn send_message(
         &mut self,
@@ -178,22 +183,28 @@ impl Transport {
         intended: Vec<NodeId>,
         class: u8,
         cfg: &SimConfig,
+        mut frames: Vec<Frame>,
     ) -> SendPlan {
         let msg = MessageId { origin, seq };
+        // One shared receiver list for every fragment (and the tracking
+        // state): a 256 KB message fans out into ~170 frames without ~170
+        // copies of the list.
+        let intended: Arc<[NodeId]> = intended.into();
         let frag_payload = Self::frag_payload_size(cfg, intended.len());
         let frag_count = (payload.len().max(1)).div_ceil(frag_payload) as u32;
         let header = DATA_HEADER_BASE + PER_RECEIVER_BYTES * intended.len();
         let msg_wire_bytes = (payload.len() + frag_count as usize * header) as u32;
-        let frames = build_frames(
+        frames.clear();
+        build_frames_into(
+            &mut frames,
             msg,
             origin,
             &payload,
-            &intended,
             frag_payload,
             frag_count,
             msg_wire_bytes,
             class,
-            (0..frag_count).map(|f| (f, intended.clone())),
+            (0..frag_count).map(|f| (f, Arc::clone(&intended))),
         );
         let tracked = cfg.ack.enabled && !intended.is_empty();
         if tracked {
@@ -233,7 +244,7 @@ impl Transport {
         msg: MessageId,
         frag: u32,
         frag_count: u32,
-        intended: &[NodeId],
+        intended: &Arc<[NodeId]>,
         payload: Bytes,
         total_len: u32,
         msg_wire_bytes: u32,
@@ -253,7 +264,7 @@ impl Transport {
             received: FragSet::new(frag_count),
             frag_count,
             from,
-            intended: intended.to_vec(),
+            intended: Arc::clone(intended),
             intended_me: intended.contains(&me),
             msg_wire_bytes,
             delivered: false,
@@ -290,7 +301,7 @@ impl Transport {
                 };
                 deliver = Some(DeliverPlan {
                     from,
-                    intended: entry.intended.clone(),
+                    intended: entry.intended.to_vec(),
                     overheard: !entry.intended_me,
                     wire_bytes: entry.msg_wire_bytes as usize,
                     payload,
@@ -394,11 +405,12 @@ impl Transport {
         out.attempt += 1;
         let missing = out.missing();
         out.in_flight = missing.len() as u32;
-        let frames = build_frames(
+        let mut frames = Vec::with_capacity(missing.len());
+        build_frames_into(
+            &mut frames,
             msg,
             me,
             &out.payload,
-            &out.intended,
             out.frag_payload,
             out.frag_count,
             out.msg_wire_bytes,
@@ -433,51 +445,48 @@ impl Transport {
     }
 }
 
-/// Builds data frames for the given (fragment, receivers) pairs.
+/// Builds data frames for the given (fragment, receivers) pairs into `out`.
+///
+/// Payload fragments are zero-copy [`Bytes`] slices of the message payload
+/// and receiver lists are shared [`Arc`]s — building a frame allocates
+/// nothing beyond `out`'s (amortized, recycled) storage.
 #[allow(clippy::too_many_arguments)]
-fn build_frames(
+fn build_frames_into(
+    out: &mut Vec<Frame>,
     msg: MessageId,
     sender: NodeId,
     payload: &Bytes,
-    default_intended: &[NodeId],
     frag_payload: usize,
     frag_count: u32,
     msg_wire_bytes: u32,
     class: u8,
-    frags: impl Iterator<Item = (u32, Vec<NodeId>)>,
-) -> Vec<Frame> {
+    frags: impl Iterator<Item = (u32, Arc<[NodeId]>)>,
+) {
     let total_len = payload.len() as u32;
-    frags
-        .map(|(frag, intended)| {
-            let start = frag as usize * frag_payload;
-            let end = (start + frag_payload).min(payload.len());
-            let part = if start < payload.len() {
-                payload.slice(start..end)
-            } else {
-                Bytes::new()
-            };
-            let receivers = if intended.is_empty() {
-                default_intended.to_vec()
-            } else {
-                intended
-            };
-            let wire = DATA_HEADER_BASE + PER_RECEIVER_BYTES * receivers.len() + part.len();
-            Frame {
-                sender,
-                wire_bytes: wire,
-                class,
-                kind: FrameKind::Data {
-                    msg,
-                    frag,
-                    frag_count,
-                    intended: receivers,
-                    payload: part,
-                    total_len,
-                    msg_wire_bytes,
-                },
-            }
-        })
-        .collect()
+    out.extend(frags.map(|(frag, intended)| {
+        let start = frag as usize * frag_payload;
+        let end = (start + frag_payload).min(payload.len());
+        let part = if start < payload.len() {
+            payload.slice(start..end)
+        } else {
+            Bytes::new()
+        };
+        let wire = DATA_HEADER_BASE + PER_RECEIVER_BYTES * intended.len() + part.len();
+        Frame {
+            sender,
+            wire_bytes: wire,
+            class,
+            kind: FrameKind::Data {
+                msg,
+                frag,
+                frag_count,
+                intended,
+                payload: part,
+                total_len,
+                msg_wire_bytes,
+            },
+        }
+    }));
 }
 
 #[cfg(test)]
@@ -508,6 +517,7 @@ mod tests {
             intended,
             pds_obs::class::OTHER,
             &cfg(),
+            Vec::new(),
         )
     }
 

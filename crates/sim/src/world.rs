@@ -95,7 +95,7 @@ impl Application for NoopApp {
     fn on_message(&mut self, _ctx: &mut Context, _meta: MessageMeta, _payload: Bytes) {}
 }
 
-type ControlFn = Box<dyn FnOnce(&mut World)>;
+type ControlFn = Box<dyn FnOnce(&mut World) + Send>;
 
 /// A simulated wireless world: nodes, medium and virtual clock.
 ///
@@ -129,6 +129,10 @@ pub struct World {
     dl_scratch: Vec<NodeId>,
     /// Reusable leaky-bucket release buffer.
     rel_scratch: Vec<Frame>,
+    /// Reusable fragmentation buffer, recycled through
+    /// [`Transport::send_message`] so large sends stop allocating a fresh
+    /// `Vec<Frame>` per message.
+    frame_scratch: Vec<Frame>,
     /// Reusable application command buffer, threaded through [`Context`].
     cmd_scratch: Vec<Command>,
     next_node: u32,
@@ -193,6 +197,7 @@ impl World {
             if_scratch: Vec::new(),
             dl_scratch: Vec::new(),
             rel_scratch: Vec::new(),
+            frame_scratch: Vec::new(),
             cmd_scratch: Vec::new(),
             next_node: 0,
             next_tx: 0,
@@ -412,8 +417,10 @@ impl World {
 
     /// Schedules `f` to run at time `at` with full mutable access to the
     /// world — the hook scenario scripts use to start consumers, apply
-    /// mobility traces, or inject churn.
-    pub fn schedule(&mut self, at: SimTime, f: impl FnOnce(&mut World) + 'static) {
+    /// mobility traces, or inject churn. The closure must be `Send`, like
+    /// everything a `World` owns, so whole worlds can move to sweep worker
+    /// threads (see `pds-bench`).
+    pub fn schedule(&mut self, at: SimTime, f: impl FnOnce(&mut World) + Send + 'static) {
         let id = self.next_ctrl;
         self.next_ctrl += 1;
         self.controls.insert(id, Box::new(f));
@@ -636,20 +643,28 @@ impl World {
         intended: Vec<NodeId>,
         class: u8,
     ) {
-        let plan = {
+        let mut plan = {
             let Self {
                 config,
                 nodes,
                 stats,
+                frame_scratch,
                 ..
             } = self;
             let Some(state) = nodes.get_mut(&id) else {
                 return;
             };
             stats.messages_sent += 1;
-            state
-                .transport
-                .send_message(id, handle.0, handle, payload, intended, class, config)
+            state.transport.send_message(
+                id,
+                handle.0,
+                handle,
+                payload,
+                intended,
+                class,
+                config,
+                std::mem::take(frame_scratch),
+            )
         };
         if self.sink.is_some() {
             let bytes: u64 = plan.frames.iter().map(|f| f.wire_bytes as u64).sum();
@@ -663,9 +678,10 @@ impl World {
                 },
             );
         }
-        for frame in plan.frames {
+        for frame in plan.frames.drain(..) {
             self.pace_frame(id, frame, SendClass::Data);
         }
+        self.frame_scratch = plan.frames;
     }
 
     // ---- pacing: leaky bucket and OS buffer ------------------------------
@@ -889,7 +905,6 @@ impl World {
             return;
         }
         // Transmit.
-        let airtime_cfg = self.config.radio.clone();
         let Some(state) = self.nodes.get_mut(&id) else {
             return;
         };
@@ -921,7 +936,7 @@ impl World {
             }
             FrameKind::Ack { .. } => self.stats.ack_bytes_sent += wire,
         }
-        let duration = airtime_cfg.frame_airtime(frame.wire_bytes);
+        let duration = self.config.radio.frame_airtime(frame.wire_bytes);
         let tx_id = self.next_tx;
         self.next_tx += 1;
         self.transmissions.insert(
@@ -1818,6 +1833,15 @@ mod tests {
             "rx bytes = {}",
             rx.bytes_received
         );
+    }
+
+    #[test]
+    fn world_is_send() {
+        // The parallel sweep executor in pds-bench moves whole worlds onto
+        // worker threads; this fails to compile if any kernel field (apps,
+        // sinks, scheduled controls, ...) loses `Send`.
+        fn assert_send<T: Send>() {}
+        assert_send::<World>();
     }
 
     #[test]

@@ -1,0 +1,10 @@
+//! Fixture: the bench layer may use threads — it parallelizes over whole
+//! independent worlds (one per job), never inside a simulation.
+
+fn fan_out(jobs: usize) {
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| {});
+        }
+    });
+}

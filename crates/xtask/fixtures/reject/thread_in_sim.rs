@@ -1,0 +1,8 @@
+//! Fixture: spawning threads inside simulation code must be rejected —
+//! scheduler-dependent interleaving would break replay equality.
+
+fn run_worlds() {
+    std::thread::scope(|s| {
+        s.spawn(|| {});
+    });
+}

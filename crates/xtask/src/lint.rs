@@ -22,6 +22,12 @@
 //!   audited exemptions (`pds-sim/src/prof.rs`, `pds-bench` metrics).
 //! * **`entropy-rng`** — `thread_rng`/`from_entropy`/`OsRng`/`getrandom`.
 //!   All randomness must flow from the run's seed through `SimRng`.
+//! * **`thread-pool`** — `thread`/`rayon`/`ThreadPool`. Worker threads
+//!   inside the simulation kernel would make event order depend on the
+//!   scheduler. Parallelism lives one layer up: `crates/bench` (the only
+//!   exempt directory) runs *whole independent worlds* on worker threads
+//!   via `pds_bench::sweep`, which is parallelism over runs, never inside
+//!   one.
 //!
 //! The scan is lexical, not syntactic: comments and string/char literal
 //! contents are blanked (preserving byte positions, hence line numbers)
@@ -49,6 +55,10 @@ pub struct Rule {
     pub tokens: &'static [&'static str],
     /// What to use instead; printed with each finding.
     pub instead: &'static str,
+    /// Directory names (matched against any path component) where this
+    /// rule does not apply — a structural exemption for a whole layer, as
+    /// opposed to the per-file pragma.
+    pub exempt_dirs: &'static [&'static str],
 }
 
 /// The rule set enforced on the simulation crates.
@@ -57,16 +67,26 @@ pub const RULES: &[Rule] = &[
         name: "std-collections",
         tokens: &["HashMap", "HashSet", "hash_map", "hash_set", "RandomState"],
         instead: "use pds_det::{DetMap, DetSet, MapEntry} (or BTreeMap/BTreeSet for sorted order)",
+        exempt_dirs: &[],
     },
     Rule {
         name: "wall-clock",
         tokens: &["Instant", "SystemTime", "UNIX_EPOCH"],
         instead: "use SimTime/SimDuration; benches go through pds_bench::metrics::WallClock",
+        exempt_dirs: &[],
     },
     Rule {
         name: "entropy-rng",
         tokens: &["thread_rng", "from_entropy", "OsRng", "getrandom"],
         instead: "derive all randomness from the run seed via pds_sim::SimRng",
+        exempt_dirs: &[],
+    },
+    Rule {
+        name: "thread-pool",
+        tokens: &["thread", "rayon", "ThreadPool"],
+        instead: "no threads inside the simulation; parallelize over whole runs via \
+                  pds_bench::sweep (crates/bench is the one exempt layer)",
+        exempt_dirs: &["bench"],
     },
 ];
 
@@ -173,6 +193,13 @@ pub fn lint_source(path: &Path, text: &str, report: &mut Report) {
             continue;
         };
         if allowed.iter().any(|a| a == rule.name) {
+            continue;
+        }
+        if rule
+            .exempt_dirs
+            .iter()
+            .any(|d| path.components().any(|c| c.as_os_str() == *d))
+        {
             continue;
         }
         if gated.iter().any(|&(lo, hi)| pos >= lo && pos < hi) {
@@ -466,6 +493,29 @@ mod tests {
                 .iter()
                 .any(|f| f.rule == "entropy-rng" && f.token == "thread_rng"),
             "expected an entropy-rng finding, got {:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn rejects_threads_in_sim_code() {
+        let report = lint_fixture("reject/thread_in_sim.rs");
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.rule == "thread-pool" && f.token == "thread"),
+            "expected a thread-pool finding, got {:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn accepts_threads_under_bench_dir() {
+        let report = lint_fixture("accept/bench/pool.rs");
+        assert!(
+            report.findings.is_empty(),
+            "crates/bench may use thread pools, got {:?}",
             report.findings
         );
     }

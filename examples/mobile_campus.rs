@@ -10,8 +10,8 @@
 use pds::core::{AttrValue, DataDescriptor, PdsConfig, PdsNode, QueryFilter};
 use pds::mobility::{presets, MobilityTrace, TraceAction, TraceInstaller};
 use pds::sim::{SimConfig, SimDuration, SimTime, World};
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 fn main() {
     let params = presets::student_center();
@@ -36,16 +36,19 @@ fn main() {
     );
 
     let mut world = World::new(SimConfig::default(), 5);
-    let counter = Rc::new(Cell::new(0u64));
+    // The install factory must be `Send` (worlds can move to sweep worker
+    // threads), so the seeded-entry counter is an atomic rather than
+    // Rc<Cell>.
+    let counter = Arc::new(AtomicU64::new(0));
     let initial_count = trace.initial_people().len() as u32;
     let installer = {
-        let counter = Rc::clone(&counter);
+        let counter = Arc::clone(&counter);
         TraceInstaller::install(&mut world, &trace, move |person| {
             let mut node = PdsNode::new(PdsConfig::default(), 40 + u64::from(person.0));
             // Only the initial crowd carries data (5 samples each).
             if person.0 < initial_count {
                 for k in 0..5u32 {
-                    counter.set(counter.get() + 1);
+                    counter.fetch_add(1, Ordering::Relaxed);
                     node = node.with_metadata(
                         DataDescriptor::builder()
                             .attr("ns", "env")
@@ -73,7 +76,7 @@ fn main() {
         .app::<PdsNode>(consumer)
         .and_then(PdsNode::discovery_report)
         .expect("discovery ran");
-    let seeded = counter.get();
+    let seeded = counter.load(Ordering::Relaxed);
     println!(
         "Consumer discovered {} of {} seeded entries ({:.1}% recall) in {:.2} s over {} rounds.",
         report.entries,

@@ -430,6 +430,28 @@ proptest! {
         }
     }
 
+    /// The parallel sweep executor must be invisible in the results: the
+    /// same randomly-generated scenario swept at 1 worker and at 4 workers
+    /// must return identical per-seed statistics, in seed order. (Each job
+    /// owns a whole `World`; parallelism only reorders wall-clock
+    /// completion, which `SweepRunner` hides by slotting results by job
+    /// index.)
+    #[test]
+    fn sweep_runner_job_count_never_changes_results(
+        base_seed in any::<u32>(),
+        plans in node_plans(8),
+    ) {
+        let seeds: Vec<u64> = (0..4).map(|k| u64::from(base_seed) + k * 7919).collect();
+        let sweep = |jobs: usize| {
+            pds_bench::SweepRunner::new(jobs).run(seeds.len(), |i| {
+                let (mut w, _) = spatial_world(&plans, SpatialIndex::Grid, seeds[i], 0, false);
+                w.run_until(SimTime::from_secs_f64(1.0));
+                w.stats().clone()
+            })
+        };
+        prop_assert_eq!(sweep(1), sweep(4));
+    }
+
     /// A dense clique (everyone in carrier-sense range of everyone) is the
     /// adversarial case for the transmission index: collisions, deferrals
     /// and capture decisions all hinge on the carrier-sense and
