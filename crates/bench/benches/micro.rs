@@ -159,9 +159,65 @@ fn kernel_benches(c: &mut Criterion) {
     });
 }
 
+fn scheduler_benches(c: &mut Criterion) {
+    use pds_sim::{SimRng, SimTime, TimerWheel};
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    // Kernel-like churn: hold ~PENDING timers in flight, and for STEPS
+    // steps pop the earliest deadline and push a successor a short random
+    // delay later — the steady-state pattern of MAC retries, app timers
+    // and transmission ends. The same seeded offset stream drives both
+    // structures so the comparison is apples-to-apples.
+    const PENDING: usize = 4096;
+    const STEPS: usize = 20_000;
+
+    c.bench_function("scheduler/wheel_churn_4k", |b| {
+        b.iter_batched(
+            || {
+                let mut wheel = TimerWheel::new();
+                for i in 0..PENDING as u64 {
+                    wheel.push(SimTime::from_micros(i * 7), i);
+                }
+                (wheel, SimRng::new(9))
+            },
+            |(mut wheel, mut rng)| {
+                for _ in 0..STEPS {
+                    let (at, id) = wheel.pop_until(SimTime::MAX).expect("queue stays full");
+                    wheel.push(
+                        at + pds_sim::SimDuration::from_micros(rng.range_u64(1, 2_000)),
+                        id,
+                    );
+                }
+                black_box(wheel.len())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("scheduler/heap_churn_4k", |b| {
+        b.iter_batched(
+            || {
+                let mut heap = BinaryHeap::new();
+                for i in 0..PENDING as u64 {
+                    heap.push(Reverse((i * 7, i)));
+                }
+                (heap, SimRng::new(9))
+            },
+            |(mut heap, mut rng)| {
+                for _ in 0..STEPS {
+                    let Reverse((at, id)) = heap.pop().expect("queue stays full");
+                    heap.push(Reverse((at + rng.range_u64(1, 2_000), id)));
+                }
+                black_box(heap.len())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bloom_benches, codec_benches, predicate_benches, assign_benches, kernel_benches
+    targets = bloom_benches, codec_benches, predicate_benches, assign_benches, kernel_benches, scheduler_benches
 );
 criterion_main!(benches);

@@ -21,15 +21,18 @@
 //! sweep-executor benchmark: the node-count × seed grid is run once
 //! sequentially and once through the parallel [`SweepRunner`], the two
 //! result vectors are asserted identical, and both wall times land in the
-//! JSON record (`"sweep"`). All other sections — the grid/brute
+//! JSON record (`"sweep"`). A `"scheduler"` block compares the
+//! hierarchical timer-wheel event queue against the legacy binary heap at
+//! every node count (identical statistics asserted, wall times and
+//! speedup recorded). All other sections — the grid/brute
 //! comparison and `--trace-check` — are single runs on the main thread,
 //! i.e. always `--jobs 1` semantics, so their wall-time gates compare
 //! like-for-like regardless of the flag.
 
 use pds_bench::{SweepRunner, WallClock};
 use pds_sim::{
-    Application, Context, MessageMeta, Position, SimConfig, SimDuration, SimTime, SpatialIndex,
-    World,
+    Application, Context, MessageMeta, Position, Scheduler, SimConfig, SimDuration, SimTime,
+    SpatialIndex, World,
 };
 use std::fmt::Write as _;
 
@@ -72,9 +75,10 @@ impl Application for Chatter {
 /// Builds the scenario: `n` nodes in small gathering-spot clusters laid
 /// out on a square grid at constant cluster density (so area grows with
 /// `n`), with a fraction of the nodes walking.
-fn build_world(n: usize, index: SpatialIndex, seed: u64) -> World {
+fn build_world(n: usize, index: SpatialIndex, scheduler: Scheduler, seed: u64) -> World {
     let mut config = SimConfig::default();
     config.spatial.index = index;
+    config.scheduler = scheduler;
     // Large-area scenario knobs (identical in both modes, so the runs stay
     // comparable): a 4-range interference horizon — at the default
     // path-loss exponent a transmitter that far away contributes under 2%
@@ -116,7 +120,17 @@ fn run_mode(n: usize, index: SpatialIndex, horizon: SimTime) -> ModeRun {
 }
 
 fn run_mode_traced(n: usize, index: SpatialIndex, horizon: SimTime, traced: bool) -> ModeRun {
-    let mut world = build_world(n, index, 42);
+    run_mode_full(n, index, Scheduler::default(), horizon, traced)
+}
+
+fn run_mode_full(
+    n: usize,
+    index: SpatialIndex,
+    scheduler: Scheduler,
+    horizon: SimTime,
+    traced: bool,
+) -> ModeRun {
+    let mut world = build_world(n, index, scheduler, 42);
     if traced {
         world.set_trace_sink(Box::new(pds_sim::obs::NullSink));
     }
@@ -195,7 +209,7 @@ fn sweep_bench(horizon: SimTime, jobs: usize) -> SweepBench {
         let start = WallClock::start();
         let stats = runner.run(points.len(), |i| {
             let (n, seed) = points[i];
-            let mut world = build_world(n, SpatialIndex::Grid, seed);
+            let mut world = build_world(n, SpatialIndex::Grid, Scheduler::default(), seed);
             world.run_until(horizon);
             world.stats().clone()
         });
@@ -222,6 +236,48 @@ fn sweep_bench(horizon: SimTime, jobs: usize) -> SweepBench {
         speedup,
         results_equal,
     }
+}
+
+/// One row of the event-scheduler comparison: the grid scenario run once
+/// on the hierarchical timer wheel and once on the legacy binary heap.
+struct SchedulerRow {
+    n: usize,
+    wheel_wall_s: f64,
+    heap_wall_s: f64,
+    speedup: f64,
+    stats_equal: bool,
+}
+
+/// Wheel-vs-heap wall times at every node count. Like the grid/brute
+/// section, the two runs must produce identical statistics — the
+/// scheduler is an implementation detail, not an approximation — so any
+/// divergence aborts the benchmark.
+fn scheduler_bench(horizon: SimTime) -> Vec<SchedulerRow> {
+    let mut rows = Vec::new();
+    for &n in &NODE_COUNTS {
+        let wheel = run_mode_full(n, SpatialIndex::Grid, Scheduler::Wheel, horizon, false);
+        let heap = run_mode_full(n, SpatialIndex::Grid, Scheduler::BinaryHeap, horizon, false);
+        let stats_equal = wheel.stats == heap.stats;
+        let speedup = heap.wall_s / wheel.wall_s.max(1e-9);
+        println!(
+            "scheduler n={n:>5}  wheel {:>8.3}s  heap {:>8.3}s  speedup {speedup:>6.2}x  \
+             stats_equal={stats_equal}",
+            wheel.wall_s, heap.wall_s
+        );
+        assert!(
+            stats_equal,
+            "wheel and heap schedulers diverged at n={n}: {:?} vs {:?}",
+            wheel.stats, heap.stats
+        );
+        rows.push(SchedulerRow {
+            n,
+            wheel_wall_s: wheel.wall_s,
+            heap_wall_s: heap.wall_s,
+            speedup,
+            stats_equal,
+        });
+    }
+    rows
 }
 
 fn main() {
@@ -269,6 +325,8 @@ fn main() {
 
     let sweep = sweep_bench(horizon, jobs);
 
+    let sched_rows = scheduler_bench(horizon);
+
     // Both trace-check arms are single runs on the main thread (jobs = 1
     // semantics), so the 110% budget always compares like-for-like even
     // when the sweep above ran wide.
@@ -297,6 +355,18 @@ fn main() {
              \"traced_wall_s\": {on_s:.6}, \"overhead_ratio\": {ratio:.4}}},"
         );
     }
+    let _ = writeln!(json, "  \"scheduler\": [");
+    let sched_last = sched_rows.len() - 1;
+    for (i, row) in sched_rows.iter().enumerate() {
+        let comma = if i == sched_last { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"wheel_wall_s\": {:.6}, \"heap_wall_s\": {:.6}, \
+             \"speedup\": {:.3}, \"stats_equal\": {}}}{comma}",
+            row.n, row.wheel_wall_s, row.heap_wall_s, row.speedup, row.stats_equal
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"results\": [");
     let last = rows.len() - 1;
     for (i, (n, grid, brute, speedup, equal)) in rows.iter().enumerate() {

@@ -228,6 +228,34 @@ impl Default for SpatialConfig {
     }
 }
 
+/// Which data structure backs the kernel's event queue (DESIGN.md §11).
+///
+/// Both implementations pop in identical `(time, insertion seq)` order, so
+/// — exactly like [`SpatialIndex`] — this can differ between otherwise
+/// identical runs for differential testing without perturbing replay
+/// digests or statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Hierarchical timer wheel: O(1) amortized push/pop. The default
+    /// (unless the `heap-queue` cargo feature is enabled).
+    Wheel,
+    /// Binary heap: O(log n) push/pop — the reference implementation the
+    /// wheel is differentially tested against. The `heap-queue` cargo
+    /// feature makes this the default so CI can gate digest equality
+    /// across separately built binaries.
+    BinaryHeap,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        if cfg!(feature = "heap-queue") {
+            Self::BinaryHeap
+        } else {
+            Self::Wheel
+        }
+    }
+}
+
 /// Complete simulator configuration.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SimConfig {
@@ -239,6 +267,8 @@ pub struct SimConfig {
     pub ack: AckConfig,
     /// Spatial range-query index selection and tuning.
     pub spatial: SpatialConfig,
+    /// Event-queue implementation selection.
+    pub scheduler: Scheduler,
 }
 
 impl SimConfig {

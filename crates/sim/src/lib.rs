@@ -70,17 +70,21 @@ mod spatial;
 mod stats;
 mod time;
 mod transport;
+mod wheel;
 mod world;
 
 #[cfg(feature = "prof")]
 pub mod prof;
 
-pub use config::{AckConfig, RadioConfig, SenderMode, SimConfig, SpatialConfig, SpatialIndex};
+pub use config::{
+    AckConfig, RadioConfig, Scheduler, SenderMode, SimConfig, SpatialConfig, SpatialIndex,
+};
 pub use node::{Application, Command, Context, MessageHandle, MessageMeta, NodeId, TimerId};
 pub use radio::Position;
 pub use rng::SimRng;
 pub use stats::{EnergyModel, NodeStats, PhaseBytes, Stats};
 pub use time::{SimDuration, SimTime};
+pub use wheel::TimerWheel;
 pub use world::World;
 
 // Re-exported so applications can emit trace events through [`Context`]

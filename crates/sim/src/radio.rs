@@ -210,9 +210,13 @@ pub(crate) enum FrameKind {
         /// tracking state): cloning a frame is a refcount bump, not a list
         /// copy.
         intended: Arc<[NodeId]>,
+        /// The *whole* message payload, shared by every fragment (and the
+        /// sender's tracking state) — an ns-3-style shared packet buffer.
+        /// The fragment's own bytes are the `frag`-th `frag_payload`-sized
+        /// window of it; per-fragment wire length is computed
+        /// arithmetically, so fragment slices never materialize and
+        /// reassembly is a refcount bump instead of a memcpy.
         payload: Bytes,
-        /// Total application payload length of the whole message.
-        total_len: u32,
         /// Total wire bytes of the whole message (for overhead metadata).
         msg_wire_bytes: u32,
     },

@@ -86,7 +86,11 @@ impl Outgoing {
 
 #[derive(Debug)]
 struct Incoming {
-    frags: Vec<Option<Bytes>>,
+    /// The whole message payload, shared with every data frame of the
+    /// message (DESIGN.md §11): reassembly only tracks *which* fragments
+    /// arrived in `received`; their bytes are already here, so delivery is
+    /// a refcount bump, never a copy.
+    payload: Bytes,
     received: FragSet,
     frag_count: u32,
     from: NodeId,
@@ -236,7 +240,8 @@ impl Transport {
         }
     }
 
-    /// Handles a received data fragment at node `me`.
+    /// Handles a received data fragment at node `me`. `payload` is the
+    /// whole message payload the frame carries (see [`FrameKind::Data`]).
     #[allow(clippy::too_many_arguments)]
     pub fn on_data_frame(
         &mut self,
@@ -245,8 +250,7 @@ impl Transport {
         frag: u32,
         frag_count: u32,
         intended: &Arc<[NodeId]>,
-        payload: Bytes,
-        total_len: u32,
+        payload: &Bytes,
         msg_wire_bytes: u32,
         from: NodeId,
         ack_enabled: bool,
@@ -254,13 +258,7 @@ impl Transport {
         now: SimTime,
     ) -> DataPlan {
         let entry = self.incoming.entry(msg).or_insert_with(|| Incoming {
-            // Single-fragment messages (the common case) are delivered
-            // straight from the incoming frame; no reassembly buffer.
-            frags: if frag_count > 1 {
-                vec![None; frag_count as usize]
-            } else {
-                Vec::new()
-            },
+            payload: payload.clone(),
             received: FragSet::new(frag_count),
             frag_count,
             from,
@@ -281,30 +279,17 @@ impl Transport {
 
         let mut deliver = None;
         if !entry.delivered && frag < entry.frag_count {
-            if entry.received.set(frag) && entry.frag_count > 1 {
-                entry.frags[frag as usize] = Some(payload.clone());
-            }
+            entry.received.set(frag);
             if entry.received.is_complete(entry.frag_count) {
                 entry.delivered = true;
-                let payload = if entry.frag_count == 1 {
-                    // Zero-copy: the lone fragment *is* the message.
-                    payload.slice(..(total_len as usize).min(payload.len()))
-                } else {
-                    let mut whole = Vec::with_capacity(total_len as usize);
-                    for part in entry.frags.iter_mut() {
-                        if let Some(p) = part.take() {
-                            whole.extend_from_slice(&p);
-                        }
-                    }
-                    whole.truncate(total_len as usize);
-                    Bytes::from(whole)
-                };
                 deliver = Some(DeliverPlan {
                     from,
                     intended: entry.intended.to_vec(),
                     overheard: !entry.intended_me,
                     wire_bytes: entry.msg_wire_bytes as usize,
-                    payload,
+                    // Zero-copy: every fragment carried the same shared
+                    // message payload; delivery hands it over.
+                    payload: entry.payload.clone(),
                 });
             }
         }
@@ -447,9 +432,11 @@ impl Transport {
 
 /// Builds data frames for the given (fragment, receivers) pairs into `out`.
 ///
-/// Payload fragments are zero-copy [`Bytes`] slices of the message payload
-/// and receiver lists are shared [`Arc`]s — building a frame allocates
-/// nothing beyond `out`'s (amortized, recycled) storage.
+/// Every frame carries the same shared message [`Bytes`] (a refcount bump)
+/// and a shared receiver-list [`Arc`]; the fragment's wire length is
+/// computed arithmetically — `min(frag_payload, len - start)`, zero past
+/// the end — so fragment slices never materialize and building a frame
+/// allocates nothing beyond `out`'s (amortized, recycled) storage.
 #[allow(clippy::too_many_arguments)]
 fn build_frames_into(
     out: &mut Vec<Frame>,
@@ -462,16 +449,10 @@ fn build_frames_into(
     class: u8,
     frags: impl Iterator<Item = (u32, Arc<[NodeId]>)>,
 ) {
-    let total_len = payload.len() as u32;
     out.extend(frags.map(|(frag, intended)| {
         let start = frag as usize * frag_payload;
-        let end = (start + frag_payload).min(payload.len());
-        let part = if start < payload.len() {
-            payload.slice(start..end)
-        } else {
-            Bytes::new()
-        };
-        let wire = DATA_HEADER_BASE + PER_RECEIVER_BYTES * intended.len() + part.len();
+        let part_len = payload.len().saturating_sub(start).min(frag_payload);
+        let wire = DATA_HEADER_BASE + PER_RECEIVER_BYTES * intended.len() + part_len;
         Frame {
             sender,
             wire_bytes: wire,
@@ -481,8 +462,7 @@ fn build_frames_into(
                 frag,
                 frag_count,
                 intended,
-                payload: part,
-                total_len,
+                payload: payload.clone(),
                 msg_wire_bytes,
             },
         }
@@ -531,7 +511,6 @@ mod tests {
                 frag_count,
                 intended,
                 payload,
-                total_len,
                 msg_wire_bytes,
             } = &f.kind
             {
@@ -541,8 +520,7 @@ mod tests {
                     *frag,
                     *frag_count,
                     intended,
-                    payload.clone(),
-                    *total_len,
+                    payload,
                     *msg_wire_bytes,
                     f.sender,
                     true,
@@ -708,7 +686,6 @@ mod tests {
             frag_count,
             intended,
             payload,
-            total_len,
             msg_wire_bytes,
         } = plan.frames[0].kind.clone()
         else {
@@ -720,8 +697,7 @@ mod tests {
             frag,
             frag_count,
             &intended,
-            payload.clone(),
-            total_len,
+            &payload,
             msg_wire_bytes,
             NodeId(0),
             true,
@@ -735,8 +711,7 @@ mod tests {
             frag,
             frag_count,
             &intended,
-            payload,
-            total_len,
+            &payload,
             msg_wire_bytes,
             NodeId(0),
             true,
@@ -758,7 +733,6 @@ mod tests {
             frag_count,
             intended,
             payload,
-            total_len,
             msg_wire_bytes,
         } = plan.frames[0].kind.clone()
         else {
@@ -770,8 +744,7 @@ mod tests {
             frag,
             frag_count,
             &intended,
-            payload,
-            total_len,
+            &payload,
             msg_wire_bytes,
             NodeId(0),
             true,

@@ -10,12 +10,12 @@ use crate::spatial::{NodeGrid, TxEntry, TxGrid};
 use crate::stats::{NodeStats, Stats};
 use crate::time::{SimDuration, SimTime};
 use crate::transport::{MessageId, RetrPlan, Transport};
+use crate::wheel::TimerWheel;
 use bytes::Bytes;
 use pds_det::DetMap;
 use pds_obs::{Phase, TraceEvent, TraceKind, TraceSink};
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Interval between transport garbage-collection sweeps.
 const SWEEP_INTERVAL: SimDuration = SimDuration::from_secs(5);
@@ -115,8 +115,11 @@ pub struct World {
     tx_grid: TxGrid,
     /// Transmission ids per sender, for O(1)-ish half-duplex checks.
     tx_by_sender: DetMap<NodeId, Vec<u64>>,
-    /// Transmission end times, for O(log) pruning instead of map sweeps.
-    tx_prune: BinaryHeap<Reverse<(SimTime, u64)>>,
+    /// Transmission end times, for amortized-O(1) pruning instead of map
+    /// sweeps. Same wheel primitive as the event queue (DESIGN.md §11);
+    /// pop order equals the old `BinaryHeap<Reverse<(end, tx_id)>>` because
+    /// tx ids are pushed in ascending order.
+    tx_prune: TimerWheel<u64>,
     /// Reusable carrier-sense / interference candidate buffer (avoids
     /// per-event allocs).
     cs_scratch: Vec<TxEntry>,
@@ -179,7 +182,7 @@ impl World {
             config.radio.cs_range_factor
         };
         let tx_cell_m = cell_m * tx_reach.max(1.0);
-        let mut queue = EventQueue::new();
+        let mut queue = EventQueue::new(config.scheduler);
         queue.push(SimTime::ZERO + SWEEP_INTERVAL, EventKind::Sweep);
         Self {
             config,
@@ -190,7 +193,7 @@ impl World {
             node_grid: NodeGrid::new(cell_m, SimTime::ZERO),
             tx_grid: TxGrid::new(tx_cell_m),
             tx_by_sender: DetMap::default(),
-            tx_prune: BinaryHeap::new(),
+            tx_prune: TimerWheel::new(),
             cs_scratch: Vec::new(),
             rx_scratch: Vec::new(),
             ri_scratch: Vec::new(),
@@ -481,11 +484,7 @@ impl World {
     /// Runs the event loop until virtual time `horizon` (inclusive); the
     /// clock ends at `horizon` even if the queue drains earlier.
     pub fn run_until(&mut self, horizon: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > horizon {
-                break;
-            }
-            let (at, kind) = self.queue.pop().expect("peeked");
+        while let Some((at, kind)) = self.queue.pop_until(horizon) {
             self.now = at.max(self.now);
             self.refresh_node_grid();
             self.dispatch(kind);
@@ -958,7 +957,7 @@ impl World {
             end: now + duration,
         });
         self.tx_by_sender.entry(id).or_default().push(tx_id);
-        self.tx_prune.push(Reverse((now + duration, tx_id)));
+        self.tx_prune.push(now + duration, tx_id);
         self.queue.push(now + duration, EventKind::TxEnd(tx_id));
         if self.sink.is_some() {
             self.emit(
@@ -1152,11 +1151,7 @@ impl World {
         // their spatial/per-sender index entries with them.
         let horizon = now.since(SimTime::ZERO + self.max_airtime + self.max_airtime);
         let keep_after = SimTime::ZERO + horizon; // now - 2*max_airtime, saturating
-        while let Some(&Reverse((end, id))) = self.tx_prune.peek() {
-            if end > keep_after {
-                break;
-            }
-            self.tx_prune.pop();
+        while let Some((_, id)) = self.tx_prune.pop_until(keep_after) {
             let Some(t) = self.transmissions.remove(&id) else {
                 continue;
             };
@@ -1183,7 +1178,6 @@ impl World {
                 frag_count,
                 intended,
                 payload,
-                total_len,
                 msg_wire_bytes,
             } => {
                 let plan = {
@@ -1196,8 +1190,7 @@ impl World {
                         *frag,
                         *frag_count,
                         intended,
-                        payload.clone(),
-                        *total_len,
+                        payload,
                         *msg_wire_bytes,
                         frame.sender,
                         ack_cfg.enabled,

@@ -5,8 +5,8 @@
 
 use bytes::Bytes;
 use pds_sim::{
-    Application, Context, MessageMeta, NodeId, Position, SimConfig, SimDuration, SimTime,
-    SpatialIndex, World,
+    Application, Context, MessageMeta, NodeId, Position, Scheduler, SimConfig, SimDuration,
+    SimTime, SpatialIndex, World,
 };
 
 /// Counts everything it hears.
@@ -47,7 +47,11 @@ impl Application for Blaster {
 /// timers, MAC attempts and defers, transmissions, bucket drains, control
 /// closures and sweeps.
 fn run(index: SpatialIndex, rebucket_ms: u64, seed: u64) -> (u64, u64) {
-    run_traced(index, rebucket_ms, seed, false)
+    run_full(index, Scheduler::default(), rebucket_ms, seed, false)
+}
+
+fn run_traced(index: SpatialIndex, rebucket_ms: u64, seed: u64, traced: bool) -> (u64, u64) {
+    run_full(index, Scheduler::default(), rebucket_ms, seed, traced)
 }
 
 /// With `PDS_TRACE_DIR` set, a JSONL sink writing one uniquely named trace
@@ -73,10 +77,17 @@ fn jsonl_sink_from_env(
     }
 }
 
-fn run_traced(index: SpatialIndex, rebucket_ms: u64, seed: u64, traced: bool) -> (u64, u64) {
+fn run_full(
+    index: SpatialIndex,
+    scheduler: Scheduler,
+    rebucket_ms: u64,
+    seed: u64,
+    traced: bool,
+) -> (u64, u64) {
     let mut c = SimConfig::default();
     c.radio.baseline_loss = 0.1;
     c.spatial.index = index;
+    c.scheduler = scheduler;
     c.spatial.rebucket_interval = SimDuration::from_millis(rebucket_ms);
     let mut w = World::new(c, seed);
     if traced {
@@ -136,6 +147,30 @@ fn replay_digest_unchanged_by_tracing() {
     assert!(delivered > 0, "scenario must actually exchange traffic");
     assert_eq!(on, off, "trace sink must not perturb the event stream");
     assert_eq!(delivered_on, delivered);
+}
+
+#[test]
+fn replay_digest_is_identical_across_schedulers() {
+    // The timer-wheel/heap differential gate (DESIGN.md §11), mirroring
+    // the grid/brute-force one above: the scheduler implementation is a
+    // performance choice, so the dispatched event stream — and with it
+    // the digest and the delivery count — must be bit-identical, for both
+    // spatial indices and with lazy re-bucketing in play.
+    let (wheel, delivered) = run_full(SpatialIndex::Grid, Scheduler::Wheel, 0, 42, false);
+    assert!(delivered > 0, "scenario must actually exchange traffic");
+    let (heap, heap_delivered) = run_full(SpatialIndex::Grid, Scheduler::BinaryHeap, 0, 42, false);
+    assert_eq!(wheel, heap, "wheel and heap replay streams diverged");
+    assert_eq!(delivered, heap_delivered);
+    assert_eq!(
+        run_full(SpatialIndex::BruteForce, Scheduler::Wheel, 500, 42, false),
+        run_full(
+            SpatialIndex::BruteForce,
+            Scheduler::BinaryHeap,
+            500,
+            42,
+            false
+        ),
+    );
 }
 
 #[test]

@@ -599,6 +599,33 @@ mod tests {
     }
 
     #[test]
+    fn scheduler_module_is_scanned_and_lints_clean() {
+        // The timer wheel (DESIGN.md §11) sits on the kernel's hottest
+        // path; pin that it lives under a scanned root (so `cargo xtask
+        // lint-determinism` covers it — no wall-clock, no std hash
+        // collections, no entropy RNGs) and that the real file is clean.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let wheel = root.join("crates/sim/src/wheel.rs");
+        assert!(
+            SCAN_ROOTS.iter().any(|r| wheel.starts_with(root.join(r))),
+            "crates/sim/src/wheel.rs must be under a SCAN_ROOTS entry"
+        );
+        let text = std::fs::read_to_string(&wheel)
+            .unwrap_or_else(|e| panic!("wheel.rs must exist at the linted path: {e}"));
+        let mut report = Report::default();
+        lint_source(&wheel, &text, &mut report);
+        assert!(
+            report.findings.is_empty(),
+            "the scheduler module must be determinism-clean, got {:?}",
+            report.findings
+        );
+        assert!(
+            report.exemptions.is_empty(),
+            "the scheduler module must not need pragma exemptions"
+        );
+    }
+
+    #[test]
     fn strip_preserves_positions_and_newlines() {
         let text = "let a = \"HashMap\"; // HashMap\nlet b = 1; /* HashSet */\n";
         let stripped = strip_comments_and_strings(text);

@@ -475,3 +475,118 @@ proptest! {
         prop_assert_eq!(run(SpatialIndex::Grid), run(SpatialIndex::BruteForce));
     }
 }
+
+// ---- event-scheduler equivalence ------------------------------------------
+//
+// The timer wheel (DESIGN.md §11) is, like the spatial grid, an *index*,
+// not an approximation: it must pop the exact `(time, seq, value)` stream
+// a `(time, insertion-seq)`-keyed binary heap pops, under any interleaving
+// of pushes and horizon-bounded pop phases.
+
+use pds_sim::{Scheduler, TimerWheel};
+
+/// One step of interleaved queue traffic: push offsets (µs past the
+/// current pop frontier — the kernel never schedules into the past) and a
+/// pop-phase horizon delta. Small offsets dominate so same-tick ties are
+/// heavy; the large band lands in the wheel's far-future overflow tier.
+type QueueStep = (Vec<u64>, u64);
+
+fn queue_steps() -> impl Strategy<Value = Vec<QueueStep>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(
+                // Repeated arms stand in for weights (the vendored
+                // prop_oneof! is unweighted): ~40% same-tick ties, ~30%
+                // near, ~20% mid, ~10% far-future overflow.
+                prop_oneof![
+                    0u64..4,
+                    0u64..4,
+                    0u64..4,
+                    0u64..4,
+                    0u64..5_000,
+                    0u64..5_000,
+                    0u64..5_000,
+                    0u64..2_000_000,
+                    0u64..2_000_000,
+                    0u64..(1u64 << 37),
+                ],
+                0..12,
+            ),
+            0u64..3_000_000,
+        ),
+        1..40,
+    )
+}
+
+proptest! {
+    /// Wheel vs reference heap: identical `(time, seq, value)` pop streams.
+    /// The value doubles as the event "kind"; seq agreement is implied by
+    /// demanding the exact heap order among same-tick ties.
+    #[test]
+    fn timer_wheel_pops_exactly_like_a_heap(steps in queue_steps()) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut wheel: TimerWheel<u32> = TimerWheel::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+        let pop_matched = |wheel: &mut TimerWheel<u32>,
+                           heap: &mut BinaryHeap<Reverse<(u64, u64, u32)>>,
+                           horizon: u64| loop {
+            let w = wheel.pop_until(SimTime::from_micros(horizon));
+            let h = match heap.peek() {
+                Some(&Reverse((at, _, v))) if at <= horizon => {
+                    heap.pop();
+                    Some((SimTime::from_micros(at), v))
+                }
+                _ => None,
+            };
+            prop_assert_eq!(w, h, "streams diverged at horizon {}", horizon);
+            if w.is_none() {
+                break;
+            }
+        };
+        let mut frontier = 0u64;
+        let mut seq = 0u64;
+        for (id, (pushes, pop_delta)) in steps.into_iter().enumerate() {
+            for (k, off) in pushes.into_iter().enumerate() {
+                let at = frontier.saturating_add(off);
+                let value = (id * 16 + k) as u32;
+                wheel.push(SimTime::from_micros(at), value);
+                heap.push(Reverse((at, seq, value)));
+                seq += 1;
+            }
+            let horizon = frontier.saturating_add(pop_delta);
+            pop_matched(&mut wheel, &mut heap, horizon);
+            frontier = horizon;
+        }
+        pop_matched(&mut wheel, &mut heap, u64::MAX);
+        prop_assert!(wheel.is_empty() && heap.is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// End-to-end: random dense-contention scenarios must produce
+    /// identical statistics whichever scheduler backs the kernel queue —
+    /// the whole-simulator analogue of the pop-stream property above.
+    #[test]
+    fn scheduler_choice_never_changes_simulation_results(
+        seed in any::<u64>(),
+        coords in proptest::collection::vec((0.0f64..150.0, 0.0f64..150.0), 3..10),
+        period_ms in 8u64..30,
+    ) {
+        let run = |scheduler: Scheduler| {
+            let config = SimConfig {
+                scheduler,
+                ..Default::default()
+            };
+            let mut w = World::new(config, seed);
+            for &(x, y) in &coords {
+                w.add_node(Position::new(x, y), Box::new(SimChatter { period_ms }));
+            }
+            w.run_until(SimTime::from_secs_f64(1.2));
+            w.stats().clone()
+        };
+        prop_assert_eq!(run(Scheduler::Wheel), run(Scheduler::BinaryHeap));
+    }
+}
