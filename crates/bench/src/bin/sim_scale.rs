@@ -15,7 +15,10 @@
 //! visible. Without `--quick` the horizon is 4× longer. `--trace-check`
 //! additionally re-runs the largest scenario with a null trace sink
 //! installed and asserts the instrumented hot path stays within 10% of the
-//! uninstrumented wall time (DESIGN.md §9).
+//! uninstrumented wall time (DESIGN.md §9). `--fault-check` does the same
+//! for the fault-injection seam: a no-op [`FaultPlan`] installed must not
+//! change statistics and must stay within the same overhead budget
+//! (DESIGN.md §12).
 //!
 //! `--jobs N` (default: available cores) sets the worker count for the
 //! sweep-executor benchmark: the node-count × seed grid is run once
@@ -31,8 +34,8 @@
 
 use pds_bench::{SweepRunner, WallClock};
 use pds_sim::{
-    Application, Context, MessageMeta, Position, Scheduler, SimConfig, SimDuration, SimTime,
-    SpatialIndex, World,
+    Application, Context, FaultPlan, MessageMeta, Position, Scheduler, SimConfig, SimDuration,
+    SimTime, SpatialIndex, World,
 };
 use std::fmt::Write as _;
 
@@ -187,6 +190,58 @@ fn trace_check(horizon: SimTime) -> (f64, f64, f64) {
     (off.wall_s, on.wall_s, ratio)
 }
 
+/// `--fault-check`: runs the largest scenario with no fault hook at all
+/// and with a no-op [`FaultPlan`] installed (the hook live on every
+/// transmission, every knob zero), asserting identical stats and
+/// wall-clock overhead within the same budget as `--trace-check`: the
+/// fault seam must be free when nobody uses it. Returns
+/// (unfaulted_s, faulted_s, ratio).
+fn fault_check(horizon: SimTime) -> (f64, f64, f64) {
+    let n = NODE_COUNTS[NODE_COUNTS.len() - 1];
+    // Best-of-2 per mode to damp scheduler noise on CI runners.
+    let best = |noop_plan: bool| -> ModeRun {
+        let run = || -> ModeRun {
+            let mut world = build_world(n, SpatialIndex::Grid, Scheduler::default(), 42);
+            if noop_plan {
+                world.install_faults(FaultPlan::none(42));
+            }
+            let start = WallClock::start();
+            world.run_until(horizon);
+            ModeRun {
+                wall_s: start.elapsed_s(),
+                stats: world.stats().clone(),
+            }
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.stats, b.stats, "same-seed runs must agree");
+        if a.wall_s <= b.wall_s {
+            a
+        } else {
+            b
+        }
+    };
+    let off = best(false);
+    let on = best(true);
+    assert_eq!(
+        on.stats, off.stats,
+        "a no-op fault plan must not perturb simulation results"
+    );
+    let ratio = on.wall_s / off.wall_s.max(1e-9);
+    println!(
+        "fault-check n={n}  no-hook {:.3}s  noop-plan {:.3}s  ratio {ratio:.3}",
+        off.wall_s, on.wall_s
+    );
+    // Same 10% relative + small absolute budget as trace-check.
+    assert!(
+        on.wall_s <= off.wall_s * 1.10 + 0.05,
+        "no-op fault plan overhead above budget: {:.3}s faulted vs {:.3}s plain",
+        on.wall_s,
+        off.wall_s
+    );
+    (off.wall_s, on.wall_s, ratio)
+}
+
 /// Sequential-vs-parallel sweep benchmark: the node-count × seed grid as
 /// one flat job list, run at 1 worker and at `jobs` workers. Each job
 /// builds its own world from its own seed, so the executor can only change
@@ -284,6 +339,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let check_trace = args.iter().any(|a| a == "--trace-check");
+    let check_fault = args.iter().any(|a| a == "--fault-check");
     if let Some(n) = args
         .iter()
         .position(|a| a == "--jobs")
@@ -332,6 +388,10 @@ fn main() {
     // when the sweep above ran wide.
     let traced = check_trace.then(|| trace_check(horizon));
 
+    // Like trace-check: single runs on the main thread, so the budget is
+    // insulated from the sweep's parallelism.
+    let faulted = check_fault.then(|| fault_check(horizon));
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"sim_scale\",");
@@ -353,6 +413,13 @@ fn main() {
             json,
             "  \"trace_check\": {{\"jobs\": 1, \"untraced_wall_s\": {off_s:.6}, \
              \"traced_wall_s\": {on_s:.6}, \"overhead_ratio\": {ratio:.4}}},"
+        );
+    }
+    if let Some((off_s, on_s, ratio)) = faulted {
+        let _ = writeln!(
+            json,
+            "  \"fault_check\": {{\"jobs\": 1, \"plain_wall_s\": {off_s:.6}, \
+             \"noop_plan_wall_s\": {on_s:.6}, \"overhead_ratio\": {ratio:.4}}},"
         );
     }
     let _ = writeln!(json, "  \"scheduler\": [");

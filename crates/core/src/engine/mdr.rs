@@ -39,17 +39,18 @@ impl PdsEngine {
             .expect("retrieval descriptor must carry a `total_chunks` attribute");
         let received: BTreeSet<ChunkId> = self.store.chunk_ids(&item).into_iter().collect();
         let done = received.len() as u32 >= total;
+        let phase = if done {
+            RetrievalPhase::Done
+        } else {
+            RetrievalPhase::ChunkRetrieval
+        };
         let session = RetrievalSession {
             item: item.clone(),
             descriptor,
             total_chunks: total,
             received,
             bytes_received: 0,
-            phase: if done {
-                RetrievalPhase::Done
-            } else {
-                RetrievalPhase::ChunkRetrieval
-            },
+            phase,
             started_at: now,
             phase_started_at: now,
             last_progress_at: now,
@@ -58,6 +59,7 @@ impl PdsEngine {
             mdr: true,
             controller: None,
             rounds_sent: 1,
+            transitions: vec![(now, phase)],
         };
         self.retrieval = Some(session);
         let params = self.mdr_round_params();
@@ -139,6 +141,9 @@ impl PdsEngine {
             RoundDecision::Continue => Vec::new(),
             RoundDecision::Finished => {
                 if let Some(s) = &mut self.retrieval {
+                    if s.phase != RetrievalPhase::Done {
+                        s.transitions.push((now, RetrievalPhase::Done));
+                    }
                     s.phase = RetrievalPhase::Done;
                     if s.finished_at.is_none() {
                         s.finished_at = Some(now);

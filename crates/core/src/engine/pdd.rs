@@ -60,6 +60,7 @@ impl PdsEngine {
             finished_at: None,
             current_query: id,
             rounds_sent: 1,
+            round_log: vec![(now, 1)],
         };
         self.discovery = Some(session);
         let query = QueryMessage {
@@ -100,6 +101,7 @@ impl PdsEngine {
             RoundDecision::StartNextRound => {
                 session.controller.start_next_round(now);
                 session.rounds_sent += 1;
+                session.round_log.push((now, session.rounds_sent));
                 let round = session.controller.round();
                 let params = BloomParams::optimal(
                     session.collected.len().max(2048) * 2,

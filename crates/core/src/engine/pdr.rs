@@ -38,17 +38,18 @@ impl PdsEngine {
             .expect("retrieval descriptor must carry a `total_chunks` attribute");
         let received: BTreeSet<ChunkId> = self.store.chunk_ids(&item).into_iter().collect();
         let done = received.len() as u32 >= total;
+        let phase = if done {
+            RetrievalPhase::Done
+        } else {
+            RetrievalPhase::CdiCollection
+        };
         let session = RetrievalSession {
             item: item.clone(),
             descriptor: descriptor.clone(),
             total_chunks: total,
             received,
             bytes_received: 0,
-            phase: if done {
-                RetrievalPhase::Done
-            } else {
-                RetrievalPhase::CdiCollection
-            },
+            phase,
             started_at: now,
             phase_started_at: now,
             last_progress_at: now,
@@ -57,6 +58,7 @@ impl PdsEngine {
             mdr: false,
             controller: None,
             rounds_sent: 0,
+            transitions: vec![(now, phase)],
         };
         self.retrieval = Some(session);
         if done {
@@ -119,6 +121,7 @@ impl PdsEngine {
                     s.phase = RetrievalPhase::ChunkRetrieval;
                     s.phase_started_at = now;
                     s.rounds_sent += 1;
+                    s.transitions.push((now, RetrievalPhase::ChunkRetrieval));
                 }
                 return self.chunk_query_wave(now, &item, true);
             }
@@ -271,6 +274,9 @@ impl PdsEngine {
 
     fn finish_retrieval(&mut self, now: SimTime) {
         if let Some(s) = &mut self.retrieval {
+            if s.phase != RetrievalPhase::Done {
+                s.transitions.push((now, RetrievalPhase::Done));
+            }
             s.phase = RetrievalPhase::Done;
             if s.finished_at.is_none() {
                 s.finished_at = Some(now);

@@ -21,6 +21,7 @@ pub struct DiscoverySession {
     pub(crate) finished_at: Option<SimTime>,
     pub(crate) current_query: QueryId,
     pub(crate) rounds_sent: u32,
+    pub(crate) round_log: Vec<(SimTime, u32)>,
 }
 
 impl DiscoverySession {
@@ -28,6 +29,14 @@ impl DiscoverySession {
     #[must_use]
     pub fn is_finished(&self) -> bool {
         self.finished_at.is_some()
+    }
+
+    /// Every round start as `(when, round number)`, in issue order. The
+    /// DST harness checks this log against the legal round state machine
+    /// (strictly increasing rounds, non-decreasing times).
+    #[must_use]
+    pub fn round_log(&self) -> &[(SimTime, u32)] {
+        &self.round_log
     }
 
     /// Immutable snapshot of results so far.
@@ -94,6 +103,7 @@ pub struct RetrievalSession {
     pub(crate) mdr: bool,
     pub(crate) controller: Option<RoundController>,
     pub(crate) rounds_sent: u32,
+    pub(crate) transitions: Vec<(SimTime, RetrievalPhase)>,
 }
 
 impl RetrievalSession {
@@ -101,6 +111,17 @@ impl RetrievalSession {
     #[must_use]
     pub fn is_finished(&self) -> bool {
         self.phase == RetrievalPhase::Done
+    }
+
+    /// Every phase entered as `(when, phase)`, starting with the initial
+    /// phase. The DST harness checks this log against the legal session
+    /// state machine: `CdiCollection → ChunkRetrieval → Done` for PDR
+    /// (phase-1 recovery may repeat `CdiCollection` before giving up),
+    /// `ChunkRetrieval → Done` for MDR, times non-decreasing, `Done`
+    /// terminal.
+    #[must_use]
+    pub fn transitions(&self) -> &[(SimTime, RetrievalPhase)] {
+        &self.transitions
     }
 
     /// The item being retrieved.
@@ -177,6 +198,7 @@ mod tests {
             finished_at: None,
             current_query: QueryId(1),
             rounds_sent: 2,
+            round_log: vec![(t(1.0), 1), (t(3.0), 2)],
         };
         let r = s.report();
         assert_eq!(r.latency, SimDuration::from_secs_f64(3.5));
@@ -206,6 +228,10 @@ mod tests {
             mdr: false,
             controller: None,
             rounds_sent: 1,
+            transitions: vec![
+                (t(0.0), RetrievalPhase::CdiCollection),
+                (t(1.0), RetrievalPhase::ChunkRetrieval),
+            ],
         };
         let r = s.report();
         assert!((r.recall - 0.25).abs() < 1e-12);
@@ -232,6 +258,7 @@ mod tests {
             mdr: true,
             controller: None,
             rounds_sent: 0,
+            transitions: vec![(t(0.0), RetrievalPhase::Done)],
         };
         assert!((s.report().recall - 1.0).abs() < 1e-12);
         assert!(s.is_finished());

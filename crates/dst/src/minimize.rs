@@ -1,0 +1,196 @@
+//! Failing-case minimization: greedy shrink to a fixpoint.
+//!
+//! Given a failing spec, repeatedly try single-field shrink steps (halve a
+//! count, zero a probability, drop a window) and keep any step after which
+//! the case still fails with the **same** invariant — shrinking must not
+//! trade a recall failure for, say, an unrelated termination artifact.
+//! Every accepted step strictly decreases [`CaseSpec::size`], so the loop
+//! terminates; the result is locally minimal (no single step can shrink it
+//! further) and its one-line encoding is the repro artifact CI emits.
+
+use crate::harness::{run_checked, CaseResult};
+use crate::spec::CaseSpec;
+
+/// What the minimizer did.
+#[derive(Debug)]
+pub struct Minimized {
+    /// The smallest spec found that still fails the original invariant.
+    pub spec: CaseSpec,
+    /// The failing result of that spec (for the report).
+    pub result: CaseResult,
+    /// Accepted shrink steps.
+    pub steps: usize,
+    /// Candidate runs spent (accepted + rejected).
+    pub attempts: usize,
+}
+
+/// Single-field shrink candidates, cheapest-first. Each strictly reduces
+/// `size()`; none touches `max_retr` or the horizon (those are scenario
+/// contract, not adversity — shrinking them would change what "failure"
+/// means rather than simplify its trigger).
+fn candidates(spec: &CaseSpec) -> Vec<CaseSpec> {
+    let mut out = Vec::new();
+    let mut push = |f: &dyn Fn(&mut CaseSpec)| {
+        let mut c = spec.clone();
+        f(&mut c);
+        if c.size() < spec.size() {
+            out.push(c);
+        }
+    };
+    // Drop whole fault classes first: the biggest simplifications.
+    push(&|c| c.partitions = 0);
+    push(&|c| c.silences = 0);
+    push(&|c| c.storms = 0);
+    push(&|c| c.dup_ppm = 0);
+    push(&|c| c.delay_ppm = 0);
+    push(&|c| c.drop_ppm = 0);
+    push(&|c| c.loss_ppm = 0);
+    // Then peel one window at a time.
+    push(&|c| c.partitions = c.partitions.saturating_sub(1));
+    push(&|c| c.silences = c.silences.saturating_sub(1));
+    push(&|c| c.storms = c.storms.saturating_sub(1));
+    // Then halve the magnitudes.
+    push(&|c| c.drop_ppm /= 2);
+    push(&|c| c.loss_ppm /= 2);
+    push(&|c| c.dup_ppm /= 2);
+    push(&|c| c.delay_ppm /= 2);
+    push(&|c| c.delay_max_ms = (c.delay_max_ms / 2).max(1));
+    // Finally shrink the scenario itself.
+    push(&|c| c.nodes = (c.nodes / 2).max(2));
+    push(&|c| c.nodes = c.nodes.saturating_sub(1).max(2));
+    push(&|c| c.messages = (c.messages / 2).max(1));
+    push(&|c| c.entries = (c.entries / 2).max(1));
+    push(&|c| c.msg_bytes = (c.msg_bytes / 2).max(16));
+    out
+}
+
+/// Shrinks `failing` to a local minimum that still fails the same
+/// invariant. `failing` must actually fail; returns it unchanged (zero
+/// steps) if it does not.
+#[must_use]
+pub fn minimize(failing: &CaseResult) -> Minimized {
+    let Some(kind) = failing.violation_kind().map(str::to_owned) else {
+        return Minimized {
+            spec: failing.spec.clone(),
+            result: failing.clone(),
+            steps: 0,
+            attempts: 0,
+        };
+    };
+    // Replay failures must be re-verified with the double-run; everything
+    // else shrinks faster single-run.
+    let replay = kind == "replay";
+    let mut best = failing.clone();
+    let mut steps = 0;
+    let mut attempts = 0;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&best.spec) {
+            attempts += 1;
+            let r = run_checked(&cand, replay);
+            if r.violation_kind() == Some(kind.as_str()) {
+                best = r;
+                steps += 1;
+                improved = true;
+                break; // restart the pass from the shrunk spec
+            }
+        }
+        if !improved {
+            return Minimized {
+                spec: best.spec.clone(),
+                result: best,
+                steps,
+                attempts,
+            };
+        }
+    }
+}
+
+/// The one-line reproduction command for a spec, as CI logs it.
+#[must_use]
+pub fn repro_command(spec: &CaseSpec) -> String {
+    format!(
+        "cargo run --release -p pds-dst -- repro \"{}\"",
+        spec.encode()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Family;
+
+    /// A spec that fails the recall invariant by construction: radio loss
+    /// and fault-layer drop far beyond the validated envelope, with ack
+    /// retransmissions disabled so lost responses stay lost.
+    fn broken_pds() -> CaseSpec {
+        CaseSpec {
+            family: Family::Pds,
+            world_seed: 1,
+            plan_seed: 1,
+            nodes: 3,
+            messages: 0,
+            msg_bytes: 64,
+            entries: 6,
+            loss_ppm: 650_000,
+            drop_ppm: 200_000,
+            dup_ppm: 30_000,
+            delay_ppm: 30_000,
+            delay_max_ms: 200,
+            partitions: 0,
+            silences: 1,
+            storms: 1,
+            max_retr: 0,
+            horizon_ds: 900,
+        }
+    }
+
+    #[test]
+    fn minimizer_converges_and_minimized_case_still_fails() {
+        let original = run_checked(&broken_pds(), false);
+        assert!(
+            !original.passed(),
+            "seeded bug must trip an invariant: {:?}",
+            original.outcome
+        );
+        let kind = original.violation_kind().map(str::to_owned);
+        let min = minimize(&original);
+        assert!(min.steps > 0, "shrink must make progress");
+        assert!(min.spec.size() < original.spec.size());
+        let replayed = run_checked(&min.spec, false);
+        assert_eq!(
+            replayed.violation_kind().map(str::to_owned),
+            kind,
+            "minimized spec must fail the same invariant"
+        );
+        // Local minimality: no single candidate still fails.
+        for cand in super::candidates(&min.spec) {
+            let r = run_checked(&cand, false);
+            assert_ne!(
+                r.violation_kind(),
+                kind.as_deref(),
+                "not a fixpoint: {} still fails",
+                cand.encode()
+            );
+        }
+    }
+
+    #[test]
+    fn minimize_on_a_passing_case_is_a_no_op() {
+        let spec = crate::harness::generate(77, 0);
+        let r = run_checked(&spec, false);
+        assert!(r.passed(), "{:?}", r.violations);
+        let min = minimize(&r);
+        assert_eq!(min.steps, 0);
+        assert_eq!(min.spec, spec);
+    }
+
+    #[test]
+    fn repro_command_embeds_the_exact_spec() {
+        let cmd = repro_command(&broken_pds());
+        assert!(cmd.contains("pds-dst -- repro"));
+        assert!(cmd.contains("retr=0;"));
+        let quoted = cmd.split('"').nth(1).expect("quoted spec");
+        assert_eq!(CaseSpec::decode(quoted).expect("valid"), broken_pds());
+    }
+}

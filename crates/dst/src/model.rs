@@ -1,0 +1,495 @@
+//! Explicit-state model checking of the session state machines.
+//!
+//! The simulator explores one schedule per seed; the model checker explores
+//! *every* schedule of a small abstract model. PDD discovery and PDR
+//! retrieval are each reduced to a 3–5 node nondeterministic transition
+//! system (message loss and response subsets are the nondeterminism), and a
+//! breadth-first search over the full state space asserts, in every
+//! reachable state, that no entry is double-counted and that every maximal
+//! path terminates — with full recall whenever the adversary stayed quiet.
+//!
+//! The models carry `rewrite`/`dedup` mutation flags mirroring the real
+//! engine's correctness mechanisms (Bloom-filter rewrite between rounds,
+//! per-origin dedup of responses). Disabling either must produce a
+//! counterexample; tests pin that, so the models are known to be sharp
+//! enough to see the bugs they exist to catch.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Debug;
+
+/// A finite nondeterministic transition system with a safety invariant and
+/// a terminal-state acceptance condition.
+pub trait Model {
+    /// One global state of the abstract protocol.
+    type State: Clone + Ord + Debug;
+
+    /// The initial state.
+    fn init(&self) -> Self::State;
+
+    /// All states reachable in one step. Empty means terminal.
+    fn successors(&self, s: &Self::State) -> Vec<Self::State>;
+
+    /// Safety: must hold in every reachable state.
+    fn invariant(&self, s: &Self::State) -> Result<(), String>;
+
+    /// Liveness-at-termination: must hold in every terminal state.
+    fn accept_terminal(&self, s: &Self::State) -> Result<(), String>;
+}
+
+/// A counterexample: the violation and the path that reaches it.
+#[derive(Debug)]
+pub struct Counterexample<S> {
+    /// Why the final state is bad.
+    pub violation: String,
+    /// States from init to the bad state, inclusive.
+    pub trace: Vec<S>,
+}
+
+/// Result of an exhaustive search.
+#[derive(Debug)]
+pub struct CheckReport<S> {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Terminal states seen.
+    pub terminals: usize,
+    /// First violation found, if any.
+    pub counterexample: Option<Counterexample<S>>,
+}
+
+impl<S> CheckReport<S> {
+    /// Whether the full space was explored without a violation.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+fn trace_to<S: Clone + Ord>(parents: &BTreeMap<S, Option<S>>, end: &S) -> Vec<S> {
+    let mut path = vec![end.clone()];
+    let mut cur = end.clone();
+    while let Some(Some(p)) = parents.get(&cur) {
+        path.push(p.clone());
+        cur = p.clone();
+    }
+    path.reverse();
+    path
+}
+
+/// Breadth-first exploration of the full reachable state space.
+///
+/// # Panics
+/// Panics if the space exceeds `max_states` — the models here are meant to
+/// be exhaustively checkable, so running off the edge is a modelling bug.
+pub fn check<M: Model>(model: &M, max_states: usize) -> CheckReport<M::State> {
+    let init = model.init();
+    let mut parents: BTreeMap<M::State, Option<M::State>> = BTreeMap::new();
+    parents.insert(init.clone(), None);
+    let mut queue: VecDeque<M::State> = VecDeque::from([init]);
+    let mut report = CheckReport {
+        states: 0,
+        terminals: 0,
+        counterexample: None,
+    };
+    while let Some(s) = queue.pop_front() {
+        report.states += 1;
+        assert!(
+            report.states <= max_states,
+            "state space exceeded {max_states} states: model too large"
+        );
+        if let Err(violation) = model.invariant(&s) {
+            report.counterexample = Some(Counterexample {
+                violation,
+                trace: trace_to(&parents, &s),
+            });
+            return report;
+        }
+        let succ = model.successors(&s);
+        if succ.is_empty() {
+            report.terminals += 1;
+            if let Err(violation) = model.accept_terminal(&s) {
+                report.counterexample = Some(Counterexample {
+                    violation,
+                    trace: trace_to(&parents, &s),
+                });
+                return report;
+            }
+            continue;
+        }
+        for n in succ {
+            if !parents.contains_key(&n) {
+                parents.insert(n.clone(), Some(s.clone()));
+                queue.push_back(n);
+            }
+        }
+    }
+    report
+}
+
+/// Enumerate all subsets of the `eligible` bitmask (including empty).
+fn subsets(eligible: u32) -> Vec<u32> {
+    let mut out = vec![0u32];
+    // Standard subset-of-mask walk: (sub - 1) & mask visits all of them.
+    let mut sub = eligible;
+    while sub != 0 {
+        out.push(sub);
+        sub = (sub - 1) & eligible;
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// PDD discovery
+// ---------------------------------------------------------------------------
+
+/// Abstract PDD discovery: a consumer polls `producers` producers in
+/// rounds. Each round, any subset of the *eligible* producers responds
+/// (nondeterministic loss); a round with nothing new — or hitting the
+/// round cap — ends the session.
+#[derive(Debug)]
+pub struct PddModel {
+    /// Producers holding one entry each (≤ 5 for tractability).
+    pub producers: u32,
+    /// Round cap, as in `DiscoveryConfig::max_rounds`.
+    pub max_rounds: u32,
+    /// Model the Bloom-rewrite between rounds: already-collected producers
+    /// are excluded from the next solicitation. Disabling lets them
+    /// respond again — the dedup layer must then absorb the repeats.
+    pub rewrite: bool,
+    /// Model per-origin dedup on the consumer. Disabling double-counts.
+    pub dedup: bool,
+}
+
+/// One PDD search state.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PddState {
+    /// Rounds completed.
+    pub round: u32,
+    /// Bitmask of producers whose entry the consumer holds.
+    pub collected: u32,
+    /// Entry count as the consumer's tally reports it (the thing dedup
+    /// protects; diverges from popcount(collected) when dedup is off).
+    pub total: u32,
+    /// Session reached its termination condition.
+    pub finished: bool,
+    /// Whether any response was ever lost (full recall is only demanded
+    /// of loss-free executions).
+    pub lossy: bool,
+}
+
+impl Model for PddModel {
+    type State = PddState;
+
+    fn init(&self) -> PddState {
+        assert!(self.producers <= 5, "keep the model exhaustive");
+        PddState {
+            round: 0,
+            collected: 0,
+            total: 0,
+            finished: false,
+            lossy: false,
+        }
+    }
+
+    fn successors(&self, s: &PddState) -> Vec<PddState> {
+        if s.finished {
+            return Vec::new();
+        }
+        let all = (1u32 << self.producers) - 1;
+        let eligible = if self.rewrite {
+            all & !s.collected
+        } else {
+            all
+        };
+        let mut out = Vec::new();
+        for responded in subsets(eligible) {
+            let mut n = s.clone();
+            n.round += 1;
+            n.lossy |= responded != eligible;
+            let fresh = responded & !n.collected;
+            n.collected |= responded;
+            // The consumer tallies every response it accepts; with dedup
+            // only first-seen origins count, without it repeats do too.
+            n.total += if self.dedup {
+                fresh.count_ones()
+            } else {
+                responded.count_ones()
+            };
+            // Termination: nothing new this round, everything collected,
+            // or the round cap.
+            n.finished = fresh == 0 || n.collected == all || n.round >= self.max_rounds;
+            out.push(n);
+        }
+        out
+    }
+
+    fn invariant(&self, s: &PddState) -> Result<(), String> {
+        if s.total != s.collected.count_ones() {
+            return Err(format!(
+                "duplicate delivery: tally {} but {} distinct entries",
+                s.total,
+                s.collected.count_ones()
+            ));
+        }
+        if s.round > self.max_rounds {
+            return Err(format!("round {} exceeds cap {}", s.round, self.max_rounds));
+        }
+        Ok(())
+    }
+
+    fn accept_terminal(&self, s: &PddState) -> Result<(), String> {
+        if !s.finished {
+            return Err("non-terminal state has no successors".to_string());
+        }
+        let all = (1u32 << self.producers) - 1;
+        if !s.lossy && s.collected != all {
+            return Err(format!(
+                "loss-free run terminated with {:#b} of {:#b} collected",
+                s.collected, all
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PDR retrieval
+// ---------------------------------------------------------------------------
+
+/// Abstract PDR retrieval: CDI collection picks routes, then chunks arrive
+/// over them with nondeterministic loss; lost chunks get bounded recovery
+/// re-requests.
+#[derive(Debug)]
+pub struct PdrModel {
+    /// Chunks in the object (≤ 4 for tractability).
+    pub chunks: u32,
+    /// Recovery re-request rounds after the first pass.
+    pub max_recovery: u32,
+    /// Model per-chunk dedup: a chunk arriving twice (e.g. over two
+    /// routes) is counted once. Disabling double-counts.
+    pub dedup: bool,
+}
+
+/// One PDR search state.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PdrState {
+    /// 0 = CDI collection, 1 = chunk retrieval, 2 = done. Mirrors
+    /// `RetrievalPhase` in `pds-core`.
+    pub phase: u8,
+    /// Routes established by CDI collection (1 or 2).
+    pub routes: u32,
+    /// Bitmask of chunks received.
+    pub received: u32,
+    /// Chunk tally as the consumer reports it.
+    pub total: u32,
+    /// Recovery rounds consumed.
+    pub recovery: u32,
+    /// Any chunk transmission was ever lost.
+    pub lossy: bool,
+}
+
+impl Model for PdrModel {
+    type State = PdrState;
+
+    fn init(&self) -> PdrState {
+        assert!(self.chunks <= 4, "keep the model exhaustive");
+        PdrState {
+            phase: 0,
+            routes: 0,
+            received: 0,
+            total: 0,
+            recovery: 0,
+            lossy: false,
+        }
+    }
+
+    fn successors(&self, s: &PdrState) -> Vec<PdrState> {
+        let all = (1u32 << self.chunks) - 1;
+        match s.phase {
+            // CDI collection resolves to one or two routes.
+            0 => [1u32, 2]
+                .iter()
+                .map(|&routes| PdrState {
+                    phase: 1,
+                    routes,
+                    ..s.clone()
+                })
+                .collect(),
+            1 => {
+                let missing = all & !s.received;
+                let mut out = Vec::new();
+                for arrived in subsets(missing) {
+                    // With two routes a chunk can arrive in duplicate;
+                    // model one nondeterministic duplicated chunk.
+                    let dup_options: &[u32] = if s.routes > 1 && arrived != 0 {
+                        &[0, 1]
+                    } else {
+                        &[0]
+                    };
+                    for &dups in dup_options {
+                        let mut n = s.clone();
+                        n.lossy |= arrived != missing;
+                        let fresh = arrived & !n.received;
+                        n.received |= arrived;
+                        n.total += if self.dedup {
+                            fresh.count_ones()
+                        } else {
+                            arrived.count_ones() + dups
+                        };
+                        if n.received == all {
+                            n.phase = 2;
+                        } else if n.recovery < self.max_recovery {
+                            n.recovery += 1;
+                        } else {
+                            // Recovery budget exhausted: report failure,
+                            // but terminate.
+                            n.phase = 2;
+                        }
+                        out.push(n);
+                    }
+                }
+                out
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn invariant(&self, s: &PdrState) -> Result<(), String> {
+        if s.total != s.received.count_ones() {
+            return Err(format!(
+                "duplicate chunk delivery: tally {} but {} distinct chunks",
+                s.total,
+                s.received.count_ones()
+            ));
+        }
+        if s.recovery > self.max_recovery {
+            return Err(format!(
+                "recovery round {} exceeds cap {}",
+                s.recovery, self.max_recovery
+            ));
+        }
+        Ok(())
+    }
+
+    fn accept_terminal(&self, s: &PdrState) -> Result<(), String> {
+        if s.phase != 2 {
+            return Err(format!("stuck in phase {} with no successors", s.phase));
+        }
+        let all = (1u32 << self.chunks) - 1;
+        if !s.lossy && s.received != all {
+            return Err(format!(
+                "loss-free retrieval finished with {:#b} of {:#b} chunks",
+                s.received, all
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Runs the checker over the standard healthy model instances, as the CLI
+/// and CI gate do. Returns `(states_explored, first_violation)`.
+#[must_use]
+pub fn check_standard_models() -> (usize, Option<String>) {
+    let pdd = PddModel {
+        producers: 4,
+        max_rounds: 3,
+        rewrite: true,
+        dedup: true,
+    };
+    let pdr = PdrModel {
+        chunks: 3,
+        max_recovery: 2,
+        dedup: true,
+    };
+    let a = check(&pdd, 200_000);
+    let b = check(&pdr, 200_000);
+    let states = a.states + b.states;
+    let violation = a
+        .counterexample
+        .map(|c| format!("pdd: {} (trace length {})", c.violation, c.trace.len()))
+        .or_else(|| {
+            b.counterexample
+                .map(|c| format!("pdr: {} (trace length {})", c.violation, c.trace.len()))
+        });
+    (states, violation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsets_enumerates_the_powerset() {
+        assert_eq!(subsets(0b101), vec![0b000, 0b001, 0b100, 0b101]);
+        assert_eq!(subsets(0).len(), 1);
+    }
+
+    #[test]
+    fn healthy_models_pass_exhaustively() {
+        let (states, violation) = check_standard_models();
+        assert!(violation.is_none(), "{violation:?}");
+        assert!(states > 100, "exploration was not exhaustive: {states}");
+    }
+
+    #[test]
+    fn pdd_without_dedup_double_counts() {
+        // No rewrite means collected producers are re-solicited; without
+        // dedup their repeated responses inflate the tally.
+        let m = PddModel {
+            producers: 3,
+            max_rounds: 3,
+            rewrite: false,
+            dedup: false,
+        };
+        let r = check(&m, 200_000);
+        let c = r.counterexample.expect("mutant must be caught");
+        assert!(
+            c.violation.contains("duplicate delivery"),
+            "{}",
+            c.violation
+        );
+        assert!(c.trace.len() >= 2, "counterexample must carry its path");
+    }
+
+    #[test]
+    fn pdd_dedup_alone_absorbs_resolicited_responses() {
+        // Rewrite off but dedup on: repeats arrive and are absorbed.
+        let m = PddModel {
+            producers: 3,
+            max_rounds: 3,
+            rewrite: false,
+            dedup: true,
+        };
+        assert!(check(&m, 200_000).ok());
+    }
+
+    #[test]
+    fn pdr_without_dedup_double_counts() {
+        let m = PdrModel {
+            chunks: 3,
+            max_recovery: 2,
+            dedup: false,
+        };
+        let r = check(&m, 200_000);
+        let c = r.counterexample.expect("mutant must be caught");
+        assert!(
+            c.violation.contains("duplicate chunk delivery"),
+            "{}",
+            c.violation
+        );
+    }
+
+    #[test]
+    fn pdd_terminates_within_round_cap() {
+        let m = PddModel {
+            producers: 4,
+            max_rounds: 2,
+            rewrite: true,
+            dedup: true,
+        };
+        let r = check(&m, 200_000);
+        assert!(r.ok(), "{:?}", r.counterexample);
+        assert!(r.terminals > 0);
+    }
+}

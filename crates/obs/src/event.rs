@@ -138,6 +138,12 @@ pub enum TraceKind {
     },
     /// Periodic transport garbage collection ran.
     Sweep,
+    /// A fault-delayed or fault-duplicated reception event was dispatched
+    /// (DST layer; only present when a fault plan is installed).
+    FaultDeliver {
+        /// Pending-delivery id within the fault state.
+        fault: u64,
+    },
 
     // ---- radio -----------------------------------------------------------
     /// A frame went on the air. `node` is the sender.
@@ -180,6 +186,29 @@ pub enum TraceKind {
     QueueDepth {
         /// Bytes currently queued in the OS buffer.
         bytes: u64,
+    },
+    /// A reception at `node` was cut by an injected partition or
+    /// byzantine-silence window (DST).
+    FaultCut {
+        /// Transmission id.
+        tx: u64,
+    },
+    /// A reception at `node` was dropped by the injected extra-loss fault
+    /// (DST).
+    FaultDropped {
+        /// Transmission id.
+        tx: u64,
+    },
+    /// A reception at `node` was diverted to a delayed delivery (DST).
+    FaultDelayed {
+        /// Transmission id.
+        tx: u64,
+    },
+    /// A reception at `node` was duplicated; a second copy will arrive
+    /// later (DST).
+    FaultDuplicated {
+        /// Transmission id.
+        tx: u64,
     },
 
     // ---- transport -------------------------------------------------------
@@ -282,6 +311,7 @@ impl TraceKind {
             TraceKind::TimerFired { .. } => "timer_fired",
             TraceKind::Control { .. } => "control",
             TraceKind::Sweep => "sweep",
+            TraceKind::FaultDeliver { .. } => "fault_deliver",
             TraceKind::TxStart { .. } => "tx_start",
             TraceKind::FrameDelivered { .. } => "frame_delivered",
             TraceKind::FrameCollided { .. } => "frame_collided",
@@ -289,6 +319,10 @@ impl TraceKind {
             TraceKind::FrameHalfDuplex { .. } => "frame_half_duplex",
             TraceKind::FrameDroppedOs { .. } => "frame_dropped_os",
             TraceKind::QueueDepth { .. } => "queue_depth",
+            TraceKind::FaultCut { .. } => "fault_cut",
+            TraceKind::FaultDropped { .. } => "fault_dropped",
+            TraceKind::FaultDelayed { .. } => "fault_delayed",
+            TraceKind::FaultDuplicated { .. } => "fault_duplicated",
             TraceKind::MessageSent { .. } => "message_sent",
             TraceKind::MessageDelivered { .. } => "message_delivered",
             TraceKind::MessageAcked { .. } => "message_acked",

@@ -71,7 +71,12 @@ pub fn to_json(ev: &TraceEvent) -> String {
         TraceKind::TxEnd { tx }
         | TraceKind::FrameCollided { tx }
         | TraceKind::FrameLostRandom { tx }
-        | TraceKind::FrameHalfDuplex { tx } => field("tx", *tx),
+        | TraceKind::FrameHalfDuplex { tx }
+        | TraceKind::FaultCut { tx }
+        | TraceKind::FaultDropped { tx }
+        | TraceKind::FaultDelayed { tx }
+        | TraceKind::FaultDuplicated { tx } => field("tx", *tx),
+        TraceKind::FaultDeliver { fault } => field("fault", *fault),
         TraceKind::TimerFired { timer } => field("timer", *timer),
         TraceKind::Control { ctrl } => field("ctrl", *ctrl),
         TraceKind::TxStart { tx, bytes, class } => {
@@ -322,6 +327,13 @@ pub fn parse_line(line: &str) -> Result<TraceEvent, ParseError> {
             ctrl: f.num("ctrl")?,
         },
         "sweep" => TraceKind::Sweep,
+        "fault_deliver" => TraceKind::FaultDeliver {
+            fault: f.num("fault")?,
+        },
+        "fault_cut" => TraceKind::FaultCut { tx: f.num("tx")? },
+        "fault_dropped" => TraceKind::FaultDropped { tx: f.num("tx")? },
+        "fault_delayed" => TraceKind::FaultDelayed { tx: f.num("tx")? },
+        "fault_duplicated" => TraceKind::FaultDuplicated { tx: f.num("tx")? },
         "tx_start" => TraceKind::TxStart {
             tx: f.num("tx")?,
             bytes: f.num("bytes")?,
@@ -453,6 +465,11 @@ mod tests {
             TraceKind::FrameHalfDuplex { tx: 6 },
             TraceKind::FrameDroppedOs { bytes: 999 },
             TraceKind::QueueDepth { bytes: 4096 },
+            TraceKind::FaultDeliver { fault: 14 },
+            TraceKind::FaultCut { tx: 15 },
+            TraceKind::FaultDropped { tx: 16 },
+            TraceKind::FaultDelayed { tx: 17 },
+            TraceKind::FaultDuplicated { tx: 18 },
             TraceKind::MessageSent {
                 seq: 1,
                 bytes: 540,

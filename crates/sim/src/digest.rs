@@ -69,6 +69,10 @@ impl ReplayDigest {
                 self.fold(id);
             }
             EventKind::Sweep => self.fold(7),
+            EventKind::FaultDeliver(id) => {
+                self.fold(8);
+                self.fold(id);
+            }
         }
     }
 

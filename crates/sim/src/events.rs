@@ -51,6 +51,10 @@ pub(crate) enum EventKind {
     Control(u64),
     /// Periodic transport garbage collection.
     Sweep,
+    /// A fault-delayed or fault-duplicated reception arrives (DST layer).
+    /// Never scheduled unless a `FaultPlan` is installed, so faultless
+    /// replay digests are untouched by the variant's existence.
+    FaultDeliver(u64),
 }
 
 #[derive(Debug)]

@@ -63,6 +63,7 @@ mod config;
 #[cfg(feature = "replay-digest")]
 mod digest;
 mod events;
+mod fault;
 mod node;
 mod radio;
 mod rng;
@@ -79,6 +80,7 @@ pub mod prof;
 pub use config::{
     AckConfig, RadioConfig, Scheduler, SenderMode, SimConfig, SpatialConfig, SpatialIndex,
 };
+pub use fault::{ChurnStorm, FaultPlan, PartitionWindow, SilenceWindow};
 pub use node::{Application, Command, Context, MessageHandle, MessageMeta, NodeId, TimerId};
 pub use radio::Position;
 pub use rng::SimRng;

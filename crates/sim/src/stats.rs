@@ -87,6 +87,20 @@ pub struct Stats {
     pub messages_delivered: u64,
     /// Reliable messages abandoned after `MaxRetrTime` retransmissions.
     pub messages_failed: u64,
+    /// Data frames re-sent by retransmission attempts (missing fragments
+    /// only). Zero when `max_retr` is 0 and messages are single-fragment —
+    /// the DST bounded-retry invariant.
+    pub frames_retransmitted: u64,
+    /// Receptions cut by an injected partition or silence window (DST).
+    pub frames_fault_cut: u64,
+    /// Receptions dropped by the injected extra-loss fault (DST).
+    pub frames_fault_dropped: u64,
+    /// Receptions diverted to a delayed delivery (DST); they count under
+    /// `frames_delivered` when they actually arrive.
+    pub frames_fault_delayed: u64,
+    /// Receptions duplicated by the injected duplication fault (DST); the
+    /// extra copy counts under `frames_delivered` on arrival.
+    pub frames_fault_duplicated: u64,
 }
 
 impl Stats {
@@ -118,6 +132,21 @@ impl Stats {
                 .messages_delivered
                 .saturating_sub(earlier.messages_delivered),
             messages_failed: self.messages_failed.saturating_sub(earlier.messages_failed),
+            frames_retransmitted: self
+                .frames_retransmitted
+                .saturating_sub(earlier.frames_retransmitted),
+            frames_fault_cut: self
+                .frames_fault_cut
+                .saturating_sub(earlier.frames_fault_cut),
+            frames_fault_dropped: self
+                .frames_fault_dropped
+                .saturating_sub(earlier.frames_fault_dropped),
+            frames_fault_delayed: self
+                .frames_fault_delayed
+                .saturating_sub(earlier.frames_fault_delayed),
+            frames_fault_duplicated: self
+                .frames_fault_duplicated
+                .saturating_sub(earlier.frames_fault_duplicated),
         }
     }
 }

@@ -107,6 +107,10 @@ struct Incoming {
 pub(crate) struct Transport {
     outgoing: DetMap<MessageId, Outgoing>,
     incoming: DetMap<MessageId, Incoming>,
+    /// High-water mark of `Outgoing::attempt` across every message this
+    /// node ever tracked — surfaced through `World::max_retr_attempt` as
+    /// the DST bounded-retry witness.
+    max_attempt: u32,
 }
 
 /// Result of submitting a message for transmission.
@@ -388,6 +392,7 @@ impl Transport {
             return RetrPlan::GiveUp(out.handle);
         }
         out.attempt += 1;
+        let attempt = out.attempt;
         let missing = out.missing();
         out.in_flight = missing.len() as u32;
         let mut frames = Vec::with_capacity(missing.len());
@@ -402,7 +407,13 @@ impl Transport {
             out.class,
             missing.into_iter(),
         );
+        self.max_attempt = self.max_attempt.max(attempt);
         RetrPlan::Retransmit(frames)
+    }
+
+    /// Highest retransmission attempt this node ever reached.
+    pub fn max_attempt(&self) -> u32 {
+        self.max_attempt
     }
 
     /// Whether an outgoing message is still tracked (unacked).

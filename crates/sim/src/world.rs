@@ -3,6 +3,7 @@
 
 use crate::config::{SenderMode, SimConfig, SpatialIndex};
 use crate::events::{EventKind, EventQueue};
+use crate::fault::{FaultPlan, FaultState};
 use crate::node::{Application, Command, Context, MessageHandle, MessageMeta, NodeId, TimerId};
 use crate::radio::{Frame, FrameKind, Motion, Position, Transmission};
 use crate::rng::SimRng;
@@ -150,6 +151,10 @@ pub struct World {
     /// site a single branch. Sinks observe, never influence: installing
     /// one must not change replay digests, stats, or rng consumption.
     sink: Option<Box<dyn TraceSink>>,
+    /// Installed fault plan (DST layer); `None` (the default) keeps the
+    /// delivery path at a single branch. Fault decisions consume only the
+    /// plan-owned rng, so faultless and no-op-plan runs are bit-identical.
+    faults: Option<Box<FaultState>>,
     /// Running digest of the dispatched event stream (DESIGN.md §8).
     #[cfg(feature = "replay-digest")]
     digest: crate::digest::ReplayDigest,
@@ -211,6 +216,7 @@ impl World {
             stats: Stats::default(),
             max_airtime,
             sink: None,
+            faults: None,
             #[cfg(feature = "replay-digest")]
             digest: crate::digest::ReplayDigest::default(),
         }
@@ -250,6 +256,41 @@ impl World {
     #[must_use]
     pub fn trace_enabled(&self) -> bool {
         self.sink.is_some()
+    }
+
+    /// Installs a deterministic fault plan (DST layer). Wire-level faults
+    /// — extra drops, duplicates, delays, partitions, silences — apply
+    /// from now on; probabilistic decisions consume the plan's own rng
+    /// stream, never the kernel's, so a [`FaultPlan::none`] plan leaves
+    /// replay digests and statistics bit-identical to no plan at all.
+    /// Churn storms carried by the plan are scenario data for harnesses;
+    /// the kernel does not act on them.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(Box::new(FaultState::new(plan)));
+    }
+
+    /// Removes the installed fault plan, returning it. Receptions already
+    /// diverted to a delayed delivery are dropped with it.
+    pub fn take_faults(&mut self) -> Option<FaultPlan> {
+        self.faults.take().map(|f| f.plan)
+    }
+
+    /// Whether a fault plan is currently installed.
+    #[must_use]
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Highest retransmission attempt any tracked message has reached on
+    /// any currently alive node — DST evidence for the bounded-retry
+    /// invariant (`attempt ≤ max_retr + frag_count/8` by construction).
+    #[must_use]
+    pub fn max_retr_attempt(&self) -> u32 {
+        self.nodes
+            .values()
+            .map(|n| n.transport.max_attempt())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Records `kind` into the sink, if one is installed.
@@ -547,6 +588,13 @@ impl World {
             EventKind::Timer { node, id } => (node.0, TraceKind::TimerFired { timer: id.0 }),
             EventKind::Control(ctrl) => (u32::MAX, TraceKind::Control { ctrl }),
             EventKind::Sweep => (u32::MAX, TraceKind::Sweep),
+            EventKind::FaultDeliver(fault) => (
+                self.faults
+                    .as_ref()
+                    .and_then(|f| f.pending.get(&fault))
+                    .map_or(u32::MAX, |p| p.receiver.0),
+                TraceKind::FaultDeliver { fault },
+            ),
         };
         self.emit(node, Phase::Kernel, tk);
     }
@@ -575,6 +623,7 @@ impl World {
                 }
                 self.queue.push(now + SWEEP_INTERVAL, EventKind::Sweep);
             }
+            EventKind::FaultDeliver(id) => self.fault_deliver(id),
         }
     }
 
@@ -1119,6 +1168,34 @@ impl World {
                 self.emit(r.0, Phase::Radio, TraceKind::FrameLostRandom { tx: tx_id });
                 continue;
             }
+            // Adversarial wire faults (DST layer), decided after the
+            // natural loss processes so the kernel rng stream above stays
+            // untouched; every roll consumes the plan-owned stream only,
+            // and the whole block is one branch when no plan is installed.
+            if self.faults.is_some() {
+                if self.fault_cut(tx.sender, r) {
+                    self.stats.frames_fault_cut += 1;
+                    self.emit(r.0, Phase::Radio, TraceKind::FaultCut { tx: tx_id });
+                    continue;
+                }
+                if self.fault_roll_drop() {
+                    self.stats.frames_fault_dropped += 1;
+                    self.emit(r.0, Phase::Radio, TraceKind::FaultDropped { tx: tx_id });
+                    continue;
+                }
+                if let Some(at) = self.fault_roll_delay() {
+                    self.stats.frames_fault_delayed += 1;
+                    self.emit(r.0, Phase::Radio, TraceKind::FaultDelayed { tx: tx_id });
+                    self.fault_enqueue(r, tx_id, tx.frame.clone(), at);
+                    continue; // counted as delivered when it arrives
+                }
+                if let Some(at) = self.fault_roll_dup() {
+                    self.stats.frames_fault_duplicated += 1;
+                    self.emit(r.0, Phase::Radio, TraceKind::FaultDuplicated { tx: tx_id });
+                    self.fault_enqueue(r, tx_id, tx.frame.clone(), at);
+                    // and fall through: the original copy arrives now.
+                }
+            }
             self.stats.frames_delivered += 1;
             if let Some(state) = self.nodes.get_mut(&r) {
                 state.stats.bytes_received += tx.frame.wire_bytes as u64;
@@ -1166,6 +1243,65 @@ impl World {
                 self.tx_by_sender.remove(&t.sender);
             }
         }
+    }
+
+    // ---- fault injection (DST) -------------------------------------------
+
+    /// Whether the installed plan cuts sender→receiver right now
+    /// (partition or byzantine silence; consumes no randomness).
+    fn fault_cut(&self, s: NodeId, r: NodeId) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.plan.cuts(s, r, self.now))
+    }
+
+    fn fault_roll_drop(&mut self) -> bool {
+        self.faults.as_mut().is_some_and(|f| f.roll_drop())
+    }
+
+    fn fault_roll_delay(&mut self) -> Option<SimTime> {
+        let now = self.now;
+        self.faults.as_mut().and_then(|f| f.roll_delay(now))
+    }
+
+    fn fault_roll_dup(&mut self) -> Option<SimTime> {
+        let now = self.now;
+        self.faults.as_mut().and_then(|f| f.roll_dup(now))
+    }
+
+    /// Diverts one reception to a scheduled `FaultDeliver` at `at`.
+    fn fault_enqueue(&mut self, r: NodeId, tx: u64, frame: Frame, at: SimTime) {
+        if let Some(f) = self.faults.as_mut() {
+            let id = f.enqueue(r, tx, frame);
+            self.queue.push(at, EventKind::FaultDeliver(id));
+        }
+    }
+
+    /// A fault-delayed or duplicated reception arrives. Reception-side
+    /// bookkeeping (delivered count, receiver bytes) happens here, at the
+    /// actual delivery instant; the receiver may have churned away since.
+    fn fault_deliver(&mut self, id: u64) {
+        let Some(p) = self.faults.as_mut().and_then(|f| f.pending.remove(&id)) else {
+            return;
+        };
+        if !self.nodes.contains_key(&p.receiver) {
+            return;
+        }
+        self.stats.frames_delivered += 1;
+        if let Some(state) = self.nodes.get_mut(&p.receiver) {
+            state.stats.bytes_received += p.frame.wire_bytes as u64;
+        }
+        if self.sink.is_some() {
+            self.emit(
+                p.receiver.0,
+                Phase::Radio,
+                TraceKind::FrameDelivered {
+                    tx: p.tx,
+                    bytes: p.frame.wire_bytes as u64,
+                },
+            );
+        }
+        self.deliver_frame(p.receiver, &p.frame);
     }
 
     fn deliver_frame(&mut self, r: NodeId, frame: &Frame) {
@@ -1351,6 +1487,7 @@ impl World {
                         });
                     }
                     RetrPlan::Retransmit(frames) => {
+                        self.stats.frames_retransmitted += frames.len() as u64;
                         if self.sink.is_some() {
                             self.emit(
                                 node.0,

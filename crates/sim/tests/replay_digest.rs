@@ -5,9 +5,16 @@
 
 use bytes::Bytes;
 use pds_sim::{
-    Application, Context, MessageMeta, NodeId, Position, Scheduler, SimConfig, SimDuration,
-    SimTime, SpatialIndex, World,
+    Application, Context, FaultPlan, MessageMeta, NodeId, PartitionWindow, Position, Scheduler,
+    SilenceWindow, SimConfig, SimDuration, SimTime, SpatialIndex, Stats, World,
 };
+
+/// The digest of the standard scenario below, captured before the DST fault
+/// hook existed. The fault layer's zero-cost contract: a build that carries
+/// the hook but installs no plan must still produce exactly this stream.
+/// Any intentional kernel event-stream change must update this constant
+/// (and say so in the commit).
+const PINNED_FAULTLESS_DIGEST: u64 = 0xb231_38e1_74af_7c23;
 
 /// Counts everything it hears.
 struct Sink {
@@ -84,12 +91,27 @@ fn run_full(
     seed: u64,
     traced: bool,
 ) -> (u64, u64) {
+    let (digest, stats) = run_plan(index, scheduler, rebucket_ms, seed, traced, None);
+    (digest, stats.frames_delivered)
+}
+
+fn run_plan(
+    index: SpatialIndex,
+    scheduler: Scheduler,
+    rebucket_ms: u64,
+    seed: u64,
+    traced: bool,
+    plan: Option<FaultPlan>,
+) -> (u64, Stats) {
     let mut c = SimConfig::default();
     c.radio.baseline_loss = 0.1;
     c.spatial.index = index;
     c.scheduler = scheduler;
     c.spatial.rebucket_interval = SimDuration::from_millis(rebucket_ms);
     let mut w = World::new(c, seed);
+    if let Some(plan) = plan {
+        w.install_faults(plan);
+    }
     if traced {
         w.set_trace_sink(Box::new(pds_sim::obs::RingSink::new(0)));
     } else if let Some(sink) = jsonl_sink_from_env(index, rebucket_ms, seed) {
@@ -123,7 +145,29 @@ fn run_full(
         w.add_node(Position::new(20.0, 20.0), Box::new(Sink { received: 0 }));
     });
     w.run_until(SimTime::from_secs_f64(8.0));
-    (w.replay_digest(), w.stats().frames_delivered)
+    (w.replay_digest(), w.stats().clone())
+}
+
+/// A plan exercising every wire-level fault class against the standard
+/// scenario: extra drops, duplicated and delayed (reordered) deliveries, a
+/// healing partition and a byzantine-silent window.
+fn adversarial_plan(seed: u64) -> FaultPlan {
+    let mut p = FaultPlan::none(seed);
+    p.drop_prob = 0.05;
+    p.dup_prob = 0.04;
+    p.delay_prob = 0.04;
+    p.delay_max = SimDuration::from_millis(80);
+    p.partitions.push(PartitionWindow {
+        from: SimTime::from_secs_f64(2.5),
+        until: SimTime::from_secs_f64(4.0),
+        boundary: 2,
+    });
+    p.silences.push(SilenceWindow {
+        node: 2,
+        from: SimTime::from_secs_f64(5.0),
+        until: SimTime::from_secs_f64(6.0),
+    });
+    p
 }
 
 #[test]
@@ -180,4 +224,98 @@ fn replay_digest_distinguishes_seeds() {
         run(SpatialIndex::Grid, 0, 43).0,
         "different seeds must yield different event streams"
     );
+}
+
+#[test]
+fn faultless_digest_matches_pre_fault_hook_pin() {
+    // The acceptance bar for the DST layer: merely *carrying* the fault
+    // hook must not move a single bit of the faultless event stream.
+    assert_eq!(
+        run(SpatialIndex::Grid, 0, 42).0,
+        PINNED_FAULTLESS_DIGEST,
+        "faultless stream drifted from the pre-fault-hook capture"
+    );
+}
+
+#[test]
+fn noop_fault_plan_is_invisible() {
+    // Installing a plan that injects nothing must be indistinguishable —
+    // digest and every counter — from installing no plan, because the
+    // fault rng is plan-owned and zero-probability rolls consume nothing.
+    let (bare, bare_stats) = run_plan(SpatialIndex::Grid, Scheduler::Wheel, 0, 42, false, None);
+    let (noop, noop_stats) = run_plan(
+        SpatialIndex::Grid,
+        Scheduler::Wheel,
+        0,
+        42,
+        false,
+        Some(FaultPlan::none(999)),
+    );
+    assert_eq!(noop, bare, "no-op plan perturbed the event stream");
+    assert_eq!(noop_stats, bare_stats);
+    assert_eq!(bare, PINNED_FAULTLESS_DIGEST);
+}
+
+#[test]
+fn faulted_digest_is_stable_across_runs_schedulers_and_indices() {
+    // A (seed, plan) pair is a complete replay token: the adversarial
+    // stream must be bit-identical across reruns, scheduler backends and
+    // spatial indexes, exactly like the faultless one.
+    let (first, stats) = run_plan(
+        SpatialIndex::Grid,
+        Scheduler::Wheel,
+        0,
+        42,
+        false,
+        Some(adversarial_plan(7)),
+    );
+    assert!(
+        stats.frames_fault_cut > 0
+            && stats.frames_fault_dropped > 0
+            && stats.frames_fault_delayed > 0
+            && stats.frames_fault_duplicated > 0,
+        "plan must actually bite: {stats:?}"
+    );
+    assert_ne!(
+        first, PINNED_FAULTLESS_DIGEST,
+        "faults must perturb the stream"
+    );
+    for (index, scheduler, rebucket) in [
+        (SpatialIndex::Grid, Scheduler::Wheel, 0),
+        (SpatialIndex::Grid, Scheduler::BinaryHeap, 0),
+        (SpatialIndex::BruteForce, Scheduler::Wheel, 0),
+        (SpatialIndex::BruteForce, Scheduler::BinaryHeap, 500),
+    ] {
+        let (digest, rerun_stats) = run_plan(
+            index,
+            scheduler,
+            rebucket,
+            42,
+            false,
+            Some(adversarial_plan(7)),
+        );
+        assert_eq!(digest, first, "{index:?}/{scheduler:?} diverged");
+        assert_eq!(rerun_stats, stats);
+    }
+}
+
+#[test]
+fn fault_plans_with_different_seeds_diverge() {
+    let (a, _) = run_plan(
+        SpatialIndex::Grid,
+        Scheduler::Wheel,
+        0,
+        42,
+        false,
+        Some(adversarial_plan(7)),
+    );
+    let (b, _) = run_plan(
+        SpatialIndex::Grid,
+        Scheduler::Wheel,
+        0,
+        42,
+        false,
+        Some(adversarial_plan(8)),
+    );
+    assert_ne!(a, b, "plan seed must feed the fault rolls");
 }

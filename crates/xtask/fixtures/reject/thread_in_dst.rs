@@ -1,0 +1,7 @@
+//! Fixture: the DST harness is *not* the bench exemption — rolling its
+//! own worker pool (instead of going through `pds_bench::sweep`) must be
+//! rejected, or case results could depend on thread interleaving.
+
+fn sweep_cases() {
+    std::thread::spawn(|| {});
+}

@@ -98,6 +98,7 @@ pub const SCAN_ROOTS: &[&str] = &[
     "crates/bloom",
     "crates/bench",
     "crates/obs",
+    "crates/dst",
     "tests",
 ];
 
@@ -622,6 +623,47 @@ mod tests {
         assert!(
             report.exemptions.is_empty(),
             "the scheduler module must not need pragma exemptions"
+        );
+    }
+
+    #[test]
+    fn dst_crate_is_scanned_and_lints_clean() {
+        // The DST harness replays (seed, fault-plan) pairs and minimizes
+        // failures — it is only trustworthy if it is itself deterministic.
+        // Pin that crates/dst sits under a scanned root and that its sweep
+        // driver is clean: parallelism must come from pds_bench::sweep
+        // (the one exempt layer), never from threads of its own.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let harness = root.join("crates/dst/src/harness.rs");
+        assert!(
+            SCAN_ROOTS.iter().any(|r| harness.starts_with(root.join(r))),
+            "crates/dst/src/harness.rs must be under a SCAN_ROOTS entry"
+        );
+        let text = std::fs::read_to_string(&harness)
+            .unwrap_or_else(|e| panic!("harness.rs must exist at the linted path: {e}"));
+        let mut report = Report::default();
+        lint_source(&harness, &text, &mut report);
+        assert!(
+            report.findings.is_empty(),
+            "the DST harness must be determinism-clean, got {:?}",
+            report.findings
+        );
+        assert!(
+            report.exemptions.is_empty(),
+            "the DST harness must not need pragma exemptions"
+        );
+    }
+
+    #[test]
+    fn rejects_threads_in_dst_code() {
+        let report = lint_fixture("reject/thread_in_dst.rs");
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.rule == "thread-pool" && f.token == "thread"),
+            "the dst tree must not be thread-exempt, got {:?}",
+            report.findings
         );
     }
 

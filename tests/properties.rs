@@ -590,3 +590,57 @@ proptest! {
         prop_assert_eq!(run(Scheduler::Wheel), run(Scheduler::BinaryHeap));
     }
 }
+
+// ---- dst fault plans --------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any (seed, fault-plan) pair replays to identical statistics across
+    /// two runs and across event-scheduler implementations: the fault
+    /// layer draws all its randomness from the plan's own seeded stream,
+    /// so it is part of the deterministic contract, not an exception to
+    /// it.
+    #[test]
+    fn fault_plans_replay_identically_across_runs_and_schedulers(
+        world_seed in any::<u64>(),
+        plan_seed in any::<u64>(),
+        nodes in 2u32..6,
+        messages in 4u32..16,
+        loss_ppm in 0u32..150_001,
+        drop_ppm in 0u32..120_001,
+        dup_ppm in 0u32..80_001,
+        delay_ppm in 0u32..80_001,
+        delay_max_ms in 1u32..401,
+        partitions in 0u32..3,
+        silences in 0u32..3,
+        max_retr in 0u32..6,
+    ) {
+        let spec = pds_dst::CaseSpec {
+            family: pds_dst::Family::Transport,
+            world_seed,
+            plan_seed,
+            nodes,
+            messages,
+            msg_bytes: 64,
+            entries: 0,
+            loss_ppm,
+            drop_ppm,
+            dup_ppm,
+            delay_ppm,
+            delay_max_ms,
+            partitions,
+            silences,
+            storms: 0,
+            max_retr,
+            horizon_ds: messages + 100,
+        };
+        let a = pds_dst::scenario::run_case_with_scheduler(&spec, Scheduler::Wheel);
+        let b = pds_dst::scenario::run_case_with_scheduler(&spec, Scheduler::Wheel);
+        prop_assert_eq!(&a.stats, &b.stats, "same scheduler, same spec: stats diverged");
+        prop_assert_eq!(&a, &b, "same scheduler, same spec: outcome diverged");
+        let h = pds_dst::scenario::run_case_with_scheduler(&spec, Scheduler::BinaryHeap);
+        prop_assert_eq!(&a.stats, &h.stats, "wheel vs heap: stats diverged");
+        prop_assert!(a.violations.is_empty(), "invariants must hold in-envelope: {:?}", a.violations);
+    }
+}
