@@ -105,5 +105,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: figures [--quick] [--seeds N] [--jobs N] [--out DIR] <experiment>... | all | list"
     );
+    // A usage error has nothing to unwind; this is the audited exception
+    // to the `process::exit` ban (clippy.toml).
+    #[allow(clippy::disallowed_methods)]
     std::process::exit(2);
 }

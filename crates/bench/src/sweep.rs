@@ -16,7 +16,7 @@
 //! no thread-pool crate): workers pull job indices from a shared atomic
 //! counter and send `(index, result)` pairs over a channel; the main
 //! thread slots them back into input order. Threading is allowed here and
-//! nowhere else — `cargo xtask lint-determinism` rejects thread use in the
+//! nowhere else — `cargo xtask lint` rejects thread use in the
 //! simulation crates, and exempts only `crates/bench`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};

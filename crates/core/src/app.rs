@@ -1,8 +1,12 @@
-//! Node identity and the application programming interface.
+//! Node identity and the sans-io application seam.
 //!
 //! Protocols (PDS itself, the MDR baseline, test fixtures) implement
-//! [`Application`]; the kernel invokes its callbacks and collects the
-//! [`Command`]s the application issues through [`Context`].
+//! [`Application`]; a backend kernel — `pds_sim::World` today, a real-socket
+//! reactor tomorrow — invokes its callbacks and collects the [`Command`]s
+//! the application issues through [`Context`]. The seam is deliberately
+//! sans-io: nothing here touches sockets, files, threads, or the host
+//! clock, so the same engine code can be driven by virtual time in the
+//! simulator or wall-clock time over real transports (ROADMAP item 4).
 
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -11,10 +15,10 @@ use pds_obs::{Phase, TraceEvent, TraceKind};
 use std::any::Any;
 use std::fmt;
 
-/// Identifier of a simulated node (a device in the edge environment).
+/// Identifier of a node (a device in the edge environment).
 ///
-/// Ids are assigned by [`World::add_node`](crate::World::add_node) in
-/// ascending order and are never reused within a run.
+/// Ids are assigned by the backend (`pds_sim::World::add_node` in the
+/// simulator) in ascending order and are never reused within a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
@@ -25,13 +29,19 @@ impl fmt::Display for NodeId {
 }
 
 /// Handle of a pending timer, for cancellation.
+///
+/// The raw value is public so kernel backends can mint handles; protocol
+/// code should treat it as opaque.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct TimerId(pub(crate) u64);
+pub struct TimerId(#[doc(hidden)] pub u64);
 
 /// Handle of an outgoing message, echoed back by
 /// [`Application::on_send_result`].
+///
+/// The raw value is public so kernel backends can mint handles; protocol
+/// code should treat it as opaque.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct MessageHandle(pub(crate) u64);
+pub struct MessageHandle(#[doc(hidden)] pub u64);
 
 /// Metadata accompanying a delivered message.
 #[derive(Debug, Clone)]
@@ -51,12 +61,12 @@ pub struct MessageMeta {
 
 /// A protocol or workload running on a node.
 ///
-/// Callbacks are invoked by the simulation kernel; all interaction with the
+/// Callbacks are invoked by the backend kernel; all interaction with the
 /// outside world goes through the provided [`Context`]. Implementations must
 /// be `'static` so results can be extracted by downcasting after a run (see
-/// [`World::app`](crate::World::app)), and `Send` so a whole
-/// [`World`](crate::World) can be moved onto a sweep worker thread (worlds
-/// are never shared between threads, only moved).
+/// `pds_sim::World::app`), and `Send` so a whole world can be moved onto a
+/// sweep worker thread (worlds are never shared between threads, only
+/// moved).
 pub trait Application: Any + Send {
     /// Invoked once when the node joins the world.
     fn on_start(&mut self, ctx: &mut Context);
@@ -127,7 +137,10 @@ pub struct Context<'a> {
 }
 
 impl<'a> Context<'a> {
-    pub(crate) fn new(
+    /// Builds a callback context. Backend-kernel API: applications only ever
+    /// receive a `&mut Context`, they never construct one.
+    #[doc(hidden)]
+    pub fn new(
         now: SimTime,
         node: NodeId,
         next_timer: u64,
@@ -147,7 +160,11 @@ impl<'a> Context<'a> {
         }
     }
 
-    pub(crate) fn finish(self) -> (Vec<Command>, u64, u64) {
+    /// Tears the context down, returning the buffered commands and the next
+    /// timer/message sequence numbers. Backend-kernel API.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn finish(self) -> (Vec<Command>, u64, u64) {
         (self.commands, self.next_timer, self.next_msg)
     }
 

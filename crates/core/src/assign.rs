@@ -9,7 +9,7 @@
 //! next-smallest hop count) while that decreases the maximum load.
 
 use crate::ids::ChunkId;
-use pds_sim::NodeId;
+use crate::NodeId;
 use std::collections::BTreeMap;
 
 /// Which assignment algorithm to use (ablation hook).

@@ -8,8 +8,8 @@
 //! routes disappear.
 
 use crate::ids::{ChunkId, ItemName};
+use crate::{NodeId, SimTime};
 use pds_det::DetMap;
-use pds_sim::{NodeId, SimTime};
 use std::collections::BTreeMap;
 
 /// One CDI route: chunk reachable `hops` away via `neighbor`.
@@ -29,7 +29,7 @@ pub struct CdiEntry {
 ///
 /// ```
 /// use pds_core::{CdiTable, ChunkId, ItemName, NodeId};
-/// use pds_sim::SimTime;
+/// use pds_core::SimTime;
 ///
 /// let mut cdi = CdiTable::new();
 /// let item = ItemName::new("clip");

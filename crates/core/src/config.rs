@@ -1,7 +1,7 @@
 //! Protocol configuration with the paper's calibrated defaults.
 
 use crate::assign::AssignStrategy;
-use pds_sim::SimDuration;
+use crate::SimDuration;
 
 /// Multi-round discovery parameters (§III-B-2, Fig. 5).
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -15,28 +15,28 @@ use crate::message::{QueryKind, QueryMessage, ResponseKind, ResponseMessage};
 use crate::predicate::QueryFilter;
 use crate::rounds::{RoundController, RoundDecision};
 use crate::sessions::{RetrievalPhase, RetrievalSession};
+use crate::{NodeId, SimDuration, SimTime};
 use pds_bloom::{BloomFilter, BloomParams};
-use pds_sim::{NodeId, SimDuration, SimTime};
 use std::collections::BTreeSet;
 
 impl PdsEngine {
     /// Starts an MDR retrieval of the item `descriptor` describes.
     ///
-    /// # Panics
-    ///
-    /// Panics if the descriptor lacks `name` or `total_chunks` (as for
-    /// [`PdsEngine::start_retrieval`]).
+    /// As for [`PdsEngine::start_retrieval`], a descriptor without `name`
+    /// or `total_chunks` is refused (no messages, no session) and asserts
+    /// in debug builds.
     pub fn start_mdr_retrieval(
         &mut self,
         now: SimTime,
         descriptor: DataDescriptor,
     ) -> Vec<Outgoing> {
-        let item = descriptor
-            .item_name()
-            .expect("retrieval descriptor must carry a `name` attribute");
-        let total = descriptor
-            .total_chunks()
-            .expect("retrieval descriptor must carry a `total_chunks` attribute");
+        let (Some(item), Some(total)) = (descriptor.item_name(), descriptor.total_chunks()) else {
+            debug_assert!(
+                false,
+                "retrieval descriptor must carry `name` and `total_chunks`"
+            );
+            return Vec::new();
+        };
         let received: BTreeSet<ChunkId> = self.store.chunk_ids(&item).into_iter().collect();
         let done = received.len() as u32 >= total;
         let phase = if done {
@@ -153,10 +153,14 @@ impl PdsEngine {
             }
             RoundDecision::StartNextRound => {
                 let round = {
-                    let s = self.retrieval.as_mut().expect("present");
-                    let ctrl = s.controller.as_mut().expect("mdr has controller");
+                    let ctrl = self.retrieval.as_mut().and_then(|s| {
+                        s.rounds_sent += 1;
+                        s.controller.as_mut()
+                    });
+                    let Some(ctrl) = ctrl else {
+                        return Vec::new();
+                    };
                     ctrl.start_next_round(now);
-                    s.rounds_sent += 1;
                     ctrl.round()
                 };
                 vec![self.mdr_query(now, &item, total, round)]
@@ -189,8 +193,7 @@ impl PdsEngine {
                     .build()
             });
         let mut to_send = Vec::new();
-        {
-            let lingering = self.lqt.get_mut(q.id).expect("just inserted");
+        if let Some(lingering) = self.lqt.get_mut(q.id) {
             for c in held {
                 let key = chunk_key(item, c);
                 if lingering.bloom_contains(&key) {
@@ -201,7 +204,9 @@ impl PdsEngine {
             }
         }
         for c in to_send {
-            let data = self.store.fetch_chunk(item, c).expect("held chunk");
+            let Some(data) = self.store.fetch_chunk(item, c) else {
+                continue;
+            };
             let r = ResponseMessage {
                 id: self.new_response_id(),
                 sender: self.id,

@@ -19,8 +19,9 @@ use crate::lqt::LingeringQueryTable;
 use crate::message::{PdsMessage, QueryKind, QueryMessage, ResponseKind, ResponseMessage};
 use crate::sessions::{DiscoverySession, RetrievalSession};
 use crate::store::DataStore;
+use crate::{NodeId, SimRng, SimTime};
 use pds_det::DetMap;
-use pds_sim::{NodeId, Phase, SimRng, SimTime};
+use pds_obs::Phase;
 
 /// Maximum recursion depth of chunk-query division (guards against
 /// transient CDI routing loops; carried in the query's `round` field).
@@ -31,7 +32,7 @@ const RECENT_RESPONSE_HORIZON_SECS: u64 = 60;
 /// How long an outstanding sub-query suppresses re-division of the same
 /// chunk. Long enough to absorb the duplicate-query burst of one wave,
 /// short enough that recovery re-requests pass.
-const PENDING_CHUNK_HORIZON: pds_sim::SimDuration = pds_sim::SimDuration::from_secs(8);
+const PENDING_CHUNK_HORIZON: crate::SimDuration = crate::SimDuration::from_secs(8);
 
 /// How much random delay to apply before transmitting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -9,10 +9,10 @@ use crate::message::{QueryKind, QueryMessage, ResponseKind, ResponseMessage};
 use crate::predicate::QueryFilter;
 use crate::rounds::{RoundController, RoundDecision};
 use crate::sessions::DiscoverySession;
+use crate::{NodeId, SimTime};
 use bytes::Bytes;
 use pds_bloom::{BloomFilter, BloomParams};
 use pds_det::DetMap;
-use pds_sim::{NodeId, SimTime};
 use std::collections::BTreeSet;
 
 impl PdsEngine {
@@ -165,8 +165,7 @@ impl PdsEngine {
             .collect();
         let mut sent_entries = Vec::new();
         let mut sent_items: Vec<(DataDescriptor, Bytes)> = Vec::new();
-        {
-            let lingering = self.lqt.get_mut(q.id).expect("just inserted");
+        if let Some(lingering) = self.lqt.get_mut(q.id) {
             for entry in matching {
                 let key = entry.entry_key();
                 if rewrite && lingering.bloom_contains(key.as_bytes()) {

@@ -14,9 +14,9 @@ use crate::ids::{ChunkId, ItemName};
 use crate::message::{QueryKind, QueryMessage, ResponseKind, ResponseMessage};
 use crate::predicate::QueryFilter;
 use crate::sessions::{RetrievalPhase, RetrievalSession};
+use crate::{NodeId, SimTime};
 use bytes::Bytes;
 use pds_det::DetMap;
-use pds_sim::{NodeId, SimTime};
 use std::collections::BTreeSet;
 
 impl PdsEngine {
@@ -25,17 +25,17 @@ impl PdsEngine {
     /// Starts a two-phase PDR retrieval of the large item `descriptor`
     /// describes. Returns the phase-1 CDI query flood.
     ///
-    /// # Panics
-    ///
-    /// Panics if the descriptor lacks a `name` or `total_chunks` attribute —
-    /// chunked retrieval is meaningless without them.
+    /// A descriptor without `name` or `total_chunks` attributes cannot
+    /// drive a chunked retrieval; such a request is refused (no messages,
+    /// no session) and asserts in debug builds.
     pub fn start_retrieval(&mut self, now: SimTime, descriptor: DataDescriptor) -> Vec<Outgoing> {
-        let item = descriptor
-            .item_name()
-            .expect("retrieval descriptor must carry a `name` attribute");
-        let total = descriptor
-            .total_chunks()
-            .expect("retrieval descriptor must carry a `total_chunks` attribute");
+        let (Some(item), Some(total)) = (descriptor.item_name(), descriptor.total_chunks()) else {
+            debug_assert!(
+                false,
+                "retrieval descriptor must carry `name` and `total_chunks`"
+            );
+            return Vec::new();
+        };
         let received: BTreeSet<ChunkId> = self.store.chunk_ids(&item).into_iter().collect();
         let done = received.len() as u32 >= total;
         let phase = if done {
@@ -100,7 +100,9 @@ impl PdsEngine {
 
     fn poll_cdi_phase(&mut self, now: SimTime) -> Vec<Outgoing> {
         let p = self.config.pdr;
-        let session = self.retrieval.as_ref().expect("checked by caller");
+        let Some(session) = self.retrieval.as_ref() else {
+            return Vec::new();
+        };
         let elapsed = now.since(session.phase_started_at);
         let item = session.item.clone();
         let descriptor = session.descriptor.clone();
@@ -126,11 +128,13 @@ impl PdsEngine {
                 return self.chunk_query_wave(now, &item, true);
             }
             // No routes at all: re-flood the CDI query (recovery) or give up.
-            let give_up = {
-                let s = self.retrieval.as_mut().expect("present");
-                s.recovery_attempts += 1;
-                s.phase_started_at = now;
-                s.recovery_attempts > p.max_recovery
+            let give_up = match self.retrieval.as_mut() {
+                Some(s) => {
+                    s.recovery_attempts += 1;
+                    s.phase_started_at = now;
+                    s.recovery_attempts > p.max_recovery
+                }
+                None => return Vec::new(),
             };
             if give_up {
                 self.finish_retrieval(now);
@@ -144,7 +148,9 @@ impl PdsEngine {
     fn poll_chunk_phase(&mut self, now: SimTime) -> Vec<Outgoing> {
         let p = self.config.pdr;
         let (missing, stalled, descriptor, item) = {
-            let s = self.retrieval.as_ref().expect("checked by caller");
+            let Some(s) = self.retrieval.as_ref() else {
+                return Vec::new();
+            };
             let missing: Vec<ChunkId> = (0..s.total_chunks)
                 .map(ChunkId)
                 .filter(|c| !s.received.contains(c))
@@ -162,12 +168,14 @@ impl PdsEngine {
         }
         // Recovery: re-request missing chunks; if some have no routes,
         // also re-flood the CDI query.
-        let give_up = {
-            let s = self.retrieval.as_mut().expect("present");
-            s.recovery_attempts += 1;
-            s.last_progress_at = now;
-            s.rounds_sent += 1;
-            s.recovery_attempts > p.max_recovery
+        let give_up = match self.retrieval.as_mut() {
+            Some(s) => {
+                s.recovery_attempts += 1;
+                s.last_progress_at = now;
+                s.rounds_sent += 1;
+                s.recovery_attempts > p.max_recovery
+            }
+            None => return Vec::new(),
         };
         if give_up {
             self.finish_retrieval(now);
@@ -188,7 +196,9 @@ impl PdsEngine {
     /// Builds the consumer's directed chunk queries for all missing chunks
     /// with known routes, balancing load with the min-max heuristic.
     fn chunk_query_wave(&mut self, now: SimTime, item: &ItemName, force: bool) -> Vec<Outgoing> {
-        let session = self.retrieval.as_ref().expect("active session");
+        let Some(session) = self.retrieval.as_ref() else {
+            return Vec::new();
+        };
         let missing: Vec<ChunkId> = (0..session.total_chunks)
             .map(ChunkId)
             .filter(|c| !session.received.contains(c))
@@ -308,16 +318,18 @@ impl PdsEngine {
         let mut out = Vec::new();
         let pairs = self.cdi_summary_with_local(&item, now);
         if !pairs.is_empty() {
-            let send: Vec<(ChunkId, u32)> = {
-                let lingering = self.lqt.get_mut(q.id).expect("just inserted");
-                let mut kept = Vec::new();
-                for (c, h) in pairs {
-                    if lingering.reported_cdi.get(&c).is_none_or(|&r| h < r) {
-                        lingering.reported_cdi.insert(c, h);
-                        kept.push((c, h));
+            let send: Vec<(ChunkId, u32)> = match self.lqt.get_mut(q.id) {
+                Some(lingering) => {
+                    let mut kept = Vec::new();
+                    for (c, h) in pairs {
+                        if lingering.reported_cdi.get(&c).is_none_or(|&r| h < r) {
+                            lingering.reported_cdi.insert(c, h);
+                            kept.push((c, h));
+                        }
                     }
+                    kept
                 }
-                kept
+                None => Vec::new(),
             };
             if !send.is_empty() {
                 let r = ResponseMessage {

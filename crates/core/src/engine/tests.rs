@@ -9,8 +9,8 @@ use crate::ids::{ChunkId, ItemName};
 use crate::message::{PdsMessage, QueryKind, ResponseKind};
 use crate::predicate::{Predicate, QueryFilter, Relation};
 use crate::sessions::RetrievalPhase;
+use crate::{NodeId, SimDuration, SimTime};
 use bytes::Bytes;
-use pds_sim::{NodeId, SimDuration, SimTime};
 
 fn t(s: f64) -> SimTime {
     SimTime::from_secs_f64(s)

@@ -22,7 +22,8 @@
 //!
 //! The protocol engine ([`PdsEngine`]) is a pure state machine over virtual
 //! time — unit-testable without any radio — while [`PdsNode`] adapts it to
-//! [`pds_sim::Application`] for simulation. Data items are self-describing
+//! the sans-io [`Application`] seam that backends (the simulator today, a
+//! real-socket reactor tomorrow) drive. Data items are self-describing
 //! ([`DataDescriptor`]) and queried by attribute predicates
 //! ([`QueryFilter`]), the content-centric design that decouples data from
 //! producer addresses.
@@ -48,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod app;
 mod assign;
 mod cdi;
 mod config;
@@ -58,10 +60,16 @@ mod lqt;
 mod message;
 mod node;
 mod predicate;
+mod rng;
 mod rounds;
 mod sessions;
 mod store;
+mod time;
 mod value;
+
+pub use app::{Application, Command, Context, MessageHandle, MessageMeta, NodeId, TimerId};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
 
 pub use assign::{min_max_assign, AssignStrategy, ChunkCandidates};
 pub use cdi::{CdiEntry, CdiTable};
@@ -81,6 +89,3 @@ pub use sessions::{
 };
 pub use store::{ChunkCacheConfig, DataStore, EvictionPolicy, MetaEntry};
 pub use value::AttrValue;
-
-/// Node identity, re-exported from the simulator substrate for convenience.
-pub use pds_sim::NodeId;

@@ -9,9 +9,9 @@
 
 use crate::ids::{ChunkId, ItemName, QueryId};
 use crate::message::{QueryKind, QueryMessage};
+use crate::{NodeId, SimTime};
 use pds_bloom::BloomFilter;
 use pds_det::DetMap;
-use pds_sim::{NodeId, SimTime};
 use std::collections::BTreeSet;
 
 /// Canonical Bloom-filter / dedup key for a chunk of an item (used by MDR
@@ -74,7 +74,7 @@ impl Lingering {
 /// use pds_core::{
 ///     LingeringQueryTable, NodeId, QueryFilter, QueryId, QueryKind, QueryMessage,
 /// };
-/// use pds_sim::SimTime;
+/// use pds_core::SimTime;
 ///
 /// let mut lqt = LingeringQueryTable::new();
 /// let q = QueryMessage {

@@ -2,15 +2,15 @@
 //!
 //! A message is either a [`QueryMessage`] or a [`ResponseMessage`]. Intended
 //! next-hop receiver lists live at the transport layer
-//! ([`pds_sim::MessageMeta::intended`]), as in the prototype where they are
+//! ([`MessageMeta::intended`](crate::MessageMeta::intended)), as in the prototype where they are
 //! part of the UDP broadcast header; everything else the paper's message
 //! formats describe (§III-A) is here.
 
 use crate::descriptor::DataDescriptor;
 use crate::ids::{ChunkId, ItemName, QueryId, ResponseId};
 use crate::predicate::QueryFilter;
+use crate::{NodeId, SimTime};
 use bytes::{Buf, BufMut, Bytes};
-use pds_sim::{NodeId, SimTime};
 use std::fmt;
 
 /// What a query asks for.

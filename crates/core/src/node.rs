@@ -10,8 +10,9 @@ use crate::ids::ChunkId;
 use crate::message::PdsMessage;
 use crate::predicate::QueryFilter;
 use crate::sessions::{DiscoveryReport, RetrievalReport};
+use crate::{Application, Context, MessageMeta, SimDuration, SimTime};
 use bytes::Bytes;
-use pds_sim::{Application, Context, MessageMeta, Phase, SimDuration, SimTime, TraceKind};
+use pds_obs::{Phase, TraceKind};
 
 const TAG_POLL: u64 = 1;
 const TAG_GC: u64 = 2;
@@ -59,7 +60,7 @@ pub struct PdsNode {
     pending: Vec<(SimTime, Outgoing)>,
     // Reliable messages awaiting a transport verdict, for failure-driven
     // resends: handle → (sent message, sent-at time for GC).
-    in_flight: Vec<(pds_sim::MessageHandle, SimTime, Outgoing)>,
+    in_flight: Vec<(crate::MessageHandle, SimTime, Outgoing)>,
     decode_errors: u64,
     resends: u64,
     // Tracing only: whether a SessionFinished event has already been
@@ -346,7 +347,7 @@ impl Application for PdsNode {
     fn on_send_result(
         &mut self,
         ctx: &mut Context,
-        message: pds_sim::MessageHandle,
+        message: crate::MessageHandle,
         delivered: bool,
     ) {
         let Some(idx) = self.in_flight.iter().position(|(h, _, _)| *h == message) else {
@@ -414,17 +415,11 @@ impl std::fmt::Debug for PdsNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::descriptor::DataDescriptor;
-    use crate::ids::ItemName;
-    use pds_mobility::grid;
-    use pds_sim::{NodeId, Position, SimConfig, World};
 
-    fn entry(n: u32) -> DataDescriptor {
-        DataDescriptor::builder()
-            .attr("type", "no2")
-            .attr("seq", i64::from(n))
-            .build()
-    }
+    // End-to-end tests that drive PdsNode through a simulator World live in
+    // tests/node_world.rs: pds-sim is only a dev-dependency (the layering
+    // contract, DESIGN.md §13), and unit tests inside the lib would compile
+    // a second copy of this crate whose traits the World cannot see.
 
     #[test]
     fn pds_node_is_send() {
@@ -433,144 +428,5 @@ mod tests {
         // a non-Send field (Rc, RefCell, raw pointers, ...).
         fn assert_send<T: Send>() {}
         assert_send::<PdsNode>();
-    }
-
-    fn video(total: u32) -> DataDescriptor {
-        DataDescriptor::builder()
-            .attr("type", "video")
-            .attr("name", "clip")
-            .attr("total_chunks", i64::from(total))
-            .build()
-    }
-
-    fn secs(s: f64) -> SimTime {
-        SimTime::from_secs_f64(s)
-    }
-
-    /// 3×3 grid, 5 entries per node, consumer at the center.
-    fn grid_world(seed: u64) -> (World, Vec<NodeId>, NodeId) {
-        let mut world = World::new(SimConfig::default(), seed);
-        let positions = grid::positions(3, 3, grid::SPACING_M);
-        let mut ids = Vec::new();
-        for (i, pos) in positions.iter().enumerate() {
-            let mut node = PdsNode::new(PdsConfig::default(), 100 + i as u64);
-            for k in 0..5u32 {
-                node = node.with_metadata(entry(i as u32 * 10 + k), None);
-            }
-            ids.push(world.add_node(*pos, Box::new(node)));
-        }
-        let consumer = ids[grid::center_index(3, 3)];
-        (world, ids, consumer)
-    }
-
-    #[test]
-    fn discovery_on_a_radio_grid_reaches_full_recall() {
-        let (mut world, _ids, consumer) = grid_world(42);
-        world.run_until(secs(0.5));
-        world.with_app::<PdsNode, _>(consumer, |node, ctx| {
-            node.start_discovery(ctx, QueryFilter::match_all());
-        });
-        world.run_until(secs(20.0));
-        let node = world.app::<PdsNode>(consumer).expect("alive");
-        let report = node.discovery_report().expect("session");
-        assert!(report.finished_at.is_some(), "discovery terminated");
-        assert_eq!(report.entries, 45, "all 9 nodes × 5 entries discovered");
-        assert_eq!(node.decode_errors(), 0);
-    }
-
-    #[test]
-    fn retrieval_over_radio_fetches_all_chunks() {
-        let mut world = World::new(SimConfig::default(), 7);
-        let chunk = |c: u32| Bytes::from(vec![c as u8; 8 * 1024]);
-        // Provider two hops from the consumer on a line.
-        let provider = PdsNode::new(PdsConfig::default(), 1)
-            .with_chunk(video(4), ChunkId(0), chunk(0))
-            .with_chunk(video(4), ChunkId(1), chunk(1))
-            .with_chunk(video(4), ChunkId(2), chunk(2))
-            .with_chunk(video(4), ChunkId(3), chunk(3));
-        world.add_node(Position::new(0.0, 0.0), Box::new(provider));
-        world.add_node(
-            Position::new(60.0, 0.0),
-            Box::new(PdsNode::new(PdsConfig::default(), 2)),
-        );
-        let consumer = world.add_node(
-            Position::new(120.0, 0.0),
-            Box::new(PdsNode::new(PdsConfig::default(), 3)),
-        );
-        world.run_until(secs(0.5));
-        world.with_app::<PdsNode, _>(consumer, |node, ctx| {
-            node.start_retrieval(ctx, video(4));
-        });
-        world.run_until(secs(30.0));
-        let node = world.app::<PdsNode>(consumer).expect("alive");
-        let report = node.retrieval_report().expect("session");
-        assert!(
-            (report.recall - 1.0).abs() < 1e-9,
-            "recall = {} after {:?}",
-            report.recall,
-            report
-        );
-        // The consumer's store holds the reassembled item.
-        let engine = node.engine().expect("started");
-        assert_eq!(engine.store().chunk_ids(&ItemName::new("clip")).len(), 4);
-    }
-
-    #[test]
-    fn mdr_over_radio_fetches_all_chunks() {
-        let mut world = World::new(SimConfig::default(), 9);
-        let provider = PdsNode::new(PdsConfig::default(), 1)
-            .with_chunk(video(2), ChunkId(0), Bytes::from(vec![0u8; 4096]))
-            .with_chunk(video(2), ChunkId(1), Bytes::from(vec![1u8; 4096]));
-        world.add_node(Position::new(0.0, 0.0), Box::new(provider));
-        let consumer = world.add_node(
-            Position::new(60.0, 0.0),
-            Box::new(PdsNode::new(PdsConfig::default(), 2)),
-        );
-        world.run_until(secs(0.5));
-        world.with_app::<PdsNode, _>(consumer, |node, ctx| {
-            node.start_mdr_retrieval(ctx, video(2));
-        });
-        world.run_until(secs(20.0));
-        let report = world
-            .app::<PdsNode>(consumer)
-            .and_then(PdsNode::retrieval_report)
-            .expect("session");
-        assert!(
-            (report.recall - 1.0).abs() < 1e-9,
-            "recall = {}",
-            report.recall
-        );
-    }
-
-    #[test]
-    fn sequential_consumer_benefits_from_caching() {
-        let (mut world, ids, consumer) = grid_world(11);
-        world.run_until(secs(0.5));
-        world.with_app::<PdsNode, _>(consumer, |node, ctx| {
-            node.start_discovery(ctx, QueryFilter::match_all());
-        });
-        world.run_until(secs(20.0));
-        let first = world
-            .app::<PdsNode>(consumer)
-            .and_then(PdsNode::discovery_report)
-            .expect("first session");
-        assert_eq!(first.entries, 45);
-        // A corner node asks next; caches make it faster.
-        let second_consumer = ids[0];
-        world.with_app::<PdsNode, _>(second_consumer, |node, ctx| {
-            node.start_discovery(ctx, QueryFilter::match_all());
-        });
-        world.run_until(secs(40.0));
-        let second = world
-            .app::<PdsNode>(second_consumer)
-            .and_then(PdsNode::discovery_report)
-            .expect("second session");
-        assert_eq!(second.entries, 45);
-        assert!(
-            second.latency <= first.latency,
-            "cached entries should not be slower: {:?} vs {:?}",
-            second.latency,
-            first.latency
-        );
     }
 }

@@ -9,7 +9,7 @@
 /// # Examples
 ///
 /// ```
-/// use pds_sim::SimRng;
+/// use pds_core::SimRng;
 ///
 /// let mut a = SimRng::new(7);
 /// let mut b = SimRng::new(7);

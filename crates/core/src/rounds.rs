@@ -13,7 +13,7 @@
 //!    continue until one returns nothing new.
 
 use crate::config::RoundParams;
-use pds_sim::SimTime;
+use crate::SimTime;
 use std::collections::VecDeque;
 
 /// What the consumer should do after a poll.
@@ -33,7 +33,7 @@ pub enum RoundDecision {
 ///
 /// ```
 /// use pds_core::{RoundController, RoundDecision, RoundParams};
-/// use pds_sim::SimTime;
+/// use pds_core::SimTime;
 ///
 /// let mut ctrl = RoundController::new(RoundParams::default(), SimTime::ZERO);
 /// ctrl.on_response(SimTime::from_secs_f64(0.2), 5);
@@ -142,7 +142,7 @@ impl RoundController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pds_sim::SimDuration;
+    use crate::SimDuration;
 
     fn params() -> RoundParams {
         RoundParams {

@@ -5,8 +5,8 @@ use crate::descriptor::{DataDescriptor, EntryKey};
 use crate::ids::{ChunkId, ItemName, QueryId};
 use crate::predicate::QueryFilter;
 use crate::rounds::RoundController;
+use crate::{SimDuration, SimTime};
 use pds_det::DetMap;
-use pds_sim::{SimDuration, SimTime};
 use std::collections::BTreeSet;
 
 /// A running (or finished) metadata / small-data discovery at a consumer.

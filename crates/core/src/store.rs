@@ -9,9 +9,9 @@
 use crate::descriptor::{DataDescriptor, EntryKey};
 use crate::ids::{ChunkId, ItemName};
 use crate::predicate::QueryFilter;
+use crate::SimTime;
 use bytes::Bytes;
 use pds_det::DetMap;
-use pds_sim::SimTime;
 use std::collections::BTreeMap;
 
 /// One stored metadata entry.
@@ -60,7 +60,7 @@ struct CachedChunkMeta {
 ///
 /// ```
 /// use pds_core::{DataDescriptor, DataStore, QueryFilter};
-/// use pds_sim::SimTime;
+/// use pds_core::SimTime;
 ///
 /// let mut store = DataStore::new();
 /// store.insert_own(

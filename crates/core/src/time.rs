@@ -9,7 +9,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// # Examples
 ///
 /// ```
-/// use pds_sim::{SimDuration, SimTime};
+/// use pds_core::{SimDuration, SimTime};
 ///
 /// let t = SimTime::ZERO + SimDuration::from_millis(250);
 /// assert_eq!(t.as_secs_f64(), 0.25);
@@ -71,7 +71,7 @@ impl fmt::Display for SimTime {
 /// # Examples
 ///
 /// ```
-/// use pds_sim::SimDuration;
+/// use pds_core::SimDuration;
 ///
 /// assert!(SimDuration::from_millis(200) > SimDuration::from_micros(500));
 /// ```

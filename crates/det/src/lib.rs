@@ -20,7 +20,7 @@
 //! history* (e.g. wire-visible lists), [`SortedIterExt::iter_sorted`]
 //! provides key-ascending iteration, or use `BTreeMap` directly.
 //!
-//! `cargo xtask lint-determinism` statically rejects std `HashMap`/
+//! `cargo xtask lint` statically rejects std `HashMap`/
 //! `HashSet` in the simulation crates; this crate is the single audited
 //! place that touches them.
 //!

@@ -23,6 +23,7 @@
 //! point: `sweep` for the adversarial gate, `repro` for one-off replays,
 //! `model-check` for the exhaustive session-machine pass, and `selfcheck`
 //! to prove end-to-end that a seeded bug is caught and minimized.
+#![forbid(unsafe_code)]
 
 pub mod harness;
 pub mod minimize;

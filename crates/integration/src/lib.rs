@@ -1,1 +1,2 @@
 //! Host crate for the repository-level integration tests in `/tests`.
+#![forbid(unsafe_code)]

@@ -1,0 +1,258 @@
+//! Diagnostics, severity, the aggregate report, and its machine-readable
+//! JSON rendering.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// How a finding affects the exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Surfaced in output but never fails the run (hygiene nits such as
+    /// stale pragmas).
+    Warning,
+    /// Fails `cargo xtask lint`.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One spanned finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule that produced it (also the `allow(…)` pragma name).
+    pub rule: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Workspace-relative file.
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Byte offset (used for region filtering, not displayed).
+    pub offset: usize,
+    /// What is wrong, specifically.
+    pub message: String,
+    /// The trimmed source line, for context without opening the file.
+    pub excerpt: String,
+    /// What to do instead.
+    pub help: &'static str,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] {}:{}:{}: {}",
+            self.severity,
+            self.rule,
+            self.path.display(),
+            self.line,
+            self.col,
+            self.message,
+        )?;
+        if !self.excerpt.is_empty() {
+            write!(f, "\n    | {}", self.excerpt)?;
+        }
+        if !self.help.is_empty() {
+            write!(f, "\n    = help: {}", self.help)?;
+        }
+        Ok(())
+    }
+}
+
+/// A finding suppressed by an audited pragma — kept, not discarded, so the
+/// full exemption inventory is always one lint run away (and ratcheted).
+#[derive(Debug, Clone)]
+pub struct Exemption {
+    /// File carrying the pragma.
+    pub path: PathBuf,
+    /// Rule the pragma allows.
+    pub rule: String,
+    /// The justification after `--`.
+    pub reason: String,
+}
+
+impl Exemption {
+    /// Canonical one-line form used in `lint-exemptions.txt`.
+    #[must_use]
+    pub fn inventory_line(&self) -> String {
+        format!(
+            "{}: allow({}) -- {}",
+            self.path.display(),
+            self.rule,
+            self.reason
+        )
+    }
+}
+
+/// Aggregate result of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Surviving findings, sorted by (path, line, rule).
+    pub findings: Vec<Diagnostic>,
+    /// Audited exemptions (deduplicated pragma inventory).
+    pub exemptions: Vec<Exemption>,
+    /// Number of `.rs` files analyzed.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// `true` when no error-severity findings remain.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        !self.findings.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of error-severity findings.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Sorted, deduplicated exemption inventory lines (the ratchet file
+    /// contents).
+    #[must_use]
+    pub fn inventory(&self) -> Vec<String> {
+        let mut lines: Vec<String> = self
+            .exemptions
+            .iter()
+            .map(Exemption::inventory_line)
+            .collect();
+        lines.sort();
+        lines.dedup();
+        lines
+    }
+
+    /// Machine-readable rendering of the whole report.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, d) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            json_field(&mut out, "rule", d.rule, true);
+            json_field(&mut out, "severity", &d.severity.to_string(), false);
+            json_field(&mut out, "file", &d.path.display().to_string(), false);
+            out.push_str(&format!("\"line\": {}, \"col\": {}, ", d.line, d.col));
+            json_field(&mut out, "message", &d.message, false);
+            json_field(&mut out, "excerpt", &d.excerpt, false);
+            json_field(&mut out, "help", d.help, false);
+            // Trim the trailing comma-space.
+            while out.ends_with([' ', ',']) {
+                out.pop();
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"exemptions\": [");
+        for (i, e) in self.exemptions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            json_field(&mut out, "file", &e.path.display().to_string(), true);
+            json_field(&mut out, "rule", &e.rule, false);
+            json_field(&mut out, "reason", &e.reason, false);
+            while out.ends_with([' ', ',']) {
+                out.pop();
+            }
+            out.push('}');
+        }
+        out.push_str(&format!(
+            "\n  ],\n  \"summary\": {{\"files_checked\": {}, \"errors\": {}, \"warnings\": {}, \"exemptions\": {}}}\n}}\n",
+            self.files_checked,
+            self.error_count(),
+            self.findings.len() - self.error_count(),
+            self.exemptions.len(),
+        ));
+        out
+    }
+}
+
+fn json_field(out: &mut String, key: &str, value: &str, first: bool) {
+    if !first {
+        // Caller already wrote a field; separators are embedded per-field.
+    }
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\": \"");
+    for ch in value.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push_str("\", ");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_summarizes() {
+        let mut report = Report {
+            files_checked: 3,
+            ..Report::default()
+        };
+        report.findings.push(Diagnostic {
+            rule: "wall-clock",
+            severity: Severity::Error,
+            path: PathBuf::from("crates/sim/src/x.rs"),
+            line: 4,
+            col: 9,
+            offset: 0,
+            message: "banned path `std::time::Instant` (say \"no\")".into(),
+            excerpt: "let t = Instant::now();".into(),
+            help: "use SimTime",
+        });
+        report.exemptions.push(Exemption {
+            path: PathBuf::from("crates/sim/src/prof.rs"),
+            rule: "wall-clock".into(),
+            reason: "prof only".into(),
+        });
+        let json = report.to_json();
+        assert!(json.contains("\\\"no\\\""), "quotes escaped: {json}");
+        assert!(json.contains("\"errors\": 1"));
+        assert!(json.contains("\"exemptions\": 1"));
+        assert!(json.contains("\"files_checked\": 3"));
+    }
+
+    #[test]
+    fn inventory_is_sorted_and_deduped() {
+        let mut report = Report::default();
+        for _ in 0..2 {
+            report.exemptions.push(Exemption {
+                path: PathBuf::from("b.rs"),
+                rule: "panic".into(),
+                reason: "r".into(),
+            });
+        }
+        report.exemptions.push(Exemption {
+            path: PathBuf::from("a.rs"),
+            rule: "panic".into(),
+            reason: "r".into(),
+        });
+        assert_eq!(
+            report.inventory(),
+            vec!["a.rs: allow(panic) -- r", "b.rs: allow(panic) -- r"]
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! The lint engine: file walking, rule dispatch, cfg-region filtering,
+//! pragma exemption, and report assembly.
+//!
+//! Rules stay declarative; every cross-cutting policy lives here so it is
+//! applied identically to all of them:
+//!
+//! * findings inside `#[cfg(test)]` / `#[cfg(feature = "prof")]` regions
+//!   are dropped when the rule opts out of them;
+//! * an audited pragma (`// lint: allow(<rule>) -- <reason>`) converts a
+//!   finding into an [`Exemption`] — recorded, ratcheted, never silent;
+//! * reasonless pragmas and pragmas that suppress nothing are themselves
+//!   findings (warning severity, rule `pragma`);
+//! * output ordering is deterministic: files are walked sorted, findings
+//!   sorted by (path, line, col, rule).
+
+use crate::diag::{Diagnostic, Exemption, Report, Severity};
+use crate::manifest;
+use crate::rules::{default_rules, Rule, Workspace};
+use crate::source::{PragmaScope, SourceFile};
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "fixtures", "vendor", ".git", "node_modules"];
+
+/// Top-level directories scanned, relative to the workspace root.
+const SCAN_ROOTS: &[&str] = &["crates", "tests"];
+
+/// Runs the default rule registry over the workspace at `root`.
+pub fn run(root: &Path) -> std::io::Result<Report> {
+    run_rules(root, &default_rules())
+}
+
+/// Runs a specific rule set over the workspace at `root`.
+pub fn run_rules(root: &Path, rules: &[Box<dyn Rule>]) -> std::io::Result<Report> {
+    let files = collect_files(root)?;
+    let ws = Workspace {
+        manifests: manifest::load_workspace(root)?,
+    };
+    let mut report = Report::default();
+    let mut findings: Vec<Diagnostic> = Vec::new();
+    let mut exemptions: Vec<Exemption> = Vec::new();
+    for rel in files {
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        let file = SourceFile::parse(&rel, text);
+        report.files_checked += 1;
+        check_one(&file, rules, &mut findings, &mut exemptions);
+    }
+    for rule in rules {
+        rule.check_workspace(&ws, &mut findings);
+    }
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    exemptions.sort_by(|a, b| (&a.path, &a.rule, &a.reason).cmp(&(&b.path, &b.rule, &b.reason)));
+    exemptions.dedup_by(|a, b| a.path == b.path && a.rule == b.rule && a.reason == b.reason);
+    report.findings = findings;
+    report.exemptions = exemptions;
+    Ok(report)
+}
+
+/// Runs the per-file rules over one already-parsed file. Public for the
+/// fixture tests, which lint single files with synthetic paths.
+pub fn check_one(
+    file: &SourceFile,
+    rules: &[Box<dyn Rule>],
+    findings: &mut Vec<Diagnostic>,
+    exemptions: &mut Vec<Exemption>,
+) {
+    let mut pragma_used = vec![false; file.pragmas.len()];
+    for rule in rules {
+        if !rule.applies(&file.path) {
+            continue;
+        }
+        let meta = rule.meta();
+        let mut raw = Vec::new();
+        rule.check_file(file, &mut raw, exemptions);
+        for d in raw {
+            if meta.skip_cfg_test && file.in_cfg_test(d.offset) {
+                continue;
+            }
+            if meta.skip_cfg_prof && file.in_cfg_prof(d.offset) {
+                continue;
+            }
+            let mut suppressed = false;
+            for (pi, p) in file.pragmas.iter().enumerate() {
+                if p.rule != d.rule {
+                    continue;
+                }
+                let hit = match p.scope {
+                    PragmaScope::File => true,
+                    // A line pragma covers its own line(s) and the line
+                    // directly below — the idiomatic "comment above the
+                    // offending statement" placement.
+                    PragmaScope::Line => d.line >= p.line && d.line <= p.end_line + 1,
+                };
+                if hit {
+                    pragma_used[pi] = true;
+                    exemptions.push(Exemption {
+                        path: file.path.clone(),
+                        rule: p.rule.clone(),
+                        reason: p.reason.clone(),
+                    });
+                    suppressed = true;
+                    break;
+                }
+            }
+            if !suppressed {
+                findings.push(d);
+            }
+        }
+    }
+    // Pragma hygiene: a reasonless pragma exempts nothing; a pragma that
+    // suppressed nothing is stale (or names an unknown rule). Both are
+    // surfaced as warnings so they get cleaned up without blocking CI.
+    for (rule, line) in &file.reasonless_pragmas {
+        findings.push(pragma_warning(
+            file,
+            *line,
+            format!("pragma `allow({rule})` has no `-- <reason>`; it exempts nothing"),
+        ));
+    }
+    for (pi, p) in file.pragmas.iter().enumerate() {
+        if !pragma_used[pi] {
+            findings.push(pragma_warning(
+                file,
+                p.line,
+                format!("stale pragma: `allow({})` matched no finding", p.rule),
+            ));
+        }
+    }
+}
+
+fn pragma_warning(file: &SourceFile, line: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        rule: "pragma",
+        severity: Severity::Warning,
+        path: file.path.clone(),
+        line,
+        col: 1,
+        offset: 0,
+        message,
+        excerpt: file.line_text(line).to_string(),
+        help: "pragmas must carry a justification and suppress a real finding",
+    }
+}
+
+/// Collects workspace-relative `.rs` paths under the scan roots, sorted.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for scan in SCAN_ROOTS {
+        let dir = root.join(scan);
+        if dir.is_dir() {
+            walk(root, &dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_src(path: &str, src: &str) -> (Vec<Diagnostic>, Vec<Exemption>) {
+        let file = SourceFile::parse(Path::new(path), src.to_string());
+        let mut findings = Vec::new();
+        let mut exemptions = Vec::new();
+        check_one(&file, &default_rules(), &mut findings, &mut exemptions);
+        (findings, exemptions)
+    }
+
+    #[test]
+    fn line_pragma_converts_finding_into_exemption() {
+        let (findings, ex) = lint_src(
+            "crates/sim/src/wheel.rs",
+            "fn pop(&mut self, i: usize) -> u64 {\n    // lint: allow(panic) -- i is produced by the wheel's own cursor\n    self.slots[i]\n}\n",
+        );
+        let errors: Vec<_> = findings
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(ex.len(), 1);
+        assert!(ex[0].reason.contains("cursor"));
+    }
+
+    #[test]
+    fn pragma_for_the_wrong_rule_does_not_suppress() {
+        let (findings, ex) = lint_src(
+            "crates/sim/src/wheel.rs",
+            "fn pop(&mut self, i: usize) -> u64 {\n    // lint: allow(wall-clock) -- wrong rule\n    self.slots[i]\n}\n",
+        );
+        assert!(findings.iter().any(|d| d.rule == "panic"), "{findings:?}");
+        // And the mismatched pragma is flagged as stale.
+        assert!(
+            findings
+                .iter()
+                .any(|d| d.rule == "pragma" && d.message.contains("stale")),
+            "{findings:?}"
+        );
+        assert!(ex.is_empty());
+    }
+
+    #[test]
+    fn reasonless_pragma_is_flagged_and_ignored() {
+        let (findings, _) = lint_src(
+            "crates/sim/src/wheel.rs",
+            "fn pop(&mut self, i: usize) -> u64 {\n    // lint: allow(panic)\n    self.slots[i]\n}\n",
+        );
+        assert!(findings.iter().any(|d| d.rule == "panic"));
+        assert!(findings
+            .iter()
+            .any(|d| d.rule == "pragma" && d.message.contains("no `--")));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt_for_optin_rules() {
+        let (findings, _) = lint_src(
+            "crates/sim/src/wheel.rs",
+            "fn live(&self) -> Option<u64> { self.slots.first().copied() }\n#[cfg(test)]\nmod tests {\n    fn t() { super::x().unwrap(); }\n}\n",
+        );
+        assert!(findings.iter().all(|d| d.rule != "panic"), "{findings:?}");
+    }
+
+    #[test]
+    fn legacy_det_lint_pragma_still_exempts_file_wide() {
+        let (findings, ex) = lint_src(
+            "crates/bench/src/metrics.rs",
+            "// det-lint: allow(wall-clock) -- harness stopwatch, never feeds sim state\nuse std::time::Instant;\nfn t() -> Instant { Instant::now() }\n",
+        );
+        assert!(
+            findings.iter().all(|d| d.rule != "wall-clock"),
+            "{findings:?}"
+        );
+        // One exemption per suppressed finding here; `run_rules` dedupes
+        // them into a single inventory line.
+        assert!(!ex.is_empty());
+        assert!(ex.iter().all(|e| e.reason.contains("stopwatch")));
+    }
+}

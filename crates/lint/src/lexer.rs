@@ -1,0 +1,477 @@
+//! A self-contained Rust lexer producing spanned tokens plus the comment
+//! stream.
+//!
+//! This is the foundation the rules build on instead of the old
+//! "blank-comments-and-grep" pass: every token knows its byte offset,
+//! line and column, string/char literal *contents* never produce tokens
+//! (so a `"HashMap"` in a log message can never trip a rule), and
+//! comments are preserved separately because pragmas (`// lint: allow…`)
+//! and `// SAFETY:` rationales live there.
+//!
+//! The grammar subset is deliberately small — identifiers (including raw
+//! `r#ident`), lifetimes, literals (string, raw string, byte string,
+//! char, numeric), one-character punctuation, and delimiters — but it is
+//! *positionally exact*: the token stream round-trips source order, so
+//! downstream passes can reconstruct paths (`a::b::c`), method calls
+//! (`.unwrap()`), attributes (`#[cfg(test)]`) and item extents by
+//! walking it.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`World`, `fn`, `unsafe`, `r#type`).
+    Ident,
+    /// A lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Any literal: string, raw string, byte string, char, or number.
+    /// The contents are intentionally opaque to rules.
+    Literal,
+    /// A single punctuation character (`:`, `.`, `!`, `#`, …).
+    Punct(u8),
+    /// An opening delimiter: `(`, `[` or `{`.
+    Open(u8),
+    /// A closing delimiter: `)`, `]` or `}`.
+    Close(u8),
+}
+
+/// One lexed token with its exact source extent.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte in the source.
+    pub lo: usize,
+    /// Byte offset one past the last byte.
+    pub hi: usize,
+    /// 1-based source line of `lo`.
+    pub line: u32,
+    /// 1-based source column (in bytes) of `lo`.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text, sliced out of the file it was lexed from.
+    #[must_use]
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.lo..self.hi]
+    }
+
+    /// `true` if this is an identifier with exactly the given text.
+    #[must_use]
+    pub fn is_ident(&self, src: &str, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text(src) == word
+    }
+
+    /// `true` for the given punctuation byte.
+    #[must_use]
+    pub fn is_punct(&self, ch: u8) -> bool {
+        self.kind == TokenKind::Punct(ch)
+    }
+}
+
+/// A comment, kept out of the token stream but preserved for pragma and
+/// SAFETY-rationale scanning.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (differs for block comments).
+    pub end_line: u32,
+}
+
+/// Lexer output: the token stream plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment, non-whitespace tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source. Invalid UTF-8 never reaches here (files are read as
+/// `String`); genuinely malformed source produces a best-effort stream
+/// rather than an error — the compiler, not the linter, owns syntax
+/// diagnosis.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        src: src.as_bytes(),
+        text: src,
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            let next = self.src.get(self.pos + 1).copied();
+            match b {
+                b' ' | b'\t' | b'\r' => self.advance(1),
+                b'\n' => self.newline(),
+                b'/' if next == Some(b'/') => self.line_comment(),
+                b'/' if next == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'r' if matches!(next, Some(b'"' | b'#')) && self.raw_string(0) => {}
+                b'b' if next == Some(b'"') => {
+                    self.advance(1);
+                    self.string();
+                }
+                b'b' if next == Some(b'r') && self.raw_string(1) => {}
+                b'\'' => self.char_or_lifetime(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => self.ident(),
+                b'(' | b'[' | b'{' => {
+                    self.push(TokenKind::Open(b), 1);
+                }
+                b')' | b']' | b'}' => {
+                    self.push(TokenKind::Close(b), 1);
+                }
+                _ => {
+                    self.push(TokenKind::Punct(b), 1);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.pos += n;
+        self.col += n as u32;
+    }
+
+    fn newline(&mut self) {
+        self.pos += 1;
+        self.line += 1;
+        self.col = 1;
+    }
+
+    fn push(&mut self, kind: TokenKind, len: usize) {
+        self.out.tokens.push(Token {
+            kind,
+            lo: self.pos,
+            hi: self.pos + len,
+            line: self.line,
+            col: self.col,
+        });
+        self.advance(len);
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.advance(1);
+        }
+        self.out.comments.push(Comment {
+            text: self.text[start..self.pos].to_string(),
+            line,
+            end_line: line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let mut depth = 0u32;
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            let next = self.src.get(self.pos + 1).copied();
+            if b == b'\n' {
+                self.newline();
+            } else if b == b'/' && next == Some(b'*') {
+                depth += 1;
+                self.advance(2);
+            } else if b == b'*' && next == Some(b'/') {
+                depth -= 1;
+                self.advance(2);
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.advance(1);
+            }
+        }
+        self.out.comments.push(Comment {
+            text: self.text[start..self.pos].to_string(),
+            line,
+            end_line: self.line,
+        });
+    }
+
+    /// A `"…"` string; emits one opaque Literal token.
+    fn string(&mut self) {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        self.advance(1); // opening quote
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.advance(2.min(self.src.len() - self.pos)),
+                b'"' => {
+                    self.advance(1);
+                    break;
+                }
+                b'\n' => self.newline(),
+                _ => self.advance(1),
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Literal,
+            lo: start,
+            hi: self.pos,
+            line,
+            col,
+        });
+    }
+
+    /// `r"…"`, `r#"…"#`, `br#"…"#` … Returns `false` (consuming nothing)
+    /// if what follows is not actually a raw string (e.g. `r#ident`).
+    fn raw_string(&mut self, b_prefix: usize) -> bool {
+        let hash_start = self.pos + 1 + b_prefix;
+        let mut hashes = 0;
+        while self.src.get(hash_start + hashes) == Some(&b'#') {
+            hashes += 1;
+        }
+        if self.src.get(hash_start + hashes) != Some(&b'"') {
+            return false; // raw identifier or lone `r`
+        }
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        self.advance(1 + b_prefix + hashes + 1); // r [b] #* "
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'\n' {
+                self.newline();
+            } else if self.src[self.pos] == b'"'
+                && self.src[self.pos + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&c| c == b'#')
+                    .count()
+                    == hashes
+            {
+                self.advance(1 + hashes);
+                break;
+            } else {
+                self.advance(1);
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Literal,
+            lo: start,
+            hi: self.pos,
+            line,
+            col,
+        });
+        true
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self) {
+        let next = self.src.get(self.pos + 1).copied();
+        let after = self.src.get(self.pos + 2).copied();
+        let is_char = match next {
+            Some(b'\\') => true,
+            Some(_) if after == Some(b'\'') => true,
+            _ => false,
+        };
+        if is_char {
+            let start = self.pos;
+            let (line, col) = (self.line, self.col);
+            self.advance(1);
+            while self.pos < self.src.len() {
+                match self.src[self.pos] {
+                    b'\\' => self.advance(2.min(self.src.len() - self.pos)),
+                    b'\'' => {
+                        self.advance(1);
+                        break;
+                    }
+                    b'\n' => self.newline(),
+                    _ => self.advance(1),
+                }
+            }
+            self.out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                lo: start,
+                hi: self.pos,
+                line,
+                col,
+            });
+        } else {
+            // Lifetime: consume the quote plus the identifier run.
+            let start = self.pos;
+            let (line, col) = (self.line, self.col);
+            self.advance(1);
+            while self
+                .src
+                .get(self.pos)
+                .is_some_and(|&b| b == b'_' || b.is_ascii_alphanumeric())
+            {
+                self.advance(1);
+            }
+            self.out.tokens.push(Token {
+                kind: TokenKind::Lifetime,
+                lo: start,
+                hi: self.pos,
+                line,
+                col,
+            });
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        // Digits, underscores, type suffixes, hex/oct/bin prefixes, a
+        // decimal point followed by a digit, exponents. Precision here is
+        // unimportant — numbers are opaque to every rule.
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            let next = self.src.get(self.pos + 1).copied();
+            let cont = b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.' && next.is_some_and(|n| n.is_ascii_digit()))
+                || ((b == b'+' || b == b'-')
+                    && matches!(self.src.get(self.pos.wrapping_sub(1)), Some(b'e' | b'E')));
+            if !cont {
+                break;
+            }
+            self.advance(1);
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Literal,
+            lo: start,
+            hi: self.pos,
+            line,
+            col,
+        });
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        // Raw identifier prefix.
+        if self.src[self.pos] == b'r' && self.src.get(self.pos + 1) == Some(&b'#') {
+            self.advance(2);
+        }
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            if b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80 {
+                self.advance(1);
+            } else {
+                break;
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Ident,
+            lo: start,
+            hi: self.pos,
+            line,
+            col,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn literals_are_opaque() {
+        let toks = kinds(r#"let s = "HashMap::new()"; let c = 'x';"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || !t.contains("HashMap")));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn comments_are_side_channel() {
+        let out = lex("// HashMap here\nlet x = 1; /* SystemTime */\n");
+        assert_eq!(out.comments.len(), 2);
+        assert_eq!(out.comments[0].line, 1);
+        assert!(out.comments[1].text.contains("SystemTime"));
+        assert!(out.tokens.iter().all(|t| t.kind != TokenKind::Ident
+            || t.text("// HashMap here\nlet x = 1; /* SystemTime */\n") == "let"
+            || t.text("// HashMap here\nlet x = 1; /* SystemTime */\n") == "x"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'y'; }";
+        let out = lex(src);
+        let lifetimes: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(
+            out.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let src = r##"let a = r#"Instant"#; let r#type = 1;"##;
+        let out = lex(src);
+        let idents: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src))
+            .collect();
+        assert!(idents.contains(&"r#type"));
+        assert!(!idents.iter().any(|t| t.contains("Instant")));
+    }
+
+    #[test]
+    fn positions_are_exact() {
+        let src = "ab\n  cd::ef\n";
+        let out = lex(src);
+        let cd = out.tokens.iter().find(|t| t.text(src) == "cd").unwrap();
+        assert_eq!((cd.line, cd.col), (2, 3));
+        let ef = out.tokens.iter().find(|t| t.text(src) == "ef").unwrap();
+        assert_eq!((ef.line, ef.col), (2, 7));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = lex("/* a /* b */ c */ fn main() {}");
+        assert_eq!(out.comments.len(), 1);
+        assert!(out.comments[0].text.ends_with("c */"));
+        assert!(out.tokens.iter().any(|t| t.kind == TokenKind::Ident));
+    }
+}

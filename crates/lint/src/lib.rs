@@ -1,0 +1,33 @@
+//! `pds-lint` — the workspace's AST-grade static-analysis engine.
+//!
+//! Replaces the old string-matching determinism scanner with a real
+//! syntactic model: a spanned lexer ([`lexer`]), per-file analysis with
+//! use-tree resolution, function spans, cfg regions and pragmas
+//! ([`source`]), a pluggable rule registry ([`rules`]), and an engine
+//! ([`engine`]) that applies exemption policy uniformly and emits
+//! spanned, machine-readable diagnostics ([`diag`]).
+//!
+//! Driven by `cargo xtask lint`; see DESIGN.md §13 for the contract each
+//! rule enforces and `lint-exemptions.txt` for the ratcheted exemption
+//! inventory ([`ratchet`]).
+//!
+//! The crate is dependency-free on purpose: it must build before — and
+//! independently of — everything it checks, and the build environment has
+//! no network for pulling a real parser (`syn`). The lexer implements
+//! exactly the subset of Rust syntax the rules need.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod manifest;
+pub mod ratchet;
+pub mod rules;
+pub mod source;
+
+pub use diag::{Diagnostic, Exemption, Report, Severity};
+pub use engine::{collect_files, run, run_rules};
+pub use ratchet::{RatchetStatus, EXEMPTIONS_FILE};
+pub use rules::{default_rules, Rule, RuleMeta};

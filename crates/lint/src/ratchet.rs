@@ -1,0 +1,148 @@
+//! The exemption ratchet.
+//!
+//! Every audited exemption (pragma or `// SAFETY:` block) is inventoried
+//! by the lint run; `lint-exemptions.txt` at the workspace root pins that
+//! inventory. CI fails when the two diverge — growing the exemption set
+//! requires touching the pinned file in the same commit, which makes the
+//! growth visible in review. Shrinking diverges too (stale entries), so
+//! the file never rots.
+//!
+//! `cargo xtask lint --update-exemptions` rewrites the file from the
+//! current run.
+
+use crate::diag::Report;
+use std::path::Path;
+
+/// The pinned inventory file, relative to the workspace root.
+pub const EXEMPTIONS_FILE: &str = "lint-exemptions.txt";
+
+const HEADER: &str = "\
+# Audited lint exemptions — one line per (file, rule, reason).
+# Regenerate with: cargo xtask lint --update-exemptions
+# CI fails if this file does not exactly match the lint run's inventory;
+# adding an exemption means changing this file in the same commit.
+";
+
+/// Result of comparing the run's inventory to the pinned file.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RatchetStatus {
+    /// Pinned file matches the inventory exactly.
+    Match,
+    /// Divergence: `missing` lines are new exemptions not yet pinned
+    /// (the ratchet grew); `extra` lines are pinned but no longer
+    /// produced (stale).
+    Mismatch {
+        /// In the inventory, not in the file.
+        missing: Vec<String>,
+        /// In the file, not in the inventory.
+        extra: Vec<String>,
+    },
+}
+
+/// Compares `report`'s inventory to the pinned file under `root`. A
+/// missing file is treated as an empty inventory.
+pub fn check(root: &Path, report: &Report) -> std::io::Result<RatchetStatus> {
+    let pinned = read_pinned(root)?;
+    let current = report.inventory();
+    let missing: Vec<String> = current
+        .iter()
+        .filter(|l| !pinned.contains(l))
+        .cloned()
+        .collect();
+    let extra: Vec<String> = pinned
+        .iter()
+        .filter(|l| !current.contains(l))
+        .cloned()
+        .collect();
+    if missing.is_empty() && extra.is_empty() {
+        Ok(RatchetStatus::Match)
+    } else {
+        Ok(RatchetStatus::Mismatch { missing, extra })
+    }
+}
+
+/// Rewrites the pinned file from `report`'s inventory.
+pub fn update(root: &Path, report: &Report) -> std::io::Result<()> {
+    let mut text = String::from(HEADER);
+    for line in report.inventory() {
+        text.push_str(&line);
+        text.push('\n');
+    }
+    std::fs::write(root.join(EXEMPTIONS_FILE), text)
+}
+
+fn read_pinned(root: &Path) -> std::io::Result<Vec<String>> {
+    let path = root.join(EXEMPTIONS_FILE);
+    if !path.is_file() {
+        return Ok(Vec::new());
+    }
+    let text = std::fs::read_to_string(path)?;
+    Ok(text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Exemption;
+    use std::path::PathBuf;
+
+    fn report_with(lines: &[(&str, &str, &str)]) -> Report {
+        let mut r = Report::default();
+        for (path, rule, reason) in lines {
+            r.exemptions.push(Exemption {
+                path: PathBuf::from(path),
+                rule: (*rule).to_string(),
+                reason: (*reason).to_string(),
+            });
+        }
+        r
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pds-lint-ratchet-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn update_then_check_matches() {
+        let root = tmpdir("roundtrip");
+        let report = report_with(&[("a.rs", "panic", "bounded"), ("b.rs", "wall-clock", "prof")]);
+        update(&root, &report).unwrap();
+        assert_eq!(check(&root, &report).unwrap(), RatchetStatus::Match);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn growth_is_reported_as_missing() {
+        let root = tmpdir("growth");
+        let pinned = report_with(&[("a.rs", "panic", "bounded")]);
+        update(&root, &pinned).unwrap();
+        let grown = report_with(&[("a.rs", "panic", "bounded"), ("c.rs", "panic", "new one")]);
+        match check(&root, &grown).unwrap() {
+            RatchetStatus::Mismatch { missing, extra } => {
+                assert_eq!(missing, vec!["c.rs: allow(panic) -- new one"]);
+                assert!(extra.is_empty());
+            }
+            RatchetStatus::Match => panic!("growth must not match"),
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_file_with_empty_inventory_matches() {
+        let root = tmpdir("absent");
+        let _ = std::fs::remove_file(root.join(EXEMPTIONS_FILE));
+        assert_eq!(
+            check(&root, &Report::default()).unwrap(),
+            RatchetStatus::Match
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,227 @@
+//! Generic banned-path rule: the shared matcher behind the four
+//! determinism rules and the sans-io purity rule.
+//!
+//! A banned path is a canonical prefix like `["std", "time", "Instant"]`.
+//! The rule flags, in scope-matched files:
+//!
+//! * `use` bindings whose canonical path starts with a banned prefix
+//!   (aliases included — `use std::collections::HashMap as Map` resolves
+//!   to the banned path even though `Map` never mentions it);
+//! * glob imports whose prefix overlaps a banned prefix in either
+//!   direction (`use std::collections::*` pulls `HashMap` into scope;
+//!   `use std::thread::*` globs a banned module itself);
+//! * expression/type path chains whose canonicalized form starts with a
+//!   banned prefix (`Instant::now()` under the import, or the fully
+//!   qualified `std::time::Instant::now()`);
+//! * as a conservative fallback, bare identifiers from a short
+//!   distinctive list (`HashMap`, `Instant`, …) that the import map could
+//!   not resolve — catching names smuggled in by a glob or macro;
+//! * banned method names in method-call position (`.from_entropy()`).
+
+use crate::diag::{Diagnostic, Exemption};
+use crate::lexer::TokenKind;
+use crate::rules::{has_component, Rule, RuleMeta};
+use crate::source::{Binding, SourceFile};
+use std::path::Path;
+
+/// A rule that forbids a set of canonical paths inside a set of crates.
+pub struct BannedPathRule {
+    /// Name/severity/cfg-skips.
+    pub meta: RuleMeta,
+    /// Shared remediation hint.
+    pub help: &'static str,
+    /// Path components the rule applies under (crate dir names, `tests`).
+    pub components: &'static [&'static str],
+    /// Path components exempt even when inside `components` (e.g. the
+    /// bench harness may use threads).
+    pub exempt_components: &'static [&'static str],
+    /// Banned canonical path prefixes.
+    pub banned: &'static [&'static [&'static str]],
+    /// Distinctive bare identifiers flagged even without a resolvable
+    /// import (glob/macro smuggling fallback).
+    pub bare_idents: &'static [&'static str],
+    /// Banned names in `.method()` position.
+    pub banned_methods: &'static [&'static str],
+}
+
+impl BannedPathRule {
+    fn match_banned(&self, canon: &[&str]) -> Option<&'static [&'static str]> {
+        self.banned
+            .iter()
+            .copied()
+            .find(|prefix| canon.len() >= prefix.len() && canon[..prefix.len()] == **prefix)
+    }
+
+    fn glob_overlap(&self, prefix: &[String]) -> Option<&'static [&'static str]> {
+        self.banned.iter().copied().find(|banned| {
+            let n = prefix.len().min(banned.len());
+            prefix[..n]
+                .iter()
+                .map(String::as_str)
+                .eq(banned[..n].iter().copied())
+        })
+    }
+
+    fn diag(
+        &self,
+        file: &SourceFile,
+        line: u32,
+        col: u32,
+        offset: usize,
+        message: String,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule: self.meta.name,
+            severity: self.meta.severity,
+            path: file.path.clone(),
+            line,
+            col,
+            offset,
+            message,
+            excerpt: file.line_text(line).to_string(),
+            help: self.help,
+        }
+    }
+}
+
+impl Rule for BannedPathRule {
+    fn meta(&self) -> &RuleMeta {
+        &self.meta
+    }
+
+    fn applies(&self, path: &Path) -> bool {
+        has_component(path, self.components) && !has_component(path, self.exempt_components)
+    }
+
+    fn check_file(
+        &self,
+        file: &SourceFile,
+        out: &mut Vec<Diagnostic>,
+        _exemptions: &mut Vec<Exemption>,
+    ) {
+        // Imports, aliases resolved.
+        for b in &file.imports.bindings {
+            let segs: Vec<&str> = b.path.iter().map(String::as_str).collect();
+            if let Some(banned) = self.match_banned(&segs) {
+                out.push(self.diag(
+                    file,
+                    b.line,
+                    b.col,
+                    b.offset,
+                    format!(
+                        "import of banned path `{}`{}",
+                        banned.join("::"),
+                        alias_note(b),
+                    ),
+                ));
+            }
+        }
+        // Glob imports overlapping a banned prefix.
+        for g in &file.imports.globs {
+            if let Some(banned) = self.glob_overlap(&g.path) {
+                out.push(self.diag(
+                    file,
+                    g.line,
+                    g.col,
+                    g.offset,
+                    format!(
+                        "glob import `{}::*` pulls banned `{}` into scope",
+                        g.path.join("::"),
+                        banned.join("::"),
+                    ),
+                ));
+            }
+        }
+        // Expression/type path chains, canonicalized through the imports.
+        let mut flagged_offsets: Vec<usize> = Vec::new();
+        for (segs, start) in file.path_chains() {
+            let canon = file.imports.canonicalize(&segs);
+            if let Some(banned) = self.match_banned(&canon) {
+                let t = &file.tokens[start];
+                flagged_offsets.push(t.lo);
+                out.push(self.diag(
+                    file,
+                    t.line,
+                    t.col,
+                    t.lo,
+                    format!("use of banned path `{}`", banned.join("::")),
+                ));
+            } else if let Some(last) = segs.last().copied() {
+                // Associated-function position: `SmallRng::from_entropy()`
+                // reaches the banned constructor through an arbitrary
+                // receiver type, so match the chain tail too.
+                if segs.len() >= 2 && self.banned_methods.contains(&last) {
+                    let t = &file.tokens[start];
+                    flagged_offsets.push(t.lo);
+                    out.push(self.diag(
+                        file,
+                        t.line,
+                        t.col,
+                        t.lo,
+                        format!("call of banned constructor `{}`", segs.join("::")),
+                    ));
+                }
+            }
+        }
+        // Bare-identifier fallback and method-call scan.
+        for (i, t) in file.tokens.iter().enumerate() {
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let word = t.text(&file.text);
+            let method_pos = i >= 1 && file.tokens[i - 1].is_punct(b'.');
+            if method_pos {
+                if self.banned_methods.contains(&word)
+                    && file
+                        .tokens
+                        .get(i + 1)
+                        .is_some_and(|n| n.kind == TokenKind::Open(b'('))
+                {
+                    out.push(self.diag(
+                        file,
+                        t.line,
+                        t.col,
+                        t.lo,
+                        format!("call of banned method `.{word}()`"),
+                    ));
+                }
+                continue;
+            }
+            if !self.bare_idents.contains(&word) {
+                continue;
+            }
+            // Imports were already checked via the resolved bindings.
+            if file
+                .use_token_ranges
+                .iter()
+                .any(|&(lo, hi)| i >= lo && i < hi)
+            {
+                continue;
+            }
+            // Chain continuations (`std::thread` → `thread` token) belong
+            // to the chain flagged at its head.
+            if i >= 2 && file.tokens[i - 1].is_punct(b':') && file.tokens[i - 2].is_punct(b':') {
+                continue;
+            }
+            if flagged_offsets.contains(&t.lo) {
+                continue;
+            }
+            out.push(self.diag(
+                file,
+                t.line,
+                t.col,
+                t.lo,
+                format!("bare reference to banned name `{word}`"),
+            ));
+        }
+    }
+}
+
+fn alias_note(b: &Binding) -> String {
+    let leaf = b.path.last().map(String::as_str).unwrap_or("");
+    if b.name == leaf || b.name == "*" {
+        String::new()
+    } else {
+        format!(" (aliased as `{}`)", b.name)
+    }
+}

@@ -1,0 +1,310 @@
+//! `layering`: the crate dependency DAG is pinned.
+//!
+//! The workspace layers bottom-up:
+//!
+//! ```text
+//! pds-det ─┬─► pds-obs ──┐
+//!          │             ├─► pds-core ─► pds-sim ─► pds-mobility
+//! pds-bloom┴─────────────┘                  │            │
+//!                                           ▼            ▼
+//!                              pds-bench ─► pds-dst   (facade: pds)
+//! ```
+//!
+//! The invariant that motivated this rule: **`pds-core` must never depend
+//! on `pds-sim`** — the protocol engines sit *below* the simulator so the
+//! same engine code can later run under a real network backend. Cargo
+//! would happily accept the reverse edge; this rule makes it a lint
+//! error at the manifest line that introduced it.
+//!
+//! `[dev-dependencies]` are exempt: they never ship, and cargo permits
+//! dev-only cycles (pds-core's integration tests drive pds-sim). Only
+//! workspace (`pds-*`) crates are layered; vendored externals
+//! (`bytes`, `proptest`, `criterion`) are outside the DAG.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::rules::{Rule, RuleMeta, Workspace};
+
+/// Allowed normal-dependency edges, per crate. A crate absent from this
+/// table is itself a finding — extending the workspace means extending
+/// the table consciously.
+const ALLOWED: &[(&str, &[&str])] = &[
+    ("pds-det", &[]),
+    ("pds-bloom", &[]),
+    ("pds-obs", &["pds-det"]),
+    ("pds-core", &["pds-det", "pds-bloom", "pds-obs"]),
+    ("pds-sim", &["pds-det", "pds-obs", "pds-core"]),
+    (
+        "pds-mobility",
+        &["pds-det", "pds-obs", "pds-core", "pds-sim"],
+    ),
+    (
+        "pds-bench",
+        &[
+            "pds-det",
+            "pds-obs",
+            "pds-bloom",
+            "pds-core",
+            "pds-sim",
+            "pds-mobility",
+        ],
+    ),
+    (
+        "pds-dst",
+        &[
+            "pds-det",
+            "pds-obs",
+            "pds-bloom",
+            "pds-core",
+            "pds-sim",
+            "pds-mobility",
+            "pds-bench",
+        ],
+    ),
+    (
+        "pds",
+        &[
+            "pds-det",
+            "pds-obs",
+            "pds-bloom",
+            "pds-core",
+            "pds-sim",
+            "pds-mobility",
+            "pds-bench",
+        ],
+    ),
+    ("pds-integration", &[]),
+    ("pds-lint", &[]),
+    ("xtask", &["pds-lint"]),
+];
+
+/// The crate-layering rule (workspace pass only).
+pub struct Layering {
+    meta: RuleMeta,
+}
+
+impl Layering {
+    /// Constructs the rule.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            meta: RuleMeta {
+                name: "layering",
+                severity: Severity::Error,
+                description: "crate dependency edges must stay inside the pinned DAG",
+                skip_cfg_test: false,
+                skip_cfg_prof: false,
+            },
+        }
+    }
+}
+
+impl Default for Layering {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// `true` for names that belong to the layered workspace DAG.
+fn is_workspace_crate(name: &str) -> bool {
+    name.starts_with("pds") || name == "xtask"
+}
+
+impl Rule for Layering {
+    fn meta(&self) -> &RuleMeta {
+        &self.meta
+    }
+
+    fn applies(&self, _path: &std::path::Path) -> bool {
+        false // no per-file pass
+    }
+
+    fn check_workspace(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for m in &ws.manifests {
+            let Some((_, allowed)) = ALLOWED.iter().find(|(n, _)| *n == m.name) else {
+                out.push(Diagnostic {
+                    rule: self.meta.name,
+                    severity: self.meta.severity,
+                    path: m.path.clone(),
+                    line: 1,
+                    col: 1,
+                    offset: 0,
+                    message: format!(
+                        "crate `{}` is not in the layering table; add it to rules/layering.rs with its allowed dependencies",
+                        m.name
+                    ),
+                    excerpt: String::new(),
+                    help: "every workspace crate must declare its layer",
+                });
+                continue;
+            };
+            for dep in &m.dependencies {
+                if is_workspace_crate(&dep.name) && !allowed.contains(&dep.name.as_str()) {
+                    out.push(Diagnostic {
+                        rule: self.meta.name,
+                        severity: self.meta.severity,
+                        path: m.path.clone(),
+                        line: dep.line,
+                        col: 1,
+                        offset: 0,
+                        message: format!(
+                            "layering violation: `{}` may not depend on `{}`",
+                            m.name, dep.name
+                        ),
+                        excerpt: format!("{} = {{ workspace = true }}", dep.name),
+                        help: "dependency edges flow det/bloom → obs → core → sim → mobility → bench → dst; invert the design, not the DAG",
+                    });
+                }
+            }
+        }
+        // Cycle detection over normal deps — defense in depth for the day
+        // the table itself encodes a cycle.
+        if let Some(cycle) = find_cycle(ws) {
+            out.push(Diagnostic {
+                rule: self.meta.name,
+                severity: self.meta.severity,
+                path: "Cargo.toml".into(),
+                line: 1,
+                col: 1,
+                offset: 0,
+                message: format!("dependency cycle: {}", cycle.join(" -> ")),
+                excerpt: String::new(),
+                help: "break the cycle; only dev-dependencies may point back down",
+            });
+        }
+    }
+}
+
+/// DFS cycle search over workspace normal-dependency edges.
+fn find_cycle(ws: &Workspace) -> Option<Vec<String>> {
+    let names: Vec<&str> = ws.manifests.iter().map(|m| m.name.as_str()).collect();
+    // Adjacency by index, edges to non-workspace crates dropped.
+    let adj: Vec<Vec<usize>> = ws
+        .manifests
+        .iter()
+        .map(|m| {
+            m.dependencies
+                .iter()
+                .filter_map(|d| names.iter().position(|n| *n == d.name))
+                .collect()
+        })
+        .collect();
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    let mut state = vec![0u8; names.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    fn visit(
+        idx: usize,
+        names: &[&str],
+        adj: &[Vec<usize>],
+        state: &mut [u8],
+        stack: &mut Vec<usize>,
+    ) -> Option<Vec<String>> {
+        state[idx] = 1;
+        stack.push(idx);
+        for &j in &adj[idx] {
+            match state[j] {
+                1 => {
+                    let start = stack.iter().position(|&s| s == j).unwrap_or(0);
+                    let mut cycle: Vec<String> = stack[start..]
+                        .iter()
+                        .map(|&s| names[s].to_string())
+                        .collect();
+                    cycle.push(names[j].to_string());
+                    return Some(cycle);
+                }
+                0 => {
+                    if let Some(c) = visit(j, names, adj, state, stack) {
+                        return Some(c);
+                    }
+                }
+                _ => {}
+            }
+        }
+        stack.pop();
+        state[idx] = 2;
+        None
+    }
+    for i in 0..names.len() {
+        if state[i] == 0 {
+            if let Some(c) = visit(i, &names, &adj, &mut state, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{Dep, Manifest};
+    use std::path::PathBuf;
+
+    fn manifest(name: &str, deps: &[&str]) -> Manifest {
+        Manifest {
+            name: name.to_string(),
+            dependencies: deps
+                .iter()
+                .enumerate()
+                .map(|(i, d)| Dep {
+                    name: (*d).to_string(),
+                    line: u32::try_from(i).unwrap() + 10,
+                })
+                .collect(),
+            dev_dependencies: Vec::new(),
+            path: PathBuf::from(format!("crates/{name}/Cargo.toml")),
+        }
+    }
+
+    fn run(manifests: Vec<Manifest>) -> Vec<String> {
+        let ws = Workspace { manifests };
+        let mut out = Vec::new();
+        Layering::new().check_workspace(&ws, &mut out);
+        out.into_iter().map(|d| d.message).collect()
+    }
+
+    #[test]
+    fn clean_dag_passes() {
+        let msgs = run(vec![
+            manifest("pds-det", &[]),
+            manifest("pds-core", &["pds-det", "pds-bloom", "pds-obs"]),
+            manifest("pds-sim", &["pds-det", "pds-obs", "pds-core"]),
+        ]);
+        assert!(msgs.is_empty(), "{msgs:?}");
+    }
+
+    #[test]
+    fn core_depending_on_sim_is_the_canonical_violation() {
+        let msgs = run(vec![
+            manifest("pds-core", &["pds-det", "pds-sim"]),
+            manifest("pds-sim", &["pds-core"]),
+        ]);
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("`pds-core` may not depend on `pds-sim`")),
+            "{msgs:?}"
+        );
+        // The reverse edge also closes a cycle, reported separately.
+        assert!(
+            msgs.iter().any(|m| m.contains("dependency cycle")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn dev_dependencies_are_exempt() {
+        let mut m = manifest("pds-core", &["pds-det"]);
+        m.dev_dependencies.push(Dep {
+            name: "pds-sim".to_string(),
+            line: 20,
+        });
+        let msgs = run(vec![m]);
+        assert!(msgs.is_empty(), "{msgs:?}");
+    }
+
+    #[test]
+    fn unknown_crate_must_be_added_to_the_table() {
+        let msgs = run(vec![manifest("pds-new-thing", &[])]);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("not in the layering table"));
+    }
+}

@@ -1,0 +1,109 @@
+//! The pluggable rule registry.
+//!
+//! Each rule implements [`Rule`]; the engine owns the shared plumbing
+//! (file walking, cfg-region filtering, pragma exemption, sorting), so a
+//! rule only describes *what* is wrong — never how exemptions work.
+//!
+//! The five rule families, mirroring the workspace's layering and
+//! determinism contracts (DESIGN.md §8 and §13):
+//!
+//! 1. **determinism** ([`determinism`]) — four path-aware ports of the old
+//!    lexical rules: `std-collections`, `wall-clock`, `entropy-rng`,
+//!    `thread-pool`;
+//! 2. **sans-io** ([`sans_io`]) — the protocol crates must stay pure;
+//! 3. **panic-path** ([`panic_path`]) — the hot dispatch path must not
+//!    panic;
+//! 4. **layering** ([`layering`]) — the crate DAG is pinned;
+//! 5. **unsafe-audit** ([`unsafe_audit`]) — `forbid(unsafe_code)`
+//!    everywhere, `// SAFETY:` rationale per exempt block.
+
+pub mod banned;
+pub mod determinism;
+pub mod layering;
+pub mod panic_path;
+pub mod sans_io;
+pub mod unsafe_audit;
+
+use crate::diag::{Diagnostic, Exemption, Severity};
+use crate::manifest::Manifest;
+use crate::source::SourceFile;
+use std::path::Path;
+
+/// Static description of a rule, consulted by the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleMeta {
+    /// Rule name — also the `allow(<name>)` pragma key and the JSON `rule`
+    /// field.
+    pub name: &'static str,
+    /// Default severity of its findings.
+    pub severity: Severity,
+    /// One-line description for `--list-rules` style output.
+    pub description: &'static str,
+    /// Findings inside `#[cfg(test)]` regions are dropped (tests may
+    /// unwrap, may use HashMap, …).
+    pub skip_cfg_test: bool,
+    /// Findings inside `#[cfg(feature = "prof")]` regions are dropped
+    /// (profiling code may read the wall clock).
+    pub skip_cfg_prof: bool,
+}
+
+/// Workspace-level inputs for rules that look beyond single files.
+pub struct Workspace {
+    /// All `crates/*/Cargo.toml` manifests, sorted by crate name.
+    pub manifests: Vec<Manifest>,
+}
+
+/// One static-analysis rule.
+pub trait Rule {
+    /// The rule's static metadata.
+    fn meta(&self) -> &RuleMeta;
+
+    /// Whether this rule runs on the given workspace-relative file path.
+    fn applies(&self, _path: &Path) -> bool {
+        true
+    }
+
+    /// Per-file pass. Push raw findings; the engine applies cfg-region
+    /// filtering and pragma exemptions afterwards. Rules that audit
+    /// in-source justifications (e.g. `// SAFETY:`) may push directly to
+    /// `exemptions`.
+    fn check_file(
+        &self,
+        _file: &SourceFile,
+        _out: &mut Vec<Diagnostic>,
+        _exemptions: &mut Vec<Exemption>,
+    ) {
+    }
+
+    /// Whole-workspace pass (Cargo metadata, cross-file facts). Runs once.
+    fn check_workspace(&self, _ws: &Workspace, _out: &mut Vec<Diagnostic>) {}
+}
+
+/// The default registry: every rule the workspace ships with, in
+/// deterministic order.
+#[must_use]
+pub fn default_rules() -> Vec<Box<dyn Rule>> {
+    let mut rules: Vec<Box<dyn Rule>> = Vec::new();
+    rules.extend(determinism::rules());
+    rules.push(Box::new(sans_io::SansIo::new()));
+    rules.push(Box::new(panic_path::PanicPath::new()));
+    rules.push(Box::new(layering::Layering::new()));
+    rules.push(Box::new(unsafe_audit::UnsafeAudit::new()));
+    rules
+}
+
+/// `true` if any path component equals one of `names`.
+#[must_use]
+pub fn has_component(path: &Path, names: &[&str]) -> bool {
+    path.components()
+        .any(|c| c.as_os_str().to_str().is_some_and(|s| names.contains(&s)))
+}
+
+/// `true` if the path lives under a top-level `crates/<name>/` directory
+/// for any `name` in `names` — or, for fixture trees, under any directory
+/// component equal to `name` (fixtures mirror crate names without the
+/// `crates/` root).
+#[must_use]
+pub fn in_crate(path: &Path, names: &[&str]) -> bool {
+    has_component(path, names)
+}

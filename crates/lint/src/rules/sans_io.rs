@@ -1,0 +1,113 @@
+//! `sans-io`: the protocol crates must stay pure.
+//!
+//! `pds-core` (protocol engines), `pds-bloom` (filters) and `pds`
+//! (facade) are the sans-io layer: every effect leaves through the
+//! `Application`/`Command` seam, so the same code runs under the
+//! deterministic simulator today and a real network backend later
+//! (ROADMAP: pds-net). Any direct reference to sockets, the host clock,
+//! the filesystem, threads, or an async runtime punches a hole in that
+//! seam — it would work in production and silently diverge in replay.
+//!
+//! This is a distinct rule from the determinism family: determinism bans
+//! *specific nondeterministic* std APIs in all simulation crates, while
+//! sans-io bans *whole effect modules* in the protocol crates only
+//! (e.g. `std::time::Duration` is deterministic but still banned here —
+//! protocol code must speak `SimDuration`).
+
+use crate::diag::Severity;
+use crate::rules::banned::BannedPathRule;
+use crate::rules::RuleMeta;
+
+/// Constructs the sans-io purity rule.
+pub struct SansIo;
+
+impl SansIo {
+    /// The configured [`BannedPathRule`] (named constructor kept so the
+    /// registry reads uniformly).
+    #[must_use]
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> BannedPathRule {
+        BannedPathRule {
+            meta: RuleMeta {
+                name: "sans-io",
+                severity: Severity::Error,
+                // Unit tests inside protocol crates may drive the sim
+                // harness or use std conveniences; purity binds shipped
+                // code.
+                skip_cfg_test: true,
+                skip_cfg_prof: true,
+                description: "protocol crates must not touch I/O, clocks, threads, or async runtimes",
+            },
+            help: "route the effect through the Application/Command seam (SimTime, timers, send_message)",
+            components: &["core", "bloom", "pds"],
+            exempt_components: &[],
+            banned: &[
+                &["std", "net"],
+                &["std", "time"],
+                &["std", "fs"],
+                &["std", "thread"],
+                &["std", "process"],
+                &["std", "io"],
+                &["tokio"],
+                &["async_std"],
+                &["smol"],
+                &["mio"],
+                &["socket2"],
+            ],
+            bare_idents: &["TcpStream", "TcpListener", "UdpSocket"],
+            banned_methods: &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+    use crate::source::SourceFile;
+    use std::path::Path;
+
+    fn check(path: &str, src: &str) -> Vec<String> {
+        let rule = SansIo::new();
+        let f = SourceFile::parse(Path::new(path), src.to_string());
+        let mut out = Vec::new();
+        let mut ex = Vec::new();
+        if rule.applies(Path::new(path)) {
+            rule.check_file(&f, &mut out, &mut ex);
+        }
+        out.into_iter().map(|d| d.message).collect()
+    }
+
+    #[test]
+    fn socket_in_core_is_caught() {
+        let msgs = check(
+            "crates/core/src/x.rs",
+            "use std::net::UdpSocket;\nfn f() { let s = UdpSocket::bind(\"0.0.0.0:0\"); }\n",
+        );
+        assert_eq!(msgs.len(), 2, "{msgs:?}");
+    }
+
+    #[test]
+    fn duration_in_core_is_caught_even_though_deterministic() {
+        let msgs = check(
+            "crates/core/src/x.rs",
+            "fn f() { let d = std::time::Duration::from_secs(1); }\n",
+        );
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+    }
+
+    #[test]
+    fn sim_crate_is_out_of_scope() {
+        let msgs = check("crates/sim/src/x.rs", "use std::time::Duration;\n");
+        assert!(msgs.is_empty(), "{msgs:?}");
+    }
+
+    #[test]
+    fn pure_protocol_code_passes() {
+        let msgs = check(
+            "crates/core/src/x.rs",
+            "use pds_core::{SimTime, SimDuration};\nfn f(t: SimTime) -> SimTime { t + SimDuration::from_millis(5) }\n",
+        );
+        assert!(msgs.is_empty(), "{msgs:?}");
+    }
+}

@@ -1,0 +1,233 @@
+//! `unsafe-audit`: `#![forbid(unsafe_code)]` workspace-wide, with a
+//! `// SAFETY:` rationale required on any block that survives.
+//!
+//! Two checks:
+//!
+//! * every crate root (`src/lib.rs` / `src/main.rs`) must carry the
+//!   `#![forbid(unsafe_code)]` inner attribute — `deny` is not enough,
+//!   because `deny` can be re-`allow`ed locally while `forbid` cannot;
+//! * every `unsafe` token is flagged unless a `// SAFETY: <rationale>`
+//!   comment sits within the three lines above it (or on the same line).
+//!   A rationale-carrying block is recorded as an *exemption* — it shows
+//!   up in the ratcheted `lint-exemptions.txt` inventory rather than
+//!   silently passing.
+//!
+//! Today the workspace has zero unsafe blocks; the second check exists so
+//! that the first one can ever be relaxed (via an audited pragma on the
+//! crate root) without losing per-block accountability.
+
+use crate::diag::{Diagnostic, Exemption, Severity};
+use crate::lexer::TokenKind;
+use crate::rules::{Rule, RuleMeta};
+use crate::source::SourceFile;
+use std::path::Path;
+
+/// How many lines above an `unsafe` token a `// SAFETY:` comment may sit.
+const SAFETY_WINDOW: u32 = 3;
+
+/// The unsafe-audit rule.
+pub struct UnsafeAudit {
+    meta: RuleMeta,
+}
+
+impl UnsafeAudit {
+    /// Constructs the rule.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            meta: RuleMeta {
+                name: "unsafe-audit",
+                severity: Severity::Error,
+                description: "forbid(unsafe_code) at every crate root; SAFETY rationale per block",
+                skip_cfg_test: false,
+                skip_cfg_prof: false,
+            },
+        }
+    }
+}
+
+impl Default for UnsafeAudit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// `true` for `src/lib.rs` and `src/main.rs` — the files where the inner
+/// attribute must live.
+fn is_crate_root(path: &Path) -> bool {
+    let name = path.file_name().and_then(|n| n.to_str());
+    let parent = path
+        .parent()
+        .and_then(Path::file_name)
+        .and_then(|n| n.to_str());
+    matches!(name, Some("lib.rs" | "main.rs")) && parent == Some("src")
+}
+
+/// Scans for the `#![forbid(unsafe_code)]` inner attribute.
+fn has_forbid_unsafe(file: &SourceFile) -> bool {
+    let toks = &file.tokens;
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].is_punct(b'#')
+            && toks[i + 1].is_punct(b'!')
+            && toks[i + 2].kind == TokenKind::Open(b'[')
+        {
+            let mut depth = 1;
+            let mut j = i + 3;
+            let mut saw_forbid = false;
+            let mut saw_unsafe_code = false;
+            while j < toks.len() && depth > 0 {
+                match toks[j].kind {
+                    TokenKind::Open(_) => depth += 1,
+                    TokenKind::Close(_) => depth -= 1,
+                    TokenKind::Ident => {
+                        let w = toks[j].text(&file.text);
+                        saw_forbid |= w == "forbid";
+                        saw_unsafe_code |= w == "unsafe_code";
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if saw_forbid && saw_unsafe_code {
+                return true;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
+impl Rule for UnsafeAudit {
+    fn meta(&self) -> &RuleMeta {
+        &self.meta
+    }
+
+    fn check_file(
+        &self,
+        file: &SourceFile,
+        out: &mut Vec<Diagnostic>,
+        exemptions: &mut Vec<Exemption>,
+    ) {
+        if is_crate_root(&file.path) && !has_forbid_unsafe(file) {
+            out.push(Diagnostic {
+                rule: self.meta.name,
+                severity: self.meta.severity,
+                path: file.path.clone(),
+                line: 1,
+                col: 1,
+                offset: 0,
+                message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+                excerpt: file.line_text(1).to_string(),
+                help: "add the inner attribute; if the crate truly needs unsafe, exempt the root with an audited pragma",
+            });
+        }
+        for t in &file.tokens {
+            if t.kind != TokenKind::Ident || t.text(&file.text) != "unsafe" {
+                continue;
+            }
+            // Look for a SAFETY rationale ending within the window above
+            // (or trailing on the same line). Only a comment line that
+            // *starts* with `SAFETY:` counts — prose that merely mentions
+            // the word (like this sentence) must not pass the audit.
+            let rationale = file.comments.iter().find_map(|c| {
+                let close_enough = c.end_line <= t.line && c.end_line + SAFETY_WINDOW >= t.line;
+                if !close_enough {
+                    return None;
+                }
+                c.text.lines().find_map(|l| {
+                    l.trim_start_matches(['/', '!', ' '])
+                        .strip_prefix("SAFETY:")
+                        .map(|rest| rest.trim().to_string())
+                })
+            });
+            match rationale {
+                Some(reason) if !reason.is_empty() => exemptions.push(Exemption {
+                    path: file.path.clone(),
+                    rule: "unsafe-audit".to_string(),
+                    reason,
+                }),
+                _ => out.push(Diagnostic {
+                    rule: self.meta.name,
+                    severity: self.meta.severity,
+                    path: file.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    offset: t.lo,
+                    message: "`unsafe` without a `// SAFETY:` rationale".to_string(),
+                    excerpt: file.line_text(t.line).to_string(),
+                    help:
+                        "document the invariant in a `// SAFETY:` comment directly above the block",
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> (Vec<String>, Vec<Exemption>) {
+        let rule = UnsafeAudit::new();
+        let f = SourceFile::parse(Path::new(path), src.to_string());
+        let mut out = Vec::new();
+        let mut ex = Vec::new();
+        rule.check_file(&f, &mut out, &mut ex);
+        (out.into_iter().map(|d| d.message).collect(), ex)
+    }
+
+    #[test]
+    fn crate_root_without_forbid_is_flagged() {
+        let (msgs, _) = check("crates/dst/src/lib.rs", "//! Docs.\npub fn f() {}\n");
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("forbid(unsafe_code)"));
+    }
+
+    #[test]
+    fn crate_root_with_forbid_passes() {
+        let (msgs, _) = check(
+            "crates/dst/src/lib.rs",
+            "//! Docs.\n#![forbid(unsafe_code)]\npub fn f() {}\n",
+        );
+        assert!(msgs.is_empty(), "{msgs:?}");
+    }
+
+    #[test]
+    fn non_root_files_skip_the_forbid_check() {
+        let (msgs, _) = check("crates/dst/src/faults.rs", "pub fn f() {}\n");
+        assert!(msgs.is_empty(), "{msgs:?}");
+    }
+
+    #[test]
+    fn unsafe_without_safety_is_flagged() {
+        let (msgs, ex) = check(
+            "crates/sim/src/x.rs",
+            "fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+        );
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(ex.is_empty());
+    }
+
+    #[test]
+    fn unsafe_with_safety_becomes_an_exemption() {
+        let (msgs, ex) = check(
+            "crates/sim/src/x.rs",
+            "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid for reads\n    unsafe { *p }\n}\n",
+        );
+        assert!(msgs.is_empty(), "{msgs:?}");
+        assert_eq!(ex.len(), 1);
+        assert!(ex[0].reason.contains("caller guarantees"));
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_is_ignored() {
+        let (msgs, _) = check(
+            "crates/sim/src/x.rs",
+            "// this code is not unsafe\nfn f() -> &'static str { \"unsafe\" }\n",
+        );
+        assert!(msgs.is_empty(), "{msgs:?}");
+    }
+}

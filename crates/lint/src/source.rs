@@ -1,0 +1,777 @@
+//! Per-file syntactic model: the analysis passes every rule shares.
+//!
+//! A [`SourceFile`] is built once per file and hands rules:
+//!
+//! * **use-tree resolution** ([`Imports`]) — every `use` declaration parsed
+//!   into (alias → canonical path) bindings, including nested groups
+//!   (`use std::{collections::HashMap, thread}`), renames
+//!   (`as Map` — the hole the old lexical scanner could not see) and
+//!   glob imports;
+//! * **path chains** — maximal `a::b::c` expression paths with the leading
+//!   segment canonicalized through the import map, so
+//!   `Instant::now()` under `use std::time::Instant` and
+//!   `std::time::Instant::now()` resolve to the same banned path;
+//! * **conditional-compilation regions** — byte extents gated by
+//!   `#[cfg(test)]` and `#[cfg(feature = "prof")]`, which individual rules
+//!   may opt out of (test code may unwrap; prof code may read the clock);
+//! * **function spans** — `fn` items with best-effort `Type::fn` qualified
+//!   names, so the panic rule can target `World::dispatch` specifically;
+//! * **pragmas** — audited `// lint: allow(<rule>) -- <reason>` (line
+//!   scope), `// lint: allow-file(<rule>) -- <reason>` (file scope) and the
+//!   legacy `// det-lint: allow(<rule>) -- <reason>` (file scope) escape
+//!   hatches.
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+use std::path::{Path, PathBuf};
+
+/// A single name binding introduced by a `use` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    /// The name now visible in this file (the alias if `as` was used).
+    pub name: String,
+    /// Canonical path segments, e.g. `["std", "collections", "HashMap"]`.
+    pub path: Vec<String>,
+    /// 1-based line of the leaf segment (diagnostic anchor).
+    pub line: u32,
+    /// 1-based column of the leaf segment.
+    pub col: u32,
+    /// Byte offset of the leaf segment.
+    pub offset: usize,
+}
+
+/// Resolved imports of one file.
+#[derive(Debug, Default)]
+pub struct Imports {
+    /// Name bindings, in source order.
+    pub bindings: Vec<Binding>,
+    /// Glob imports (`use std::collections::*`), stored as a [`Binding`]
+    /// named `*` whose path is the globbed prefix.
+    pub globs: Vec<Binding>,
+}
+
+impl Imports {
+    /// Canonicalizes a path chain: if the first segment is a local alias,
+    /// splice in the imported path. Returns the canonical segments.
+    #[must_use]
+    pub fn canonicalize<'a>(&'a self, chain: &[&'a str]) -> Vec<&'a str> {
+        let Some(first) = chain.first() else {
+            return Vec::new();
+        };
+        for b in &self.bindings {
+            if b.name == *first {
+                let mut out: Vec<&str> = b.path.iter().map(String::as_str).collect();
+                out.extend(&chain[1..]);
+                return out;
+            }
+        }
+        chain.to_vec()
+    }
+}
+
+/// A `fn` item with its body extent.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing `impl` type name, when inside an impl block.
+    pub qualifier: Option<String>,
+    /// Byte range covering the signature and body.
+    pub lo: usize,
+    /// End of the body (one past the closing brace), or of the `;` for
+    /// bodyless trait declarations.
+    pub hi: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+impl FnSpan {
+    /// `World::dispatch`-style display name.
+    #[must_use]
+    pub fn qualified(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Scope of a pragma exemption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PragmaScope {
+    /// Exempts findings on the pragma's own line or the line right below.
+    Line,
+    /// Exempts the rule for the whole file.
+    File,
+}
+
+/// One audited exemption pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Rule name inside `allow(…)`.
+    pub rule: String,
+    /// Justification after `--`. Pragmas without one are ignored (and
+    /// reported), so an exemption can never be silent.
+    pub reason: String,
+    /// 1-based line the pragma comment starts on.
+    pub line: u32,
+    /// Last line of the comment (the line-scope anchor).
+    pub end_line: u32,
+    /// Line or file scope.
+    pub scope: PragmaScope,
+}
+
+/// A fully analyzed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path.
+    pub path: PathBuf,
+    /// Raw source text.
+    pub text: String,
+    /// Token stream (comments excluded).
+    pub tokens: Vec<Token>,
+    /// Comment side-channel.
+    pub comments: Vec<Comment>,
+    /// Resolved `use` declarations.
+    pub imports: Imports,
+    /// All `fn` items.
+    pub fns: Vec<FnSpan>,
+    /// Byte ranges under `#[cfg(test)]`.
+    pub cfg_test: Vec<(usize, usize)>,
+    /// Byte ranges under `#[cfg(feature = "prof")]`.
+    pub cfg_prof: Vec<(usize, usize)>,
+    /// Token-index ranges occupied by `use` declarations (skipped by the
+    /// expression-path scan; imports are checked via [`Imports`]).
+    pub use_token_ranges: Vec<(usize, usize)>,
+    /// Exemption pragmas, both valid and (separately flagged) reasonless.
+    pub pragmas: Vec<Pragma>,
+    /// Pragma-shaped comments missing the `-- reason` justification.
+    pub reasonless_pragmas: Vec<(String, u32)>,
+}
+
+impl SourceFile {
+    /// Lexes and analyzes one file.
+    #[must_use]
+    pub fn parse(path: &Path, text: String) -> Self {
+        let lexed = lex(&text);
+        let tokens = lexed.tokens;
+        let comments = lexed.comments;
+        let (imports, use_token_ranges) = parse_imports(&text, &tokens);
+        let fns = parse_fns(&text, &tokens);
+        let (cfg_test, cfg_prof) = cfg_regions(&text, &tokens);
+        let (pragmas, reasonless_pragmas) = parse_pragmas(&comments);
+        Self {
+            path: path.to_path_buf(),
+            text,
+            tokens,
+            comments,
+            imports,
+            fns,
+            cfg_test,
+            cfg_prof,
+            use_token_ranges,
+            pragmas,
+            reasonless_pragmas,
+        }
+    }
+
+    /// `true` if the byte offset lies in a `#[cfg(test)]` region.
+    #[must_use]
+    pub fn in_cfg_test(&self, offset: usize) -> bool {
+        self.cfg_test
+            .iter()
+            .any(|&(lo, hi)| offset >= lo && offset < hi)
+    }
+
+    /// `true` if the byte offset lies in a `#[cfg(feature = "prof")]` region.
+    #[must_use]
+    pub fn in_cfg_prof(&self, offset: usize) -> bool {
+        self.cfg_prof
+            .iter()
+            .any(|&(lo, hi)| offset >= lo && offset < hi)
+    }
+
+    /// The trimmed source line at a 1-based line number.
+    #[must_use]
+    pub fn line_text(&self, line: u32) -> &str {
+        self.text
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .unwrap_or("")
+            .trim()
+    }
+
+    /// Maximal `a::b::c` path chains in expression/type position, skipping
+    /// `use` declarations. Yields `(segments, first_token_index)`.
+    #[must_use]
+    pub fn path_chains(&self) -> Vec<(Vec<&str>, usize)> {
+        let mut out = Vec::new();
+        let toks = &self.tokens;
+        let mut i = 0;
+        while i < toks.len() {
+            if self
+                .use_token_ranges
+                .iter()
+                .any(|&(lo, hi)| i >= lo && i < hi)
+            {
+                i += 1;
+                continue;
+            }
+            if toks[i].kind != TokenKind::Ident {
+                i += 1;
+                continue;
+            }
+            // A chain continuation (`::ident`) was consumed by its start.
+            if i >= 2 && toks[i - 1].is_punct(b':') && toks[i - 2].is_punct(b':') {
+                i += 1;
+                continue;
+            }
+            // Field/method accesses are not paths.
+            if i >= 1 && toks[i - 1].is_punct(b'.') {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            let mut segs = vec![toks[i].text(&self.text)];
+            let mut j = i + 1;
+            while j + 2 < toks.len() + 1
+                && j + 1 < toks.len()
+                && toks[j].is_punct(b':')
+                && toks.get(j + 1).is_some_and(|t| t.is_punct(b':'))
+                && toks.get(j + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+            {
+                segs.push(toks[j + 2].text(&self.text));
+                j += 3;
+            }
+            out.push((segs, start));
+            i = j.max(i + 1);
+        }
+        out
+    }
+}
+
+/// Parses every `use` declaration into bindings and glob prefixes, and
+/// records the token ranges they occupy.
+fn parse_imports(text: &str, tokens: &[Token]) -> (Imports, Vec<(usize, usize)>) {
+    let mut imports = Imports::default();
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident(text, "use") {
+            let start = i;
+            i += 1;
+            let mut prefix: Vec<String> = Vec::new();
+            i = parse_use_tree(text, tokens, i, &mut prefix, &mut imports);
+            // Consume through the terminating `;` if present.
+            while i < tokens.len() && !tokens[i].is_punct(b';') {
+                i += 1;
+            }
+            i += 1;
+            ranges.push((start, i));
+        } else {
+            i += 1;
+        }
+    }
+    (imports, ranges)
+}
+
+/// Recursive-descent parse of one use-tree level. `prefix` holds the path
+/// accumulated so far; returns the token index after this level.
+fn parse_use_tree(
+    text: &str,
+    tokens: &[Token],
+    mut i: usize,
+    prefix: &mut Vec<String>,
+    imports: &mut Imports,
+) -> usize {
+    let depth_here = prefix.len();
+    let mut last_leaf: Option<usize> = None; // token index of last ident
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        match tok.kind {
+            TokenKind::Ident => {
+                let word = tok.text(text);
+                if word == "as" {
+                    // Alias: the binding name is the alias, path is what we
+                    // accumulated.
+                    if let Some(alias_tok) = tokens.get(i + 1) {
+                        if alias_tok.kind == TokenKind::Ident {
+                            imports.bindings.push(Binding {
+                                name: alias_tok.text(text).to_string(),
+                                path: prefix.clone(),
+                                line: alias_tok.line,
+                                col: alias_tok.col,
+                                offset: alias_tok.lo,
+                            });
+                        }
+                    }
+                    // The leaf was consumed by the alias; drop it from the
+                    // prefix and suppress the default binding.
+                    last_leaf = None;
+                    i += 2;
+                    continue;
+                }
+                prefix.push(word.to_string());
+                last_leaf = Some(i);
+                i += 1;
+            }
+            TokenKind::Punct(b':') => i += 1,
+            TokenKind::Punct(b'*') => {
+                imports.globs.push(Binding {
+                    name: "*".to_string(),
+                    path: prefix.clone(),
+                    line: tok.line,
+                    col: tok.col,
+                    offset: tok.lo,
+                });
+                last_leaf = None;
+                i += 1;
+            }
+            TokenKind::Open(b'{') => {
+                // Group: each comma-separated subtree extends the current
+                // prefix.
+                i += 1;
+                loop {
+                    let before = prefix.len();
+                    i = parse_use_tree(text, tokens, i, prefix, imports);
+                    prefix.truncate(before);
+                    if i >= tokens.len() {
+                        break;
+                    }
+                    if tokens[i].is_punct(b',') {
+                        i += 1;
+                        continue;
+                    }
+                    if tokens[i].kind == TokenKind::Close(b'}') {
+                        i += 1;
+                        break;
+                    }
+                    break;
+                }
+                last_leaf = None;
+            }
+            TokenKind::Punct(b',') | TokenKind::Close(b'}') | TokenKind::Punct(b';') => break,
+            _ => i += 1,
+        }
+        // A leaf binding materializes when the tree ends after an ident.
+        if i < tokens.len()
+            && (tokens[i].is_punct(b',')
+                || tokens[i].kind == TokenKind::Close(b'}')
+                || tokens[i].is_punct(b';'))
+        {
+            if let Some(leaf) = last_leaf {
+                let t = &tokens[leaf];
+                imports.bindings.push(Binding {
+                    name: t.text(text).to_string(),
+                    path: prefix.clone(),
+                    line: t.line,
+                    col: t.col,
+                    offset: t.lo,
+                });
+            }
+            prefix.truncate(depth_here);
+            break;
+        }
+    }
+    i
+}
+
+/// Builds the open→close delimiter map for a token slice.
+fn delim_map(tokens: &[Token]) -> Vec<Option<usize>> {
+    let mut map = vec![None; tokens.len()];
+    let mut stack: Vec<(u8, usize)> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokenKind::Open(d) => stack.push((d, i)),
+            TokenKind::Close(d) => {
+                let want = match d {
+                    b')' => b'(',
+                    b']' => b'[',
+                    _ => b'{',
+                };
+                if let Some(pos) = stack.iter().rposition(|&(od, _)| od == want) {
+                    let (_, oi) = stack.remove(pos);
+                    map[oi] = Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    map
+}
+
+/// Collects `fn` items with best-effort impl-type qualifiers.
+fn parse_fns(text: &str, tokens: &[Token]) -> Vec<FnSpan> {
+    let map = delim_map(tokens);
+    let mut fns = Vec::new();
+    scan_items(text, tokens, &map, 0, tokens.len(), None, &mut fns);
+    fns
+}
+
+fn scan_items(
+    text: &str,
+    tokens: &[Token],
+    map: &[Option<usize>],
+    mut i: usize,
+    end: usize,
+    qualifier: Option<&str>,
+    fns: &mut Vec<FnSpan>,
+) {
+    while i < end {
+        let tok = &tokens[i];
+        if tok.is_ident(text, "impl") {
+            if let Some((type_name, body_open)) = impl_header(text, tokens, i, end) {
+                if let Some(close) = map[body_open] {
+                    scan_items(
+                        text,
+                        tokens,
+                        map,
+                        body_open + 1,
+                        close,
+                        Some(&type_name),
+                        fns,
+                    );
+                    i = close + 1;
+                    continue;
+                }
+            }
+            i += 1;
+        } else if tok.is_ident(text, "mod") {
+            // Inline module: recurse without an impl qualifier.
+            let mut j = i + 1;
+            while j < end
+                && !matches!(
+                    tokens[j].kind,
+                    TokenKind::Open(b'{') | TokenKind::Punct(b';')
+                )
+            {
+                j += 1;
+            }
+            if j < end && tokens[j].kind == TokenKind::Open(b'{') {
+                if let Some(close) = map[j] {
+                    scan_items(text, tokens, map, j + 1, close, None, fns);
+                    i = close + 1;
+                    continue;
+                }
+            }
+            i = j + 1;
+        } else if tok.is_ident(text, "fn") {
+            let Some(name_tok) = tokens.get(i + 1).filter(|t| t.kind == TokenKind::Ident) else {
+                i += 1;
+                continue;
+            };
+            // Find the body `{` (or a `;` for bodyless declarations) at
+            // this nesting level.
+            let mut j = i + 2;
+            let mut body = None;
+            while j < end {
+                match tokens[j].kind {
+                    TokenKind::Open(b'{') => {
+                        body = Some(j);
+                        break;
+                    }
+                    TokenKind::Open(_) => {
+                        j = map[j].map_or(j + 1, |c| c + 1);
+                    }
+                    TokenKind::Punct(b';') => break,
+                    _ => j += 1,
+                }
+            }
+            let hi = match body.and_then(|b| map[b]) {
+                Some(close) => tokens[close].hi,
+                None => tokens.get(j).map_or(tok.hi, |t| t.hi),
+            };
+            fns.push(FnSpan {
+                name: name_tok.text(text).to_string(),
+                qualifier: qualifier.map(str::to_string),
+                lo: tok.lo,
+                hi,
+                line: tok.line,
+            });
+            i = match body.and_then(|b| map[b]) {
+                Some(close) => close + 1,
+                None => j + 1,
+            };
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Parses an `impl` header starting at token `i`; returns the implemented
+/// type's last path segment and the index of the body's `{`.
+fn impl_header(text: &str, tokens: &[Token], i: usize, end: usize) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    let mut angle = 0i32;
+    let mut after_for: Option<String> = None;
+    let mut current: Option<String> = None;
+    while j < end {
+        let t = &tokens[j];
+        match t.kind {
+            TokenKind::Punct(b'<') => angle += 1,
+            TokenKind::Punct(b'>') => angle -= 1,
+            TokenKind::Ident if angle == 0 => {
+                let w = t.text(text);
+                if w == "for" {
+                    after_for = Some(String::new()); // switch target
+                } else if w == "where" {
+                    // Type is settled; keep scanning for `{`.
+                } else if after_for.is_some() {
+                    after_for = Some(w.to_string());
+                } else {
+                    current = Some(w.to_string());
+                }
+            }
+            TokenKind::Open(b'{') if angle <= 0 => {
+                let name = match after_for {
+                    Some(n) if !n.is_empty() => n,
+                    _ => current?,
+                };
+                return Some((name, j));
+            }
+            TokenKind::Open(_) => {
+                // Skip parenthesized/bracketed parts (e.g. tuple types).
+                let mut depth = 1;
+                j += 1;
+                while j < end && depth > 0 {
+                    match tokens[j].kind {
+                        TokenKind::Open(_) => depth += 1,
+                        TokenKind::Close(_) => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// A list of half-open byte ranges.
+type Regions = Vec<(usize, usize)>;
+
+/// Byte regions gated by `#[cfg(test)]` and `#[cfg(feature = "prof")]`.
+fn cfg_regions(text: &str, tokens: &[Token]) -> (Regions, Regions) {
+    let map = delim_map(tokens);
+    let mut test = Vec::new();
+    let mut prof = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Outer attribute: `#` `[` … `]` (skip inner `#![…]`).
+        if tokens[i].is_punct(b'#')
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokenKind::Open(b'['))
+        {
+            let open = i + 1;
+            let Some(close) = map[open] else {
+                i += 1;
+                continue;
+            };
+            let attr_kind = classify_cfg(text, &tokens[open + 1..close]);
+            // Find the extent of the gated item: skip further attributes,
+            // then run to the first `;` at depth 0 or the close of the
+            // first `{…}` group.
+            let mut j = close + 1;
+            while j + 1 < tokens.len()
+                && tokens[j].is_punct(b'#')
+                && tokens[j + 1].kind == TokenKind::Open(b'[')
+            {
+                j = map[j + 1].map_or(j + 2, |c| c + 1);
+            }
+            let mut k = j;
+            let mut item_end = None;
+            while k < tokens.len() {
+                match tokens[k].kind {
+                    TokenKind::Open(b'{') => {
+                        item_end = map[k].map(|c| tokens[c].hi);
+                        break;
+                    }
+                    TokenKind::Open(_) => {
+                        k = map[k].map_or(k + 1, |c| c + 1);
+                        continue;
+                    }
+                    TokenKind::Punct(b';') => {
+                        item_end = Some(tokens[k].hi);
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            if let Some(endpos) = item_end {
+                let region = (tokens[i].lo, endpos);
+                match attr_kind {
+                    CfgKind::Test => test.push(region),
+                    CfgKind::Prof => prof.push(region),
+                    CfgKind::Other => {}
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    (test, prof)
+}
+
+enum CfgKind {
+    Test,
+    Prof,
+    Other,
+}
+
+/// Classifies an attribute body (`cfg(test)`, `cfg(feature = "prof")`, …).
+fn classify_cfg(text: &str, body: &[Token]) -> CfgKind {
+    if body.first().is_none_or(|t| !t.is_ident(text, "cfg")) {
+        return CfgKind::Other;
+    }
+    let has_test = body.iter().any(|t| t.is_ident(text, "test"));
+    let has_prof_feature = body.iter().any(|t| t.is_ident(text, "feature"))
+        && body
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text(text) == "\"prof\"");
+    if has_test {
+        CfgKind::Test
+    } else if has_prof_feature {
+        CfgKind::Prof
+    } else {
+        CfgKind::Other
+    }
+}
+
+/// Extracts pragmas from the comment stream.
+fn parse_pragmas(comments: &[Comment]) -> (Vec<Pragma>, Vec<(String, u32)>) {
+    let mut pragmas = Vec::new();
+    let mut reasonless = Vec::new();
+    for c in comments {
+        let body = c.text.trim_start_matches('/').trim();
+        let (scope, rest) = if let Some(r) = body.strip_prefix("lint: allow-file(") {
+            (PragmaScope::File, r)
+        } else if let Some(r) = body.strip_prefix("lint: allow(") {
+            (PragmaScope::Line, r)
+        } else if let Some(r) = body.strip_prefix("det-lint: allow(") {
+            // Legacy determinism pragma: file-scoped, still honored so the
+            // audited exemptions in prof.rs / bench metrics carry over.
+            (PragmaScope::File, r)
+        } else {
+            continue;
+        };
+        let Some((rule, after)) = rest.split_once(')') else {
+            continue;
+        };
+        match after.trim_start().strip_prefix("--") {
+            Some(reason) if !reason.trim().is_empty() => pragmas.push(Pragma {
+                rule: rule.trim().to_string(),
+                reason: reason.trim().to_string(),
+                line: c.line,
+                end_line: c.end_line,
+                scope,
+            }),
+            // A pragma without a justification never exempts anything; it
+            // is surfaced as its own finding instead.
+            _ => reasonless.push((rule.trim().to_string(), c.line)),
+        }
+    }
+    (pragmas, reasonless)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse(Path::new("test.rs"), src.to_string())
+    }
+
+    #[test]
+    fn resolves_plain_and_aliased_imports() {
+        let f = file("use std::collections::HashMap;\nuse std::collections::HashSet as Fast;\n");
+        let names: Vec<_> = f
+            .imports
+            .bindings
+            .iter()
+            .map(|b| (b.name.as_str(), b.path.join("::")))
+            .collect();
+        assert!(names.contains(&("HashMap", "std::collections::HashMap".into())));
+        assert!(names.contains(&("Fast", "std::collections::HashSet".into())));
+    }
+
+    #[test]
+    fn resolves_nested_groups_and_globs() {
+        let f = file(
+            "use std::{collections::{HashMap, hash_map::Entry}, thread};\nuse std::time::*;\n",
+        );
+        let paths: Vec<String> = f
+            .imports
+            .bindings
+            .iter()
+            .map(|b| b.path.join("::"))
+            .collect();
+        assert!(paths.contains(&"std::collections::HashMap".to_string()));
+        assert!(paths.contains(&"std::collections::hash_map::Entry".to_string()));
+        assert!(paths.contains(&"std::thread".to_string()));
+        assert_eq!(f.imports.globs.len(), 1);
+        assert_eq!(f.imports.globs[0].path, vec!["std", "time"]);
+    }
+
+    #[test]
+    fn canonicalizes_chains_through_aliases() {
+        let f = file("use std::collections::HashMap as Map;\nfn f() { let m = Map::new(); }\n");
+        let chains = f.path_chains();
+        let map_chain = chains
+            .iter()
+            .find(|(segs, _)| segs.first() == Some(&"Map"))
+            .expect("Map::new chain");
+        assert_eq!(
+            f.imports.canonicalize(&map_chain.0),
+            vec!["std", "collections", "HashMap", "new"]
+        );
+    }
+
+    #[test]
+    fn use_statements_do_not_leak_into_chains() {
+        let f = file("use std::time::Instant;\n");
+        assert!(f.path_chains().is_empty());
+    }
+
+    #[test]
+    fn finds_fn_spans_with_impl_qualifiers() {
+        let f = file(
+            "struct World;\nimpl World {\n    fn dispatch(&mut self) { self.x(); }\n}\nfn free() {}\nimpl std::fmt::Debug for World {\n    fn fmt(&self) {}\n}\n",
+        );
+        let names: Vec<_> = f.fns.iter().map(FnSpan::qualified).collect();
+        assert_eq!(names, vec!["World::dispatch", "free", "World::fmt"]);
+    }
+
+    #[test]
+    fn cfg_test_region_covers_mod_tests() {
+        let f =
+            file("fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\n");
+        let unwrap_at = f.text.find("unwrap").unwrap();
+        assert!(f.in_cfg_test(unwrap_at));
+        let live_at = f.text.find("live").unwrap();
+        assert!(!f.in_cfg_test(live_at));
+    }
+
+    #[test]
+    fn cfg_prof_region_covers_gated_item() {
+        let f = file("#[cfg(feature = \"prof\")]\nfn timed() { now(); }\nfn plain() {}\n");
+        assert!(f.in_cfg_prof(f.text.find("now").unwrap()));
+        assert!(!f.in_cfg_prof(f.text.find("plain").unwrap()));
+    }
+
+    #[test]
+    fn pragma_scopes_parse() {
+        let f = file(
+            "// lint: allow(panic) -- index bounded by loop invariant\n// lint: allow-file(sans-io) -- adapter file\n// det-lint: allow(wall-clock) -- prof only\n// lint: allow(panic)\n",
+        );
+        assert_eq!(f.pragmas.len(), 3);
+        assert_eq!(f.pragmas[0].scope, PragmaScope::Line);
+        assert_eq!(f.pragmas[1].scope, PragmaScope::File);
+        assert_eq!(f.pragmas[2].scope, PragmaScope::File);
+        assert_eq!(f.reasonless_pragmas.len(), 1);
+    }
+}

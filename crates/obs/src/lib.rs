@@ -14,7 +14,7 @@
 //!   removing a sink must not change replay digests, statistics, or rng
 //!   consumption (asserted by integration tests).
 //! - **Virtual time only.** No wall-clock value appears in any event;
-//!   `cargo xtask lint-determinism` scans this crate like the simulation
+//!   `cargo xtask lint` scans this crate like the simulation
 //!   crates.
 //!
 //! # Quick tour

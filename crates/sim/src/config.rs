@@ -6,7 +6,7 @@
 //! buffer, a 300 KB / 4.5 Mbps leaky bucket, and 0.2 s / 4-retry
 //! ack/retransmission.
 
-use crate::time::SimDuration;
+use pds_core::SimDuration;
 
 /// Physical-layer and MAC-layer parameters shared by all nodes.
 #[derive(Debug, Clone, PartialEq)]

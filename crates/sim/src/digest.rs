@@ -13,7 +13,7 @@
 //! which CI gates on.
 
 use crate::events::EventKind;
-use crate::time::SimTime;
+use pds_core::SimTime;
 
 /// Incremental FNV-1a fold of the dispatched event stream.
 ///
@@ -85,7 +85,7 @@ impl ReplayDigest {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::node::{NodeId, TimerId};
+    use pds_core::{NodeId, TimerId};
 
     #[test]
     fn same_stream_same_digest() {

@@ -17,9 +17,9 @@
 //! horizon (see `wheel.rs`).
 
 use crate::config::Scheduler;
-use crate::node::{NodeId, TimerId};
-use crate::time::SimTime;
 use crate::wheel::TimerWheel;
+use pds_core::SimTime;
+use pds_core::{NodeId, TimerId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -169,7 +169,7 @@ impl Default for EventQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rng::SimRng;
+    use pds_core::SimRng;
 
     fn t(us: u64) -> SimTime {
         SimTime::from_micros(us)

@@ -21,10 +21,10 @@
 //!   `Option::is_some` branch (mirroring the trace-sink pattern), gated by
 //!   the no-fault overhead check in `sim_scale --fault-check`.
 
-use crate::node::NodeId;
 use crate::radio::Frame;
-use crate::rng::SimRng;
-use crate::time::{SimDuration, SimTime};
+use pds_core::NodeId;
+use pds_core::SimRng;
+use pds_core::{SimDuration, SimTime};
 use pds_det::DetMap;
 
 /// A time window during which the node set is split in two and frames

@@ -64,12 +64,9 @@ mod config;
 mod digest;
 mod events;
 mod fault;
-mod node;
 mod radio;
-mod rng;
 mod spatial;
 mod stats;
-mod time;
 mod transport;
 mod wheel;
 mod world;
@@ -81,13 +78,19 @@ pub use config::{
     AckConfig, RadioConfig, Scheduler, SenderMode, SimConfig, SpatialConfig, SpatialIndex,
 };
 pub use fault::{ChurnStorm, FaultPlan, PartitionWindow, SilenceWindow};
-pub use node::{Application, Command, Context, MessageHandle, MessageMeta, NodeId, TimerId};
 pub use radio::Position;
-pub use rng::SimRng;
 pub use stats::{EnergyModel, NodeStats, PhaseBytes, Stats};
-pub use time::{SimDuration, SimTime};
 pub use wheel::TimerWheel;
 pub use world::World;
+
+// The sans-io substrate — node identity, the Application seam, virtual
+// time, and the deterministic RNG — lives in `pds-core` (DESIGN.md §13:
+// core sits below every kernel backend). Re-exported here so simulator
+// users keep their `pds_sim::…` paths.
+pub use pds_core::{
+    Application, Command, Context, MessageHandle, MessageMeta, NodeId, SimDuration, SimRng,
+    SimTime, TimerId,
+};
 
 // Re-exported so applications can emit trace events through [`Context`]
 // without naming the observability crate.

@@ -6,10 +6,10 @@
 //! transmission overlaps in time), half-duplex conflict, or baseline random
 //! loss; see [`World`](crate::World) for the delivery rules.
 
-use crate::node::NodeId;
-use crate::time::SimTime;
 use crate::transport::MessageId;
 use bytes::Bytes;
+use pds_core::NodeId;
+use pds_core::SimTime;
 use std::fmt;
 use std::sync::Arc;
 
@@ -92,7 +92,7 @@ impl Motion {
         if total <= f64::EPSILON || self.speed_mps <= 0.0 {
             return self.depart;
         }
-        self.depart + crate::time::SimDuration::from_secs_f64(total / self.speed_mps)
+        self.depart + pds_core::SimDuration::from_secs_f64(total / self.speed_mps)
     }
 }
 

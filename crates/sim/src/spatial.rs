@@ -25,9 +25,9 @@
 //! query path the kernel uses, which is what the differential property
 //! tests exploit.
 
-use crate::node::NodeId;
 use crate::radio::{Motion, Position};
-use crate::time::SimTime;
+use pds_core::NodeId;
+use pds_core::SimTime;
 use pds_det::DetMap;
 
 /// A grid cell coordinate (floor of position / cell size).
@@ -287,7 +287,7 @@ impl TxGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::time::SimDuration;
+    use pds_core::SimDuration;
 
     fn t(s: f64) -> SimTime {
         SimTime::from_secs_f64(s)

@@ -9,10 +9,10 @@
 //! exactly like PDS's flooded queries.
 
 use crate::config::SimConfig;
-use crate::node::{MessageHandle, NodeId, TimerId};
 use crate::radio::{FragSet, Frame, FrameKind};
-use crate::time::{SimDuration, SimTime};
 use bytes::Bytes;
+use pds_core::{MessageHandle, NodeId, TimerId};
+use pds_core::{SimDuration, SimTime};
 use pds_det::DetMap;
 use std::fmt;
 use std::sync::Arc;
@@ -344,7 +344,7 @@ impl Transport {
             set.merge(bitmap);
         }
         if out.fully_acked() {
-            let out = self.outgoing.remove(&msg).expect("present");
+            let out = self.outgoing.remove(&msg)?;
             return Some((out.handle, out.retr_timer));
         }
         None
@@ -382,14 +382,15 @@ impl Transport {
         };
         out.retr_timer = None;
         if out.fully_acked() {
-            let out = self.outgoing.remove(&msg).expect("present");
-            let _ = out;
+            let _ = self.outgoing.remove(&msg);
             return RetrPlan::Nothing;
         }
         let budget = max_retr + out.frag_count / 8;
         if out.attempt >= budget {
-            let out = self.outgoing.remove(&msg).expect("present");
-            return RetrPlan::GiveUp(out.handle);
+            return match self.outgoing.remove(&msg) {
+                Some(out) => RetrPlan::GiveUp(out.handle),
+                None => RetrPlan::Nothing,
+            };
         }
         out.attempt += 1;
         let attempt = out.attempt;

@@ -27,7 +27,7 @@
 //! consuming API is [`TimerWheel::pop_until`], which only cascades windows
 //! whose deadline lies at or before the horizon.
 
-use crate::time::SimTime;
+use pds_core::SimTime;
 use std::collections::{BTreeMap, VecDeque};
 
 /// log2 of the slot count per level.
@@ -63,6 +63,13 @@ impl<T> Level<T> {
             occupied: 0,
             slots: std::array::from_fn(|_| VecDeque::new()),
         }
+    }
+
+    /// The FIFO queue for `slot`. The single audited indexing site of the
+    /// per-level slot array.
+    fn slot_mut(&mut self, slot: usize) -> &mut VecDeque<Entry<T>> {
+        // lint: allow(panic) -- every caller derives `slot` by masking with SLOT_MASK, which is < SLOTS
+        &mut self.slots[slot]
     }
 }
 
@@ -118,6 +125,13 @@ impl<T> TimerWheel<T> {
         self.len == 0
     }
 
+    /// The wheel level at `index`. The single audited indexing site of the
+    /// level array.
+    fn level_mut(&mut self, index: usize) -> &mut Level<T> {
+        // lint: allow(panic) -- `index` comes from the XOR rule or a tier scan, both bounded by LEVELS
+        &mut self.levels[index]
+    }
+
     /// Schedules `value` at time `at`.
     pub fn push(&mut self, at: SimTime, value: T) {
         let at = at.as_micros();
@@ -149,11 +163,17 @@ impl<T> TimerWheel<T> {
                 // Level-0 slots hold exactly one tick, so the FIFO front is
                 // the global `(time, seq)` minimum.
                 let slot = (deadline & SLOT_MASK) as usize;
-                let queue = &mut self.levels[0].slots[slot];
-                let entry = queue.pop_front().expect("occupied level-0 slot");
+                let Some(entry) = self.level_mut(0).slot_mut(slot).pop_front() else {
+                    // An occupancy bit with an empty queue cannot happen by
+                    // construction; self-heal the bitmap rather than panic.
+                    debug_assert!(false, "stale occupancy bit at level 0 slot {slot}");
+                    self.level_mut(0).occupied &= !(1 << slot);
+                    continue;
+                };
                 debug_assert_eq!(entry.at, deadline);
-                if queue.is_empty() {
-                    self.levels[0].occupied &= !(1 << slot);
+                let level = self.level_mut(0);
+                if level.slot_mut(slot).is_empty() {
+                    level.occupied &= !(1 << slot);
                 }
                 self.len -= 1;
                 return Some((SimTime::from_micros(entry.at), entry.value));
@@ -164,14 +184,14 @@ impl<T> TimerWheel<T> {
                 // clock on every 6-bit group at or above `tier`.
                 let shift = SLOT_BITS * tier as u32;
                 let slot = ((deadline >> shift) & SLOT_MASK) as usize;
-                let mut queue = std::mem::take(&mut self.levels[tier].slots[slot]);
-                self.levels[tier].occupied &= !(1 << slot);
+                let mut queue = std::mem::take(self.level_mut(tier).slot_mut(slot));
+                self.level_mut(tier).occupied &= !(1 << slot);
                 for entry in queue.drain(..) {
                     self.place(entry.at, entry.seq, entry.value);
                 }
                 // Hand the drained buffer back so steady-state cascades
                 // reuse its capacity instead of reallocating.
-                self.levels[tier].slots[slot] = queue;
+                *self.level_mut(tier).slot_mut(slot) = queue;
             } else {
                 // Promote the overflow window that just opened. BTreeMap
                 // iteration is `(deadline, seq)`-sorted, which `place`
@@ -204,8 +224,9 @@ impl<T> TimerWheel<T> {
         }
         let level = (63 - masked.leading_zeros()) as usize / SLOT_BITS as usize;
         let slot = ((at >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
-        self.levels[level].slots[slot].push_back(Entry { at, seq, value });
-        self.levels[level].occupied |= 1 << slot;
+        let state = self.level_mut(level);
+        state.slot_mut(slot).push_back(Entry { at, seq, value });
+        state.occupied |= 1 << slot;
     }
 
     /// The first occupied tier (wheel level, or `LEVELS` for the overflow)

@@ -4,15 +4,15 @@
 use crate::config::{SenderMode, SimConfig, SpatialIndex};
 use crate::events::{EventKind, EventQueue};
 use crate::fault::{FaultPlan, FaultState};
-use crate::node::{Application, Command, Context, MessageHandle, MessageMeta, NodeId, TimerId};
 use crate::radio::{Frame, FrameKind, Motion, Position, Transmission};
-use crate::rng::SimRng;
 use crate::spatial::{NodeGrid, TxEntry, TxGrid};
 use crate::stats::{NodeStats, Stats};
-use crate::time::{SimDuration, SimTime};
 use crate::transport::{MessageId, RetrPlan, Transport};
 use crate::wheel::TimerWheel;
 use bytes::Bytes;
+use pds_core::SimRng;
+use pds_core::{Application, Command, Context, MessageHandle, MessageMeta, NodeId, TimerId};
+use pds_core::{SimDuration, SimTime};
 use pds_det::DetMap;
 use pds_obs::{Phase, TraceEvent, TraceKind, TraceSink};
 use std::any::Any;
@@ -787,18 +787,21 @@ impl World {
             state.bucket_last = now;
             let mut os_projected = state.os_used;
             while let Some(front) = state.bucket_queue.front() {
-                let need = front.wire_bytes as f64;
+                let wire = front.wire_bytes;
+                let need = wire as f64;
                 // Backpressure: a paced sender observes a full OS buffer
                 // (blocking send / occupancy check) and waits for the MAC to
                 // drain instead of dropping; `mac_try` re-drains the bucket
                 // after each dequeue.
-                if os_projected + front.wire_bytes > os_cap {
+                if os_projected + wire > os_cap {
                     break;
                 }
                 if state.bucket_tokens + 1e-9 >= need {
                     state.bucket_tokens -= need;
-                    os_projected += front.wire_bytes;
-                    release.push(state.bucket_queue.pop_front().expect("front exists"));
+                    os_projected += wire;
+                    if let Some(frame) = state.bucket_queue.pop_front() {
+                        release.push(frame);
+                    }
                 } else {
                     if !state.bucket_scheduled {
                         let wait = (need - state.bucket_tokens) / rate_bytes;

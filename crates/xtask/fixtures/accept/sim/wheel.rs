@@ -1,0 +1,19 @@
+//! Fixture: hot-path indexing justified by an audited pragma. The
+//! invariant is stated after `--`; the lint converts the finding into a
+//! ratcheted exemption instead of an error.
+
+pub struct Wheel {
+    slots: Vec<Vec<u64>>,
+    cursor: usize,
+}
+
+impl Wheel {
+    pub fn current_slot(&mut self) -> &mut Vec<u64> {
+        // lint: allow(panic) -- cursor is reduced modulo slots.len() on every advance
+        &mut self.slots[self.cursor]
+    }
+
+    pub fn peek(&self) -> Option<u64> {
+        self.slots.get(self.cursor).and_then(|s| s.first()).copied()
+    }
+}

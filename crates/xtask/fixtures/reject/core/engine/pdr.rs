@@ -1,0 +1,18 @@
+//! Fixture: a PDR-style step function that panics on a malformed
+//! response. Engine step functions run inside `World::dispatch`; they
+//! must surface protocol errors as values, never unwind.
+
+pub struct Retrieval {
+    pending: Vec<u64>,
+}
+
+impl Retrieval {
+    pub fn step(&mut self, chunk: Option<u64>) -> u64 {
+        let c = chunk.expect("responder always sets the chunk id");
+        if self.pending.is_empty() {
+            panic!("step after completion");
+        }
+        self.pending.retain(|&p| p != c);
+        c
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: protocol-engine-style code touching sockets and the
+//! filesystem directly. The sans-io rule must reject every hole in the
+//! Application/Command seam — the same engine must run unchanged under
+//! the deterministic simulator and a future real network backend.
+
+use std::net::UdpSocket;
+
+pub fn announce(payload: &[u8]) {
+    let sock = UdpSocket::bind("0.0.0.0:0").ok();
+    if let Some(s) = sock {
+        let _ = s.send_to(payload, "255.255.255.255:9999");
+    }
+    let _ = std::fs::write("/tmp/pds-announce.log", payload);
+}

@@ -1,0 +1,15 @@
+//! Fixture: a std `HashMap` smuggled in behind an `as` rename — the hole
+//! the old lexical scanner could not see. Use-tree resolution must flag
+//! both the import and every use of the alias.
+
+use std::collections::HashMap as Map;
+
+pub struct Timers {
+    by_id: Map<u64, u64>,
+}
+
+impl Timers {
+    pub fn new() -> Self {
+        Self { by_id: Map::new() }
+    }
+}

@@ -1,10 +1,14 @@
 //! Workspace automation tasks, invoked as `cargo xtask <task>` (see
 //! `.cargo/config.toml` for the alias).
 //!
-//! The one task so far is `lint-determinism`, the static pass enforcing
-//! the determinism contract of DESIGN.md §8 over the simulation crates.
+//! The main task is `lint`: the AST-grade static-analysis pass
+//! (`pds-lint`) enforcing the determinism contract (DESIGN.md §8), the
+//! sans-io purity of the protocol crates, panic-freedom on the hot
+//! dispatch path, the crate-layering DAG, the unsafe audit, and the
+//! exemption ratchet (DESIGN.md §13). `lint-determinism` is kept as an
+//! alias for older CI configs and muscle memory.
 
-mod lint;
+#![forbid(unsafe_code)]
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -12,22 +16,34 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
-        Some("lint-determinism") => {
-            let root = match args.next().as_deref() {
-                Some("--root") => match args.next() {
-                    Some(r) => PathBuf::from(r),
-                    None => {
-                        eprintln!("--root requires a path");
+        Some("lint" | "lint-determinism") => {
+            let mut root = None;
+            let mut json = false;
+            let mut update_exemptions = false;
+            loop {
+                match args.next().as_deref() {
+                    Some("--root") => match args.next() {
+                        Some(r) => root = Some(PathBuf::from(r)),
+                        None => {
+                            eprintln!("--root requires a path");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    Some("--json") => json = true,
+                    Some("--update-exemptions") => update_exemptions = true,
+                    Some(other) => {
+                        eprintln!("unknown argument `{other}`");
+                        usage();
                         return ExitCode::FAILURE;
                     }
-                },
-                Some(other) => {
-                    eprintln!("unknown argument `{other}`");
-                    return ExitCode::FAILURE;
+                    None => break,
                 }
-                None => workspace_root(),
-            };
-            lint_determinism(&root)
+            }
+            lint(
+                &root.unwrap_or_else(workspace_root),
+                json,
+                update_exemptions,
+            )
         }
         Some(other) => {
             eprintln!("unknown task `{other}`");
@@ -42,7 +58,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo xtask lint-determinism [--root <workspace>]");
+    eprintln!("usage: cargo xtask lint [--json] [--update-exemptions] [--root <workspace>]");
 }
 
 /// The workspace root is two levels above this crate's manifest.
@@ -54,41 +70,81 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-fn lint_determinism(root: &Path) -> ExitCode {
-    let report = match lint::lint_workspace(root) {
+fn lint(root: &Path, json: bool, update_exemptions: bool) -> ExitCode {
+    let report = match pds_lint::run(root) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("lint-determinism: I/O error: {e}");
+            eprintln!("lint: I/O error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    if !report.exemptions.is_empty() {
-        println!("audited exemptions ({}):", report.exemptions.len());
-        for e in &report.exemptions {
-            let file = e.file.strip_prefix(root).unwrap_or(&e.file);
-            println!("  {}: allow({}) -- {}", file.display(), e.rule, e.reason);
-        }
-    }
-    if report.findings.is_empty() {
-        println!("lint-determinism: clean");
-        ExitCode::SUCCESS
-    } else {
-        for f in &report.findings {
-            let file = f.file.strip_prefix(root).unwrap_or(&f.file);
-            println!(
-                "{}",
-                lint::Finding {
-                    file: file.to_path_buf(),
-                    line: f.line,
-                    rule: f.rule,
-                    token: f.token.clone(),
-                }
-            );
+
+    let ratchet_ok = if update_exemptions {
+        if let Err(e) = pds_lint::ratchet::update(root, &report) {
+            eprintln!("lint: failed to write {}: {e}", pds_lint::EXEMPTIONS_FILE);
+            return ExitCode::FAILURE;
         }
         eprintln!(
-            "lint-determinism: {} violation(s); see DESIGN.md §8 for the contract",
-            report.findings.len()
+            "lint: wrote {} ({} exemption(s))",
+            pds_lint::EXEMPTIONS_FILE,
+            report.inventory().len()
         );
+        true
+    } else {
+        match pds_lint::ratchet::check(root, &report) {
+            Ok(pds_lint::RatchetStatus::Match) => true,
+            Ok(pds_lint::RatchetStatus::Mismatch { missing, extra }) => {
+                for line in &missing {
+                    eprintln!("ratchet: new exemption not pinned: {line}");
+                }
+                for line in &extra {
+                    eprintln!("ratchet: pinned but no longer produced: {line}");
+                }
+                eprintln!(
+                    "ratchet: {} differs from the run's inventory; \
+                     review, then `cargo xtask lint --update-exemptions`",
+                    pds_lint::EXEMPTIONS_FILE
+                );
+                false
+            }
+            Err(e) => {
+                eprintln!("lint: failed to read {}: {e}", pds_lint::EXEMPTIONS_FILE);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for d in &report.findings {
+            println!("{d}");
+        }
+        if !report.exemptions.is_empty() {
+            println!("audited exemptions ({}):", report.inventory().len());
+            for line in report.inventory() {
+                println!("  {line}");
+            }
+        }
+        let warnings = report.findings.len() - report.error_count();
+        println!(
+            "lint: {} file(s), {} error(s), {} warning(s), {} exemption(s)",
+            report.files_checked,
+            report.error_count(),
+            warnings,
+            report.inventory().len()
+        );
+    }
+
+    if report.is_clean() && ratchet_ok {
+        ExitCode::SUCCESS
+    } else {
+        if !report.is_clean() {
+            eprintln!(
+                "lint: {} violation(s); see DESIGN.md §13 for the contract",
+                report.error_count()
+            );
+        }
         ExitCode::FAILURE
     }
 }
