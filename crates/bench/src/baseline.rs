@@ -1,0 +1,518 @@
+//! Perf-baseline regression checking for the `sim_scale` record.
+//!
+//! `sim_scale --check-baseline [path]` re-runs the benchmark and compares
+//! the fresh record against the committed `BENCH_sim_scale.json`. The
+//! comparison is deliberately asymmetric about what it trusts:
+//!
+//! - **deterministic counters** (`frames_sent`, `frames_delivered`,
+//!   `events`) must match *exactly* — they are functions of the seed and
+//!   the horizon, so any drift is a silent behavior change, not noise;
+//! - **equality flags** (`stats_equal`, `results_equal`) must be `true`
+//!   in the fresh record;
+//! - **speedups** tolerate 25% degradation — they divide two wall times,
+//!   so runner noise partially cancels but does not vanish;
+//! - **absolute wall times** are never compared — CI runners differ too
+//!   much for an absolute gate to stay honest.
+//!
+//! The sweep speedup is additionally skipped when either record ran with
+//! more jobs than the host had cores (`sweep.cores < sweep.jobs`): an
+//! oversubscribed "parallel" run measures scheduling pressure, not the
+//! executor.
+//!
+//! The JSON reader below is a minimal recursive-descent parser for the
+//! subset `sim_scale` emits (objects, arrays, strings, numbers, bools) —
+//! the workspace is offline and vendors no serde.
+
+use std::fmt;
+
+/// Fraction of the baseline speedup the fresh run may lose before the
+/// check fails (one-sided: running faster is never a regression).
+pub const SPEEDUP_TOLERANCE: f64 = 0.25;
+
+/// A parsed JSON value (subset: no `null`, no string escapes beyond `\"`
+/// and `\\` — `sim_scale` emits neither).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; the record never needs integer/float distinction at
+    /// comparison time (counters are compared exactly via `f64`, which is
+    /// lossless for the magnitudes involved).
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Value>),
+    /// An object as an ordered key-value list (duplicate keys keep the
+    /// first occurrence on lookup).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` for other variants.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if any.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if any.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if any.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document (the `sim_scale` subset).
+///
+/// # Errors
+///
+/// Returns a one-line description with a byte offset on malformed input.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", b as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        }
+        Some(c) if *c == b'-' || c.is_ascii_digit() => parse_number(bytes, pos),
+        _ => Err(format!("unexpected input at byte {pos}")),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = bytes.get(*pos).copied();
+                *pos += 1;
+                match esc {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    _ => return Err(format!("unsupported escape at byte {pos}")),
+                }
+            }
+            _ => out.push(b as char),
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while let Some(&b) = bytes.get(*pos) {
+        if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Value::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+/// Outcome of a baseline comparison.
+#[derive(Debug)]
+pub enum Verdict {
+    /// Records were comparable; the list holds every regression found
+    /// (empty means the check passed).
+    Compared(Vec<Regression>),
+    /// Records were produced under different settings (e.g. `--quick` vs
+    /// full horizon), so counters cannot be compared; the string says why.
+    /// Not a failure — the caller should report and move on.
+    Incomparable(String),
+}
+
+/// One baseline regression: which metric moved and how.
+#[derive(Debug)]
+pub struct Regression {
+    /// Dotted path of the regressed metric, e.g. `results[n=500].speedup`.
+    pub what: String,
+    /// The committed value.
+    pub baseline: f64,
+    /// The freshly measured value.
+    pub current: f64,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: baseline {} vs current {}",
+            self.what, self.baseline, self.current
+        )
+    }
+}
+
+/// Compares a fresh `sim_scale` record against the committed baseline.
+///
+/// # Errors
+///
+/// Returns an error string when either document fails to parse.
+pub fn check(baseline_json: &str, current_json: &str) -> Result<Verdict, String> {
+    let base = parse(baseline_json).map_err(|e| format!("baseline: {e}"))?;
+    let cur = parse(current_json).map_err(|e| format!("current: {e}"))?;
+
+    for key in ["quick", "sim_seconds"] {
+        let (b, c) = (base.get(key), cur.get(key));
+        if b != c {
+            return Ok(Verdict::Incomparable(format!(
+                "'{key}' differs ({b:?} vs {c:?}); run with matching flags to compare"
+            )));
+        }
+    }
+
+    let mut regressions = Vec::new();
+    fn exact(out: &mut Vec<Regression>, what: String, b: Option<f64>, c: Option<f64>) {
+        if let (Some(b), Some(c)) = (b, c) {
+            if b != c {
+                out.push(Regression {
+                    what,
+                    baseline: b,
+                    current: c,
+                });
+            }
+        }
+    }
+
+    // Per-n rows, matched by their "n" member so reordering or added node
+    // counts never misalign the comparison.
+    let rows = |root: &Value, section: &str| -> Vec<Value> {
+        root.get(section)
+            .and_then(Value::as_arr)
+            .map(<[Value]>::to_vec)
+            .unwrap_or_default()
+    };
+    let find_n = |rows: &[Value], n: f64| -> Option<Value> {
+        rows.iter()
+            .find(|r| r.get("n").and_then(Value::as_f64) == Some(n))
+            .cloned()
+    };
+
+    let mut speedups: Vec<(String, f64, f64)> = Vec::new();
+    for section in ["results", "scheduler", "resources"] {
+        let base_rows = rows(&base, section);
+        let cur_rows = rows(&cur, section);
+        for brow in &base_rows {
+            let Some(n) = brow.get("n").and_then(Value::as_f64) else {
+                continue;
+            };
+            let Some(crow) = find_n(&cur_rows, n) else {
+                regressions.push(Regression {
+                    what: format!("{section}[n={n}] missing from current record"),
+                    baseline: n,
+                    current: f64::NAN,
+                });
+                continue;
+            };
+            for counter in ["frames_sent", "frames_delivered", "events"] {
+                exact(
+                    &mut regressions,
+                    format!("{section}[n={n}].{counter}"),
+                    brow.get(counter).and_then(Value::as_f64),
+                    crow.get(counter).and_then(Value::as_f64),
+                );
+            }
+            if crow.get("stats_equal").and_then(Value::as_bool) == Some(false) {
+                regressions.push(Regression {
+                    what: format!("{section}[n={n}].stats_equal is false"),
+                    baseline: 1.0,
+                    current: 0.0,
+                });
+            }
+            if let (Some(b), Some(c)) = (
+                brow.get("speedup").and_then(Value::as_f64),
+                crow.get("speedup").and_then(Value::as_f64),
+            ) {
+                speedups.push((format!("{section}[n={n}].speedup"), b, c));
+            }
+        }
+    }
+
+    // Sweep block: the flag is exact; the speedup joins the tolerance pool
+    // only when neither record oversubscribed the host.
+    let sweep_ok = |root: &Value| -> bool {
+        let sweep = root.get("sweep");
+        let jobs = sweep.and_then(|s| s.get("jobs")).and_then(Value::as_f64);
+        let cores = sweep.and_then(|s| s.get("cores")).and_then(Value::as_f64);
+        matches!((jobs, cores), (Some(j), Some(c)) if j <= c)
+    };
+    if cur
+        .get("sweep")
+        .and_then(|s| s.get("results_equal"))
+        .and_then(Value::as_bool)
+        == Some(false)
+    {
+        regressions.push(Regression {
+            what: "sweep.results_equal is false".to_owned(),
+            baseline: 1.0,
+            current: 0.0,
+        });
+    }
+    if sweep_ok(&base) && sweep_ok(&cur) {
+        if let (Some(b), Some(c)) = (
+            base.get("sweep")
+                .and_then(|s| s.get("speedup"))
+                .and_then(Value::as_f64),
+            cur.get("sweep")
+                .and_then(|s| s.get("speedup"))
+                .and_then(Value::as_f64),
+        ) {
+            speedups.push(("sweep.speedup".to_owned(), b, c));
+        }
+    }
+
+    for (what, b, c) in speedups {
+        // Skip degenerate baselines — a ≤0 speedup means the baseline run
+        // itself was broken, which is not this run's regression.
+        if b > 0.0 && c < b * (1.0 - SPEEDUP_TOLERANCE) {
+            regressions.push(Regression {
+                what,
+                baseline: b,
+                current: c,
+            });
+        }
+    }
+
+    Ok(Verdict::Compared(regressions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(frames: u64, events: u64, speedup: f64, jobs: u64, cores: u64) -> String {
+        format!(
+            "{{\"bench\": \"sim_scale\", \"quick\": true, \"sim_seconds\": 2,\n\
+             \"sweep\": {{\"jobs\": {jobs}, \"cores\": {cores}, \"speedup\": {speedup}, \
+             \"results_equal\": true}},\n\
+             \"results\": [{{\"n\": 100, \"frames_sent\": {frames}, \"speedup\": 5.0, \
+             \"stats_equal\": true}}],\n\
+             \"resources\": [{{\"n\": 100, \"events\": {events}}}]}}"
+        )
+    }
+
+    fn regressions(verdict: Verdict) -> Vec<Regression> {
+        match verdict {
+            Verdict::Compared(r) => r,
+            Verdict::Incomparable(why) => panic!("unexpectedly incomparable: {why}"),
+        }
+    }
+
+    #[test]
+    fn identical_records_pass() {
+        let r = record(1000, 5000, 2.0, 4, 8);
+        assert!(regressions(check(&r, &r).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn counter_drift_is_exact_regression() {
+        let found = regressions(
+            check(
+                &record(1000, 5000, 2.0, 4, 8),
+                &record(1001, 5000, 2.0, 4, 8),
+            )
+            .unwrap(),
+        );
+        assert_eq!(found.len(), 1);
+        assert!(found[0].what.contains("frames_sent"), "{}", found[0]);
+    }
+
+    #[test]
+    fn event_count_drift_is_exact_regression() {
+        let found = regressions(
+            check(
+                &record(1000, 5000, 2.0, 4, 8),
+                &record(1000, 5001, 2.0, 4, 8),
+            )
+            .unwrap(),
+        );
+        assert_eq!(found.len(), 1);
+        assert!(found[0].what.contains("events"), "{}", found[0]);
+    }
+
+    #[test]
+    fn speedup_within_tolerance_passes() {
+        let found = regressions(
+            check(
+                &record(1000, 5000, 2.0, 4, 8),
+                &record(1000, 5000, 1.6, 4, 8),
+            )
+            .unwrap(),
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn speedup_collapse_is_a_regression() {
+        let found = regressions(
+            check(
+                &record(1000, 5000, 2.0, 4, 8),
+                &record(1000, 5000, 1.2, 4, 8),
+            )
+            .unwrap(),
+        );
+        assert_eq!(found.len(), 1);
+        assert!(found[0].what.contains("sweep.speedup"), "{}", found[0]);
+    }
+
+    #[test]
+    fn oversubscribed_sweep_speedup_is_skipped() {
+        // 4 jobs on a 2-core host: the parallel run cannot win, so the
+        // collapsed speedup must not fail the check.
+        let found = regressions(
+            check(
+                &record(1000, 5000, 2.0, 4, 2),
+                &record(1000, 5000, 0.6, 4, 2),
+            )
+            .unwrap(),
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn quick_mismatch_is_incomparable_not_failing() {
+        let full = record(1000, 5000, 2.0, 4, 8).replace("\"quick\": true", "\"quick\": false");
+        match check(&record(1000, 5000, 2.0, 4, 8), &full).unwrap() {
+            Verdict::Incomparable(why) => assert!(why.contains("quick")),
+            Verdict::Compared(r) => panic!("expected incomparable, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn wall_times_are_ignored() {
+        let a = record(1000, 5000, 2.0, 4, 8)
+            .replace("\"speedup\": 5.0", "\"grid_wall_s\": 1.0, \"speedup\": 5.0");
+        let b = record(1000, 5000, 2.0, 4, 8)
+            .replace("\"speedup\": 5.0", "\"grid_wall_s\": 9.0, \"speedup\": 5.0");
+        assert!(regressions(check(&a, &b).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn parser_round_trips_the_committed_shape() {
+        let doc = record(1000, 5000, 0.67, 4, 4);
+        let v = parse(&doc).unwrap();
+        assert_eq!(
+            v.get("sweep")
+                .and_then(|s| s.get("speedup"))
+                .and_then(Value::as_f64),
+            Some(0.67)
+        );
+        assert_eq!(
+            v.get("results").and_then(Value::as_arr).map(<[Value]>::len),
+            Some(1)
+        );
+    }
+}

@@ -24,13 +24,25 @@
 //! sweep-executor benchmark: the node-count × seed grid is run once
 //! sequentially and once through the parallel [`SweepRunner`], the two
 //! result vectors are asserted identical, and both wall times land in the
-//! JSON record (`"sweep"`). A `"scheduler"` block compares the
-//! hierarchical timer-wheel event queue against the legacy binary heap at
-//! every node count (identical statistics asserted, wall times and
-//! speedup recorded). All other sections — the grid/brute
+//! JSON record (`"sweep"`, including the host's core count so readers can
+//! tell an honest speedup from an oversubscribed one). A `"scheduler"`
+//! block compares the hierarchical timer-wheel event queue against the
+//! legacy binary heap at every node count (identical statistics asserted,
+//! wall times and speedup recorded). All other sections — the grid/brute
 //! comparison and `--trace-check` — are single runs on the main thread,
 //! i.e. always `--jobs 1` semantics, so their wall-time gates compare
 //! like-for-like regardless of the flag.
+//!
+//! `--flight-check` applies the `--trace-check` methodology to the
+//! always-on flight recorder: the largest scenario bare vs with a bounded
+//! [`pds_sim::obs::FlightRecorder`] installed, identical stats asserted,
+//! wall overhead within the same 110% budget (DESIGN.md §14). A
+//! `"resources"` block always records kernel events dispatched, event
+//! throughput, and (under the `count-alloc` feature) peak heap bytes per
+//! node count. `--check-baseline [path]` finally compares the fresh
+//! record against the committed one — deterministic counters exactly,
+//! speedups with 25% tolerance, wall times never — and exits nonzero on
+//! regression (see `pds_bench::baseline`).
 
 use pds_bench::{SweepRunner, WallClock};
 use pds_sim::{
@@ -38,6 +50,69 @@ use pds_sim::{
     SimTime, SpatialIndex, World,
 };
 use std::fmt::Write as _;
+
+/// Counting wrapper around the system allocator (under `count-alloc`):
+/// tracks live heap bytes and the high-water mark so the `resources`
+/// block can report peak heap per scenario. Lives in this binary — not
+/// the library — because the workspace libraries are
+/// `forbid(unsafe_code)` and a `GlobalAlloc` impl is necessarily unsafe.
+#[cfg(feature = "count-alloc")]
+mod heap_track {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static LIVE: AtomicUsize = AtomicUsize::new(0);
+    static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+    struct CountingAlloc;
+
+    // SAFETY: every allocation is delegated verbatim to `System`, which
+    // upholds the `GlobalAlloc` contract; the atomic bookkeeping around
+    // the delegated calls never touches the returned memory.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        // SAFETY: callers uphold the `GlobalAlloc` preconditions (valid,
+        // non-zero-size `layout`); we forward them to `System` unchanged.
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            // SAFETY: `layout` is the caller's layout, forwarded unchanged.
+            let p = unsafe { System.alloc(layout) };
+            if !p.is_null() {
+                let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            }
+            p
+        }
+
+        // SAFETY: callers pass a `ptr`/`layout` pair previously returned
+        // by `alloc` on this allocator, as the trait contract requires.
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+            // SAFETY: `ptr`/`layout` come from a matching `alloc` above.
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+
+    #[global_allocator]
+    static ALLOC: CountingAlloc = CountingAlloc;
+
+    /// Resets the high-water mark to the currently live bytes.
+    pub fn reset_peak() {
+        PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Peak live heap bytes since the last [`reset_peak`].
+    pub fn peak() -> usize {
+        PEAK.load(Ordering::Relaxed)
+    }
+}
+
+/// Without `count-alloc` the probes are no-ops and the JSON records 0.
+#[cfg(not(feature = "count-alloc"))]
+mod heap_track {
+    pub fn reset_peak() {}
+    pub fn peak() -> usize {
+        0
+    }
+}
 
 /// Node counts exercised in both modes.
 const NODE_COUNTS: [usize; 3] = [100, 500, 1000];
@@ -143,7 +218,7 @@ fn run_mode_full(
     #[cfg(feature = "prof")]
     {
         println!("-- {index:?}");
-        pds_sim::prof::dump();
+        pds_sim::prof::dump(horizon.as_micros());
     }
     ModeRun {
         wall_s,
@@ -242,6 +317,127 @@ fn fault_check(horizon: SimTime) -> (f64, f64, f64) {
     (off.wall_s, on.wall_s, ratio)
 }
 
+/// `--flight-check`: runs the largest scenario in three modes — bare (no
+/// sink), [`pds_sim::obs::NullSink`] (every emission site live, events
+/// discarded), and a bounded [`pds_sim::obs::FlightRecorder`] (events
+/// landing in fixed per-node rings) — asserting identical stats across
+/// all three. The gated budget is the recorder's *marginal* cost over the
+/// `NullSink` baseline: keeping the black box must cost no more than the
+/// same 110% + pad that `--trace-check` grants tracing itself, on top of
+/// the sites-live cost `--trace-check` already gates against bare. Modes
+/// are sampled interleaved, best-of-3 each, so a one-shot scheduler stall
+/// cannot land entirely on one side of the ratio.
+/// Returns (bare_s, traced_s, recorded_s, recorded/traced ratio).
+fn flight_check(horizon: SimTime) -> (f64, f64, f64, f64) {
+    use pds_sim::obs::FlightRecorder;
+    let n = NODE_COUNTS[NODE_COUNTS.len() - 1];
+    #[derive(Clone, Copy)]
+    enum Mode {
+        Bare,
+        Null,
+        Recorded,
+    }
+    let run = |mode: Mode| -> ModeRun {
+        let mut world = build_world(n, SpatialIndex::Grid, Scheduler::default(), 42);
+        match mode {
+            Mode::Bare => {}
+            Mode::Null => world.set_trace_sink(Box::new(pds_sim::obs::NullSink)),
+            Mode::Recorded => world.set_trace_sink(Box::new(FlightRecorder::new(
+                pds_sim::obs::flight::DEFAULT_NODE_CAPACITY,
+            ))),
+        }
+        let start = WallClock::start();
+        world.run_until(horizon);
+        ModeRun {
+            wall_s: start.elapsed_s(),
+            stats: world.stats().clone(),
+        }
+    };
+    let mut best = [None::<ModeRun>, None, None];
+    for _ in 0..3 {
+        for (i, mode) in [Mode::Bare, Mode::Null, Mode::Recorded]
+            .into_iter()
+            .enumerate()
+        {
+            let sample = run(mode);
+            match &mut best[i] {
+                Some(prev) => {
+                    assert_eq!(prev.stats, sample.stats, "same-seed runs must agree");
+                    if sample.wall_s < prev.wall_s {
+                        best[i] = Some(sample);
+                    }
+                }
+                slot => *slot = Some(sample),
+            }
+        }
+    }
+    let [bare, traced, recorded] = best.map(|m| m.expect("sampled"));
+    assert_eq!(
+        recorded.stats, bare.stats,
+        "flight recorder must not perturb simulation results"
+    );
+    assert_eq!(
+        traced.stats, bare.stats,
+        "null sink must not perturb results"
+    );
+    let ratio = recorded.wall_s / traced.wall_s.max(1e-9);
+    println!(
+        "flight-check n={n}  bare {:.3}s  null-traced {:.3}s  recorded {:.3}s  \
+         recorded/traced {ratio:.3}",
+        bare.wall_s, traced.wall_s, recorded.wall_s
+    );
+    // Same 10% relative + small absolute budget as trace-check, applied to
+    // the recorder's marginal cost over discarding tracing.
+    assert!(
+        recorded.wall_s <= traced.wall_s * 1.10 + 0.05,
+        "flight recorder overhead above budget: {:.3}s recorded vs {:.3}s null-traced",
+        recorded.wall_s,
+        traced.wall_s
+    );
+    (bare.wall_s, traced.wall_s, recorded.wall_s, ratio)
+}
+
+/// One row of the resource-accounting report: kernel events dispatched,
+/// event throughput, and peak heap for the grid scenario at one node
+/// count. The event count is a pure function of (n, seed, horizon) — the
+/// baseline check compares it exactly — while throughput and heap depend
+/// on the host and are reported for trend reading only.
+struct ResourceRow {
+    n: usize,
+    events: u64,
+    wall_s: f64,
+    events_per_sec: f64,
+    peak_alloc_bytes: usize,
+}
+
+fn resources_bench(horizon: SimTime) -> Vec<ResourceRow> {
+    NODE_COUNTS
+        .iter()
+        .map(|&n| {
+            heap_track::reset_peak();
+            let mut world = build_world(n, SpatialIndex::Grid, Scheduler::default(), 42);
+            let start = WallClock::start();
+            world.run_until(horizon);
+            let wall_s = start.elapsed_s();
+            let events = world.events_dispatched();
+            let peak_alloc_bytes = heap_track::peak();
+            let events_per_sec = events as f64 / wall_s.max(1e-9);
+            println!(
+                "resources n={n:>5}  events={events:>9}  {events_per_sec:>12.0} ev/s  \
+                 peak_heap={peak_alloc_bytes} B  ({:.0} B/node)",
+                peak_alloc_bytes as f64 / n as f64
+            );
+            ResourceRow {
+                n,
+                events,
+                wall_s,
+                events_per_sec,
+                peak_alloc_bytes,
+            }
+        })
+        .collect()
+}
+
 /// Sequential-vs-parallel sweep benchmark: the node-count × seed grid as
 /// one flat job list, run at 1 worker and at `jobs` workers. Each job
 /// builds its own world from its own seed, so the executor can only change
@@ -335,11 +531,20 @@ fn scheduler_bench(horizon: SimTime) -> Vec<SchedulerRow> {
     rows
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let check_trace = args.iter().any(|a| a == "--trace-check");
     let check_fault = args.iter().any(|a| a == "--fault-check");
+    let check_flight = args.iter().any(|a| a == "--flight-check");
+    // `--check-baseline [path]`: compare the fresh record against the
+    // committed one; the path defaults to the committed record itself.
+    let check_baseline = args.iter().position(|a| a == "--check-baseline").map(|i| {
+        args.get(i + 1)
+            .filter(|s| !s.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_sim_scale.json".to_owned())
+    });
     if let Some(n) = args
         .iter()
         .position(|a| a == "--jobs")
@@ -392,6 +597,16 @@ fn main() {
     // insulated from the sweep's parallelism.
     let faulted = check_fault.then(|| fault_check(horizon));
 
+    // Same single-run-on-main-thread methodology for the flight recorder.
+    let flight = check_flight.then(|| flight_check(horizon));
+
+    let resources = resources_bench(horizon);
+
+    // Honest-speedup context for the sweep block: a parallel run with
+    // more jobs than cores measures scheduling pressure, not the
+    // executor, so readers (and the baseline check) need the host width.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"sim_scale\",");
@@ -400,7 +615,7 @@ fn main() {
     let _ = writeln!(json, "  \"stats_equal\": {all_equal},");
     let _ = writeln!(
         json,
-        "  \"sweep\": {{\"jobs\": {}, \"sequential_wall_s\": {:.6}, \
+        "  \"sweep\": {{\"jobs\": {}, \"cores\": {cores}, \"sequential_wall_s\": {:.6}, \
          \"parallel_wall_s\": {:.6}, \"speedup\": {:.3}, \"results_equal\": {}}},",
         sweep.jobs,
         sweep.sequential_wall_s,
@@ -422,6 +637,32 @@ fn main() {
              \"noop_plan_wall_s\": {on_s:.6}, \"overhead_ratio\": {ratio:.4}}},"
         );
     }
+    if let Some((bare_s, traced_s, on_s, ratio)) = flight {
+        let _ = writeln!(
+            json,
+            "  \"flight_check\": {{\"jobs\": 1, \"bare_wall_s\": {bare_s:.6}, \
+             \"traced_wall_s\": {traced_s:.6}, \"recorded_wall_s\": {on_s:.6}, \
+             \"overhead_ratio\": {ratio:.4}}},"
+        );
+    }
+    let _ = writeln!(json, "  \"resources\": [");
+    let res_last = resources.len() - 1;
+    for (i, row) in resources.iter().enumerate() {
+        let comma = if i == res_last { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"events\": {}, \"wall_s\": {:.6}, \
+             \"events_per_sec\": {:.0}, \"peak_alloc_bytes\": {}, \
+             \"bytes_per_node\": {:.0}}}{comma}",
+            row.n,
+            row.events,
+            row.wall_s,
+            row.events_per_sec,
+            row.peak_alloc_bytes,
+            row.peak_alloc_bytes as f64 / row.n as f64
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"scheduler\": [");
     let sched_last = sched_rows.len() - 1;
     for (i, row) in sched_rows.iter().enumerate() {
@@ -448,6 +689,30 @@ fn main() {
     }
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
+    // Read the committed baseline BEFORE writing the fresh record — with
+    // default paths both point at the same file.
+    let baseline = check_baseline.map(|path| {
+        let content =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        (path, content)
+    });
     std::fs::write(&out_path, &json).expect("write perf record");
     println!("wrote {out_path}");
+    if let Some((path, committed)) = baseline {
+        use pds_bench::baseline::{check, Verdict};
+        match check(&committed, &json).expect("parse perf records") {
+            Verdict::Incomparable(why) => println!("baseline check skipped: {why}"),
+            Verdict::Compared(regressions) if regressions.is_empty() => {
+                println!("baseline check passed against {path}");
+            }
+            Verdict::Compared(regressions) => {
+                eprintln!("baseline regressions against {path}:");
+                for r in &regressions {
+                    eprintln!("  {r}");
+                }
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+    }
+    std::process::ExitCode::SUCCESS
 }

@@ -313,7 +313,7 @@ mod tests {
         let mut rng = SimRng::new(1);
         let mut ctx = Context::new(SimTime::ZERO, NodeId(0), 0, 0, &mut rng, Vec::new(), false);
         assert!(!ctx.trace_enabled());
-        ctx.trace(Phase::Pdd, TraceKind::SessionStarted);
+        ctx.trace(Phase::Pdd, TraceKind::SessionStarted { session: 1 });
         let (commands, _, _) = ctx.finish();
         assert!(commands.is_empty());
     }
@@ -324,14 +324,28 @@ mod tests {
         let now = SimTime::from_secs_f64(1.5);
         let mut ctx = Context::new(now, NodeId(7), 0, 0, &mut rng, Vec::new(), true);
         assert!(ctx.trace_enabled());
-        ctx.trace(Phase::Pdr, TraceKind::QuerySent { query: 42 });
+        ctx.trace(
+            Phase::Pdr,
+            TraceKind::QuerySent {
+                query: 42,
+                session: 1,
+                seq: 9,
+            },
+        );
         let (commands, _, _) = ctx.finish();
         match &commands[0] {
             Command::Trace(ev) => {
                 assert_eq!(ev.at_us, 1_500_000);
                 assert_eq!(ev.node, 7);
                 assert_eq!(ev.phase, Phase::Pdr);
-                assert_eq!(ev.kind, TraceKind::QuerySent { query: 42 });
+                assert_eq!(
+                    ev.kind,
+                    TraceKind::QuerySent {
+                        query: 42,
+                        session: 1,
+                        seq: 9,
+                    }
+                );
             }
             other => panic!("unexpected command {other:?}"),
         }

@@ -115,7 +115,7 @@ impl PdsEngine {
             ttl_hops: self.config.query_hop_limit.unwrap_or(0),
         };
         self.register_own_query(&query);
-        Outgoing::query(query, Vec::new())
+        Outgoing::query(query, Vec::new()).for_session()
     }
 
     /// Round control for MDR (mirrors PDD's multi-round discovery).
@@ -216,7 +216,7 @@ impl PdsEngine {
                     data,
                 },
             };
-            out.push(Outgoing::response_slow(r, vec![q.sender]));
+            out.push(Outgoing::response_slow(r, vec![q.sender]).answering(q.id));
         }
         if me_intended {
             out.extend(self.forward_flood(&q));

@@ -68,6 +68,16 @@ pub struct Outgoing {
     /// frame traffic class for per-phase overhead accounting and trace
     /// attribution.
     pub phase: Phase,
+    /// True when the message originates from this node's *own* consumer
+    /// session (discovery or retrieval) rather than a relay / flood
+    /// forward. Drives the session correlation id in `QuerySent` traces;
+    /// no protocol behavior depends on it.
+    pub own_session: bool,
+    /// Raw id of the query this response answers (0 = not a direct answer,
+    /// e.g. a batched relay serving several lingering queries). Drives
+    /// `ResponseSent` trace correlation; no protocol behavior depends on
+    /// it.
+    pub answers: u64,
 }
 
 /// The protocol phase a message's overhead is attributed to, derived from
@@ -100,6 +110,8 @@ impl Outgoing {
             jitter: Jitter::None,
             retries_left: 2,
             phase,
+            own_session: false,
+            answers: 0,
         }
     }
 
@@ -112,6 +124,8 @@ impl Outgoing {
             jitter: if jitter { Jitter::Fast } else { Jitter::None },
             retries_left: 2,
             phase,
+            own_session: false,
+            answers: 0,
         }
     }
 
@@ -125,7 +139,23 @@ impl Outgoing {
             jitter: Jitter::Slow,
             retries_left: 2,
             phase: Phase::Mdr,
+            own_session: false,
+            answers: 0,
         }
+    }
+
+    /// Marks the message as originated by this node's own consumer session
+    /// (see [`Outgoing::own_session`]).
+    pub(crate) fn for_session(mut self) -> Self {
+        self.own_session = true;
+        self
+    }
+
+    /// Records the query this response directly answers (see
+    /// [`Outgoing::answers`]).
+    pub(crate) fn answering(mut self, q: QueryId) -> Self {
+        self.answers = q.0;
+        self
     }
 }
 

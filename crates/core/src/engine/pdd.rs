@@ -78,7 +78,7 @@ impl PdsEngine {
             ttl_hops: self.config.query_hop_limit.unwrap_or(0),
         };
         self.register_own_query(&query);
-        vec![Outgoing::query(query, Vec::new())]
+        vec![Outgoing::query(query, Vec::new()).for_session()]
     }
 
     /// Round control (§III-B-2): decides whether the round diminished and
@@ -132,7 +132,7 @@ impl PdsEngine {
                     ttl_hops: self.config.query_hop_limit.unwrap_or(0),
                 };
                 self.register_own_query(&query);
-                vec![Outgoing::query(query, Vec::new())]
+                vec![Outgoing::query(query, Vec::new()).for_session()]
             }
         }
     }
@@ -196,7 +196,7 @@ impl PdsEngine {
                     entries: sent_entries,
                 },
             };
-            out.push(Outgoing::response(r, vec![q.sender], true));
+            out.push(Outgoing::response(r, vec![q.sender], true).answering(q.id));
         }
         if !sent_items.is_empty() {
             let r = ResponseMessage {
@@ -204,7 +204,7 @@ impl PdsEngine {
                 sender: self.id,
                 kind: ResponseKind::SmallData { items: sent_items },
             };
-            out.push(Outgoing::response(r, vec![q.sender], true));
+            out.push(Outgoing::response(r, vec![q.sender], true).answering(q.id));
         }
 
         // Receiver check + forwarding: flooded queries are relayed by every
@@ -342,15 +342,18 @@ impl PdsEngine {
             }
             for (upstream, qid, kept) in responses {
                 let id = self.new_response_id();
-                out.push(Outgoing::response(
-                    ResponseMessage {
-                        id,
-                        sender: me,
-                        kind: ResponseKind::SmallData { items: kept },
-                    },
-                    vec![upstream],
-                    false,
-                ));
+                out.push(
+                    Outgoing::response(
+                        ResponseMessage {
+                            id,
+                            sender: me,
+                            kind: ResponseKind::SmallData { items: kept },
+                        },
+                        vec![upstream],
+                        false,
+                    )
+                    .answering(qid),
+                );
                 if one_shot {
                     self.lqt.remove(qid);
                 }
@@ -454,15 +457,18 @@ impl PdsEngine {
             }
             for (upstream, qid, kept) in responses {
                 let id = self.new_response_id();
-                out.push(Outgoing::response(
-                    ResponseMessage {
-                        id,
-                        sender: me,
-                        kind: ResponseKind::Metadata { entries: kept },
-                    },
-                    vec![upstream],
-                    false,
-                ));
+                out.push(
+                    Outgoing::response(
+                        ResponseMessage {
+                            id,
+                            sender: me,
+                            kind: ResponseKind::Metadata { entries: kept },
+                        },
+                        vec![upstream],
+                        false,
+                    )
+                    .answering(qid),
+                );
                 if one_shot {
                     self.lqt.remove(qid);
                 }

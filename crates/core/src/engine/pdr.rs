@@ -80,7 +80,7 @@ impl PdsEngine {
             ttl_hops: self.config.query_hop_limit.unwrap_or(0),
         };
         self.register_own_query(&query);
-        Outgoing::query(query, Vec::new())
+        Outgoing::query(query, Vec::new()).for_session()
     }
 
     /// Phase transitions, chunk-query waves and recovery (consumer side).
@@ -262,7 +262,7 @@ impl PdsEngine {
                     .insert((item.clone(), c), now + super::PENDING_CHUNK_HORIZON);
             }
             let id = self.new_query_id();
-            out.push(Outgoing::query(
+            let query = Outgoing::query(
                 QueryMessage {
                     id,
                     kind: QueryKind::Chunks {
@@ -277,7 +277,14 @@ impl PdsEngine {
                     ttl_hops: 0,
                 },
                 vec![neighbor],
-            ));
+            );
+            // Depth-0 waves come from the consumer's own session; deeper
+            // waves are en-route re-division at relays.
+            out.push(if depth == 0 {
+                query.for_session()
+            } else {
+                query
+            });
         }
         out
     }
@@ -337,7 +344,7 @@ impl PdsEngine {
                     sender: self.id,
                     kind: ResponseKind::Cdi { item, pairs: send },
                 };
-                out.push(Outgoing::response(r, vec![q.sender], true));
+                out.push(Outgoing::response(r, vec![q.sender], true).answering(q.id));
             }
         }
         if me_intended {
@@ -467,7 +474,7 @@ impl PdsEngine {
                         data,
                     },
                 };
-                out.push(Outgoing::response(r, vec![q.sender], false));
+                out.push(Outgoing::response(r, vec![q.sender], false).answering(q.id));
             } else {
                 remaining.push(c);
             }

@@ -67,6 +67,14 @@ pub struct PdsNode {
     // emitted for the current discovery / retrieval session.
     discovery_finished: bool,
     retrieval_finished: bool,
+    // Session correlation ids for causal tracing: a per-node counter
+    // (`(node, session)` is globally unique, 0 = none) plus the ids of the
+    // currently running discovery and retrieval sessions. Maintained
+    // unconditionally — they are plain node-local counters, so they cannot
+    // perturb replay digests — but only ever read at trace emission sites.
+    next_session: u64,
+    discovery_session: u64,
+    retrieval_session: u64,
 }
 
 impl PdsNode {
@@ -87,6 +95,9 @@ impl PdsNode {
             resends: 0,
             discovery_finished: false,
             retrieval_finished: false,
+            next_session: 0,
+            discovery_session: 0,
+            retrieval_session: 0,
         }
     }
 
@@ -166,7 +177,14 @@ impl PdsNode {
         let now = ctx.now();
         let out = self.ensure_engine(ctx).start_discovery(now, filter);
         self.discovery_finished = false;
-        ctx.trace(Phase::Pdd, TraceKind::SessionStarted);
+        self.next_session += 1;
+        self.discovery_session = self.next_session;
+        ctx.trace(
+            Phase::Pdd,
+            TraceKind::SessionStarted {
+                session: self.discovery_session,
+            },
+        );
         self.dispatch(ctx, out);
     }
 
@@ -177,7 +195,14 @@ impl PdsNode {
             .ensure_engine(ctx)
             .start_small_data_retrieval(now, filter);
         self.discovery_finished = false;
-        ctx.trace(Phase::Pdd, TraceKind::SessionStarted);
+        self.next_session += 1;
+        self.discovery_session = self.next_session;
+        ctx.trace(
+            Phase::Pdd,
+            TraceKind::SessionStarted {
+                session: self.discovery_session,
+            },
+        );
         self.dispatch(ctx, out);
     }
 
@@ -190,7 +215,14 @@ impl PdsNode {
         let now = ctx.now();
         let out = self.ensure_engine(ctx).start_retrieval(now, descriptor);
         self.retrieval_finished = false;
-        ctx.trace(Phase::Pdr, TraceKind::SessionStarted);
+        self.next_session += 1;
+        self.retrieval_session = self.next_session;
+        ctx.trace(
+            Phase::Pdr,
+            TraceKind::SessionStarted {
+                session: self.retrieval_session,
+            },
+        );
         self.dispatch(ctx, out);
     }
 
@@ -203,7 +235,14 @@ impl PdsNode {
         let now = ctx.now();
         let out = self.ensure_engine(ctx).start_mdr_retrieval(now, descriptor);
         self.retrieval_finished = false;
-        ctx.trace(Phase::Mdr, TraceKind::SessionStarted);
+        self.next_session += 1;
+        self.retrieval_session = self.next_session;
+        ctx.trace(
+            Phase::Mdr,
+            TraceKind::SessionStarted {
+                session: self.retrieval_session,
+            },
+        );
         self.dispatch(ctx, out);
     }
 
@@ -229,14 +268,34 @@ impl PdsNode {
     }
 
     fn transmit(&mut self, ctx: &mut Context, out: Outgoing) {
+        let handle = ctx.broadcast_class(out.message.encode(), &out.intended, out.phase.class());
         if ctx.trace_enabled() {
+            // The transport handle doubles as the message's per-origin
+            // sequence number, linking this protocol event to every
+            // transport/radio event of the carrying message.
+            let session = if out.own_session {
+                match out.phase {
+                    Phase::Pdd => self.discovery_session,
+                    Phase::Pdr | Phase::Mdr => self.retrieval_session,
+                    _ => 0,
+                }
+            } else {
+                0
+            };
             let kind = match &out.message {
-                PdsMessage::Query(q) => TraceKind::QuerySent { query: q.id.0 },
-                PdsMessage::Response(r) => TraceKind::ResponseSent { response: r.id.0 },
+                PdsMessage::Query(q) => TraceKind::QuerySent {
+                    query: q.id.0,
+                    session,
+                    seq: handle.0,
+                },
+                PdsMessage::Response(r) => TraceKind::ResponseSent {
+                    response: r.id.0,
+                    query: out.answers,
+                    seq: handle.0,
+                },
             };
             ctx.trace(out.phase, kind);
         }
-        let handle = ctx.broadcast_class(out.message.encode(), &out.intended, out.phase.class());
         // Only directed messages get transport verdicts; track them for
         // failure-driven resends.
         if !out.intended.is_empty() && out.retries_left > 0 {
@@ -277,6 +336,7 @@ impl PdsNode {
                     ctx.trace(
                         Phase::Pdd,
                         TraceKind::SessionFinished {
+                            session: self.discovery_session,
                             delay_us: report.latency.as_micros(),
                             rounds: u64::from(report.rounds),
                             items: report.entries as u64,
@@ -294,6 +354,7 @@ impl PdsNode {
                     ctx.trace(
                         phase,
                         TraceKind::SessionFinished {
+                            session: self.retrieval_session,
                             delay_us: report.latency.as_micros(),
                             rounds: u64::from(report.rounds),
                             items: u64::from(report.received_chunks),

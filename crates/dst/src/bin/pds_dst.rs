@@ -1,10 +1,10 @@
 //! DST command-line driver — the CI adversarial gate.
 //!
 //! ```text
-//! pds_dst sweep [--pairs N] [--seed S] [--jobs J] [--out FILE]
+//! pds_dst sweep [--pairs N] [--seed S] [--jobs J] [--out FILE] [--flight-dump DIR]
 //! pds_dst repro "<spec>"
 //! pds_dst model-check
-//! pds_dst selfcheck
+//! pds_dst selfcheck [--flight-dump FILE]
 //! ```
 //!
 //! `sweep` exits non-zero if any case violates an invariant, after
@@ -12,6 +12,12 @@
 //! `selfcheck` runs a deliberately broken case (ack retries disabled under
 //! churn and loss) and exits zero only if the harness catches AND
 //! minimizes it — CI runs it so a silently toothless harness fails loudly.
+//!
+//! With `--flight-dump`, every minimized failure is re-run with the
+//! bounded flight recorder installed (tracing is observation-only, so the
+//! same violation reproduces) and the recorder's per-node event tails are
+//! written as JSONL — feed a dump to `pds-obs explain` for the causal
+//! narrative of the failing session.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -26,15 +32,19 @@ fn usage() -> ExitCode {
         "usage: pds_dst <command>\n\
          \n\
          commands:\n\
-         \x20 sweep [--pairs N] [--seed S] [--jobs J] [--out FILE]\n\
+         \x20 sweep [--pairs N] [--seed S] [--jobs J] [--out FILE] [--flight-dump DIR]\n\
          \x20       run N generated fault cases (default 1024); minimize\n\
-         \x20       and print a repro line for every failure; exit 1 if any\n\
+         \x20       and print a repro line for every failure; exit 1 if any;\n\
+         \x20       with --flight-dump, write a flight-recorder JSONL per\n\
+         \x20       minimized failure into DIR\n\
          \x20 repro <spec>\n\
          \x20       re-run one encoded case with the replay check forced on\n\
          \x20 model-check\n\
          \x20       exhaustively check the abstract PDD/PDR session models\n\
-         \x20 selfcheck\n\
-         \x20       verify a seeded bug is caught and minimized (CI canary)"
+         \x20 selfcheck [--flight-dump FILE]\n\
+         \x20       verify a seeded bug is caught and minimized (CI canary);\n\
+         \x20       write the minimized case's flight recording to FILE\n\
+         \x20       (default dst-selfcheck.trace.jsonl)"
     );
     ExitCode::from(2)
 }
@@ -48,6 +58,35 @@ fn parse_u64(args: &[String], flag: &str, default: u64) -> Result<u64, String> {
             .parse()
             .map_err(|e| format!("{flag}: {e}")),
     }
+}
+
+/// Re-runs `spec` with the bounded flight recorder installed and writes
+/// the per-node event tails to `path` as JSONL (`pds-obs explain` input).
+/// Tracing is observation-only, so the minimized violation reproduces in
+/// the recorded rerun; a clean rerun means the determinism contract broke
+/// and is reported as an error rather than papered over.
+fn dump_flight(spec: &CaseSpec, path: &str) -> Result<(), String> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        }
+    }
+    let (outcome, recorder) = pds_dst::run_case_recorded(spec);
+    if outcome.violations.is_empty() {
+        return Err(format!(
+            "recorded rerun of {} no longer violates — tracing perturbed the run",
+            spec.encode()
+        ));
+    }
+    recorder
+        .dump_to_file(path)
+        .map_err(|e| format!("write {path}: {e}"))?;
+    println!(
+        "  flight dump: {path} ({} events kept of {} recorded)",
+        recorder.len(),
+        recorder.recorded()
+    );
+    Ok(())
 }
 
 fn cmd_sweep(args: &[String]) -> ExitCode {
@@ -77,6 +116,10 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned());
+    let flight_dir = args
+        .iter()
+        .position(|a| a == "--flight-dump")
+        .and_then(|i| args.get(i + 1).cloned());
 
     println!("dst sweep: {pairs} cases, seed {seed}, {jobs} jobs");
     let report = sweep(seed, pairs, jobs);
@@ -90,7 +133,7 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     }
 
     let mut lines = Vec::new();
-    for failure in &report.failures {
+    for (i, failure) in report.failures.iter().enumerate() {
         println!("---");
         println!("dst sweep: FAILING CASE {}", failure.spec.encode());
         for v in &failure.violations {
@@ -109,6 +152,12 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         }
         let repro = repro_command(&min.spec);
         println!("  repro: {repro}");
+        if let Some(dir) = &flight_dir {
+            if let Err(e) = dump_flight(&min.spec, &format!("{dir}/minimized-{i}.trace.jsonl")) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         lines.push(format!(
             "{}\t{}\t{}",
             min.spec.encode(),
@@ -223,7 +272,12 @@ fn canary_spec() -> CaseSpec {
     }
 }
 
-fn cmd_selfcheck() -> ExitCode {
+fn cmd_selfcheck(args: &[String]) -> ExitCode {
+    let flight_path = args
+        .iter()
+        .position(|a| a == "--flight-dump")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "dst-selfcheck.trace.jsonl".to_owned());
     let spec = canary_spec();
     println!("dst selfcheck: seeded bug {}", spec.encode());
     let result = run_checked(&spec, false);
@@ -252,7 +306,13 @@ fn cmd_selfcheck() -> ExitCode {
         eprintln!("dst selfcheck: FAIL: minimized case fails a different invariant");
         return ExitCode::FAILURE;
     }
-    println!("dst selfcheck: PASS (bug caught and minimized)");
+    // The canary doubles as the end-to-end exercise of the black box: the
+    // minimized failure must yield a dump `pds-obs explain` can narrate.
+    if let Err(e) = dump_flight(&min.spec, &flight_path) {
+        eprintln!("dst selfcheck: FAIL: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("dst selfcheck: PASS (bug caught, minimized, and recorded)");
     ExitCode::SUCCESS
 }
 
@@ -262,7 +322,7 @@ fn main() -> ExitCode {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("repro") => cmd_repro(&args[1..]),
         Some("model-check") => cmd_model_check(),
-        Some("selfcheck") => cmd_selfcheck(),
+        Some("selfcheck") => cmd_selfcheck(&args[1..]),
         _ => usage(),
     }
 }

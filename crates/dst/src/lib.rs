@@ -33,4 +33,5 @@ pub mod spec;
 
 pub use harness::{generate, run_checked, sweep, CaseResult, SweepReport};
 pub use minimize::{minimize, repro_command, Minimized};
+pub use scenario::{run_case, run_case_recorded, CaseOutcome};
 pub use spec::{CaseSpec, Family};

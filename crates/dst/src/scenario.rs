@@ -10,9 +10,10 @@ use bytes::Bytes;
 use pds_core::{DataDescriptor, PdsConfig, PdsNode, QueryFilter};
 use pds_det::DetMap;
 use pds_mobility::grid;
+use pds_sim::obs::FlightRecorder;
 use pds_sim::{
     Application, Context, MessageHandle, MessageMeta, NodeId, Position, Scheduler, SimConfig,
-    SimDuration, SimTime, Stats, World,
+    SimDuration, SimTime, Stats, TraceSink, World,
 };
 use std::collections::BTreeSet;
 
@@ -51,9 +52,36 @@ pub fn run_case(spec: &CaseSpec) -> CaseOutcome {
 #[must_use]
 pub fn run_case_with_scheduler(spec: &CaseSpec, scheduler: Scheduler) -> CaseOutcome {
     match spec.family {
-        Family::Transport => run_transport(spec, scheduler),
-        Family::Pds => run_pds(spec, scheduler),
+        Family::Transport => run_transport(spec, scheduler, None).0,
+        Family::Pds => run_pds(spec, scheduler, None).0,
     }
+}
+
+/// [`run_case`] with a bounded [`FlightRecorder`] installed: returns the
+/// outcome plus the recorder holding the tail of every node's event
+/// history. Tracing is observation-only — the outcome (stats, digest,
+/// violations) is bit-identical to the unrecorded run — so the driver can
+/// re-run a minimized failure recorded and trust the dump narrates the
+/// same violation the sweep caught.
+#[must_use]
+pub fn run_case_recorded(spec: &CaseSpec) -> (CaseOutcome, FlightRecorder) {
+    let sink = Box::new(FlightRecorder::new(
+        pds_sim::obs::flight::DEFAULT_NODE_CAPACITY,
+    ));
+    let (outcome, sink) = match spec.family {
+        Family::Transport => run_transport(spec, Scheduler::default(), Some(sink)),
+        Family::Pds => run_pds(spec, Scheduler::default(), Some(sink)),
+    };
+    let recorder = sink
+        .and_then(|mut s| {
+            s.as_any_mut()
+                .downcast_mut::<FlightRecorder>()
+                // The box cannot be unwrapped through `dyn Any`, so swap
+                // the recorder out of it instead.
+                .map(|r| std::mem::replace(r, FlightRecorder::new(1)))
+        })
+        .expect("the installed sink is a FlightRecorder");
+    (outcome, recorder)
 }
 
 fn base_outcome(world: &World) -> CaseOutcome {
@@ -172,7 +200,11 @@ impl Application for Sink {
     }
 }
 
-fn run_transport(spec: &CaseSpec, scheduler: Scheduler) -> CaseOutcome {
+fn run_transport(
+    spec: &CaseSpec,
+    scheduler: Scheduler,
+    sink: Option<Box<dyn TraceSink>>,
+) -> (CaseOutcome, Option<Box<dyn TraceSink>>) {
     let nodes = spec.nodes.max(2);
     let mut sim = SimConfig {
         scheduler,
@@ -182,6 +214,9 @@ fn run_transport(spec: &CaseSpec, scheduler: Scheduler) -> CaseOutcome {
     sim.ack.max_retr = spec.max_retr;
     let mut world = World::new(sim, spec.world_seed);
     world.install_faults(spec.fault_plan());
+    if let Some(s) = sink {
+        world.set_trace_sink(s);
+    }
 
     // A line with only adjacent nodes in radio range; blasters at both
     // ends each address their immediate neighbor.
@@ -261,7 +296,7 @@ fn run_transport(spec: &CaseSpec, scheduler: Scheduler) -> CaseOutcome {
             outcome.max_attempt, spec.max_retr
         ));
     }
-    outcome
+    (outcome, world.take_trace_sink())
 }
 
 // ---- pds family ------------------------------------------------------------
@@ -295,7 +330,11 @@ fn doomed_ids(spec: &CaseSpec) -> Vec<Vec<u32>> {
         .collect()
 }
 
-fn run_pds(spec: &CaseSpec, scheduler: Scheduler) -> CaseOutcome {
+fn run_pds(
+    spec: &CaseSpec,
+    scheduler: Scheduler,
+    sink: Option<Box<dyn TraceSink>>,
+) -> (CaseOutcome, Option<Box<dyn TraceSink>>) {
     let g = spec.nodes.max(2) as usize;
     let mut sim = SimConfig::paper_multi_hop();
     sim.scheduler = scheduler;
@@ -305,6 +344,9 @@ fn run_pds(spec: &CaseSpec, scheduler: Scheduler) -> CaseOutcome {
     let plan = spec.fault_plan();
     let storms = plan.storms.clone();
     world.install_faults(plan);
+    if let Some(s) = sink {
+        world.set_trace_sink(s);
+    }
 
     let mut ids = Vec::new();
     for (i, pos) in grid::positions(g, g, grid::SPACING_M).iter().enumerate() {
@@ -388,7 +430,7 @@ fn run_pds(spec: &CaseSpec, scheduler: Scheduler) -> CaseOutcome {
         outcome
             .violations
             .push("termination: consumer or session vanished".to_string());
-        return outcome;
+        return (outcome, world.take_trace_sink());
     };
     outcome.collected_entries = report.entries as u64;
     outcome.finished = report.finished_at.is_some();
@@ -411,7 +453,7 @@ fn run_pds(spec: &CaseSpec, scheduler: Scheduler) -> CaseOutcome {
     {
         check_round_log(session.round_log(), &mut outcome.violations);
     }
-    outcome
+    (outcome, world.take_trace_sink())
 }
 
 /// Structural legality of a discovery round log: rounds count 1, 2, 3, …
@@ -497,6 +539,24 @@ mod tests {
             "plan must bite: {:?}",
             a.stats
         );
+    }
+
+    #[test]
+    fn recorded_run_matches_unrecorded_outcome() {
+        let mut spec = quiet_transport();
+        spec.loss_ppm = 100_000;
+        spec.drop_ppm = 80_000;
+        let plain = run_case(&spec);
+        let (recorded, recorder) = run_case_recorded(&spec);
+        assert_eq!(
+            plain, recorded,
+            "flight recording must not perturb the outcome"
+        );
+        assert!(recorder.recorded() > 0, "recorder captured nothing");
+        let events = recorder.dump();
+        assert!(!events.is_empty());
+        // The dump is in emission order.
+        assert!(events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
     }
 
     #[test]

@@ -290,6 +290,8 @@ mod tests {
             phase: Phase::Radio,
             kind: TraceKind::TxStart {
                 tx: at,
+                origin: u64::from(node),
+                seq: at,
                 bytes,
                 class,
             },
@@ -399,6 +401,7 @@ mod tests {
             node: 0,
             phase: Phase::Pdd,
             kind: TraceKind::SessionFinished {
+                session: 1,
                 delay_us: 800,
                 rounds: 2,
                 items: 5,

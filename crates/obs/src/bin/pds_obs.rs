@@ -3,6 +3,14 @@
 //! ```text
 //! pds-obs summary <trace.jsonl>            per-phase overhead, delay CDFs,
 //!                                          metrics registry
+//! pds-obs sessions <trace.jsonl>           cross-node session span table
+//! pds-obs critical-path <trace.jsonl>      per-session delay decomposition
+//!                                          (processing / queueing /
+//!                                          contention / airtime / retx)
+//!                                          + per-phase shares and CDFs
+//! pds-obs explain <dump.jsonl>             causal narrative of the most
+//!                                          suspicious session in a
+//!                                          flight-recorder dump
 //! pds-obs cdf <trace.jsonl> [--session]    message (default) or session
 //!                                          delay CDF
 //! pds-obs diff <a.jsonl> <b.jsonl> [--context N]
@@ -14,13 +22,17 @@
 //! `2` usage or parse error.
 
 use pds_obs::{
-    first_divergence, message_delays_us, read_trace_file, render_cdf, render_divergence,
-    render_summary, session_delays_us, TraceEvent,
+    explain, first_divergence, message_delays_us, read_trace_file, render_cdf,
+    render_critical_path, render_divergence, render_sessions, render_summary, session_delays_us,
+    TraceEvent,
 };
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   pds-obs summary <trace.jsonl>
+  pds-obs sessions <trace.jsonl>
+  pds-obs critical-path <trace.jsonl>
+  pds-obs explain <dump.jsonl>
   pds-obs cdf <trace.jsonl> [--session]
   pds-obs diff <a.jsonl> <b.jsonl> [--context N]";
 
@@ -32,6 +44,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     match args {
         [cmd, path] if cmd == "summary" => {
             print!("{}", render_summary(&load(path)?));
+            Ok(ExitCode::SUCCESS)
+        }
+        [cmd, path] if cmd == "sessions" => {
+            print!("{}", render_sessions(&load(path)?));
+            Ok(ExitCode::SUCCESS)
+        }
+        [cmd, path] if cmd == "critical-path" => {
+            print!("{}", render_critical_path(&load(path)?));
+            Ok(ExitCode::SUCCESS)
+        }
+        [cmd, path] if cmd == "explain" => {
+            print!("{}", explain(&load(path)?));
             Ok(ExitCode::SUCCESS)
         }
         [cmd, path, rest @ ..] if cmd == "cdf" => {

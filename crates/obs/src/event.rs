@@ -150,6 +150,12 @@ pub enum TraceKind {
     TxStart {
         /// Transmission id.
         tx: u64,
+        /// Originating node of the carried message (fragments are relayed
+        /// verbatim, so this can differ from the transmitting `node` for
+        /// acks; `origin#seq` keys the message across the whole trace).
+        origin: u64,
+        /// Per-origin sequence number of the carried message.
+        seq: u64,
         /// On-air bytes.
         bytes: u64,
         /// Traffic class (see [`class`]).
@@ -265,6 +271,13 @@ pub enum TraceKind {
     QuerySent {
         /// Query id.
         query: u64,
+        /// Consumer session this query drives (`(node, session)` keys the
+        /// span tree); 0 when the query is a relay / flood forward rather
+        /// than part of an own session.
+        session: u64,
+        /// Transport sequence number of the carrying message
+        /// (`node#seq`), linking the query to its radio-level frames.
+        seq: u64,
     },
     /// `node` received (and accepted for processing) a PDS query.
     QueryReceived {
@@ -277,6 +290,11 @@ pub enum TraceKind {
     ResponseSent {
         /// Response id.
         response: u64,
+        /// Id of the query this response answers (0 = unknown, e.g. a
+        /// batched relay serving several lingering queries at once).
+        query: u64,
+        /// Transport sequence number of the carrying message (`node#seq`).
+        seq: u64,
     },
     /// `node` received a PDS response.
     ResponseReceived {
@@ -287,9 +305,15 @@ pub enum TraceKind {
     },
     /// `node` started a consumer session (discovery or retrieval; the
     /// event's phase says which protocol).
-    SessionStarted,
+    SessionStarted {
+        /// Per-node session sequence number (correlates every
+        /// session-scoped event; `(node, session)` is globally unique).
+        session: u64,
+    },
     /// `node`'s consumer session finished.
     SessionFinished {
+        /// Per-node session sequence number (see [`TraceKind::SessionStarted`]).
+        session: u64,
         /// The paper's latency metric for the session, in virtual µs.
         delay_us: u64,
         /// Rounds (PDD/MDR) or query waves (PDR) issued.
@@ -333,7 +357,7 @@ impl TraceKind {
             TraceKind::QueryReceived { .. } => "query_received",
             TraceKind::ResponseSent { .. } => "response_sent",
             TraceKind::ResponseReceived { .. } => "response_received",
-            TraceKind::SessionStarted => "session_started",
+            TraceKind::SessionStarted { .. } => "session_started",
             TraceKind::SessionFinished { .. } => "session_finished",
         }
     }
@@ -400,6 +424,8 @@ mod tests {
             phase: Phase::Radio,
             kind: TraceKind::TxStart {
                 tx: 9,
+                origin: 3,
+                seq: 2,
                 bytes: 1466,
                 class: 1,
             },

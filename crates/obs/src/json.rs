@@ -60,10 +60,7 @@ pub fn to_json(ev: &TraceEvent) -> String {
         push_u64(&mut s, v);
     };
     match &ev.kind {
-        TraceKind::NodeStart
-        | TraceKind::BucketDrain
-        | TraceKind::Sweep
-        | TraceKind::SessionStarted => {}
+        TraceKind::NodeStart | TraceKind::BucketDrain | TraceKind::Sweep => {}
         TraceKind::MacTry { deferred } => {
             s.push_str(",\"deferred\":");
             s.push_str(if *deferred { "true" } else { "false" });
@@ -79,8 +76,16 @@ pub fn to_json(ev: &TraceEvent) -> String {
         TraceKind::FaultDeliver { fault } => field("fault", *fault),
         TraceKind::TimerFired { timer } => field("timer", *timer),
         TraceKind::Control { ctrl } => field("ctrl", *ctrl),
-        TraceKind::TxStart { tx, bytes, class } => {
+        TraceKind::TxStart {
+            tx,
+            origin,
+            seq,
+            bytes,
+            class,
+        } => {
             field("tx", *tx);
+            field("origin", *origin);
+            field("seq", *seq);
             field("bytes", *bytes);
             field("class", *class);
         }
@@ -118,21 +123,40 @@ pub fn to_json(ev: &TraceEvent) -> String {
             field("seq", *seq);
             field("bytes", *bytes);
         }
-        TraceKind::QuerySent { query } => field("query", *query),
+        TraceKind::QuerySent {
+            query,
+            session,
+            seq,
+        } => {
+            field("query", *query);
+            field("session", *session);
+            field("seq", *seq);
+        }
         TraceKind::QueryReceived { query, from } => {
             field("query", *query);
             field("from", *from);
         }
-        TraceKind::ResponseSent { response } => field("response", *response),
+        TraceKind::ResponseSent {
+            response,
+            query,
+            seq,
+        } => {
+            field("response", *response);
+            field("query", *query);
+            field("seq", *seq);
+        }
         TraceKind::ResponseReceived { response, from } => {
             field("response", *response);
             field("from", *from);
         }
+        TraceKind::SessionStarted { session } => field("session", *session),
         TraceKind::SessionFinished {
+            session,
             delay_us,
             rounds,
             items,
         } => {
+            field("session", *session);
             field("delay_us", *delay_us);
             field("rounds", *rounds);
             field("items", *items);
@@ -336,6 +360,8 @@ pub fn parse_line(line: &str) -> Result<TraceEvent, ParseError> {
         "fault_duplicated" => TraceKind::FaultDuplicated { tx: f.num("tx")? },
         "tx_start" => TraceKind::TxStart {
             tx: f.num("tx")?,
+            origin: f.num("origin")?,
+            seq: f.num("seq")?,
             bytes: f.num("bytes")?,
             class: f.num("class")?,
         },
@@ -376,6 +402,8 @@ pub fn parse_line(line: &str) -> Result<TraceEvent, ParseError> {
         },
         "query_sent" => TraceKind::QuerySent {
             query: f.num("query")?,
+            session: f.num("session")?,
+            seq: f.num("seq")?,
         },
         "query_received" => TraceKind::QueryReceived {
             query: f.num("query")?,
@@ -383,13 +411,18 @@ pub fn parse_line(line: &str) -> Result<TraceEvent, ParseError> {
         },
         "response_sent" => TraceKind::ResponseSent {
             response: f.num("response")?,
+            query: f.num("query")?,
+            seq: f.num("seq")?,
         },
         "response_received" => TraceKind::ResponseReceived {
             response: f.num("response")?,
             from: f.num("from")?,
         },
-        "session_started" => TraceKind::SessionStarted,
+        "session_started" => TraceKind::SessionStarted {
+            session: f.num("session")?,
+        },
         "session_finished" => TraceKind::SessionFinished {
+            session: f.num("session")?,
             delay_us: f.num("delay_us")?,
             rounds: f.num("rounds")?,
             items: f.num("items")?,
@@ -456,6 +489,8 @@ mod tests {
             TraceKind::Sweep,
             TraceKind::TxStart {
                 tx: 3,
+                origin: 9,
+                seq: 4,
                 bytes: 1466,
                 class: 1,
             },
@@ -489,18 +524,32 @@ mod tests {
                 seq: 1,
                 bytes: 40,
             },
-            TraceKind::QuerySent { query: u64::MAX },
+            TraceKind::QuerySent {
+                query: u64::MAX,
+                session: 7,
+                seq: 21,
+            },
+            TraceKind::QuerySent {
+                query: 51,
+                session: 0,
+                seq: 22,
+            },
             TraceKind::QueryReceived {
                 query: 88,
                 from: 12,
             },
-            TraceKind::ResponseSent { response: 0 },
+            TraceKind::ResponseSent {
+                response: 0,
+                query: 88,
+                seq: 23,
+            },
             TraceKind::ResponseReceived {
                 response: 77,
                 from: 3,
             },
-            TraceKind::SessionStarted,
+            TraceKind::SessionStarted { session: 7 },
             TraceKind::SessionFinished {
+                session: 7,
                 delay_us: 1_250_000,
                 rounds: 3,
                 items: 45,
@@ -563,5 +612,185 @@ mod tests {
         let text = "{\"t\":1,\"node\":0,\"phase\":\"kernel\",\"kind\":\"sweep\"}\nbroken\n";
         let e = read_trace(text.as_bytes()).expect_err("second line is broken");
         assert_eq!(e.line, 2);
+    }
+
+    /// Pinned wire format for the session/flight-recorder event kinds.
+    /// Any change to these lines is a deliberate schema migration: update
+    /// the fixture AND bump DESIGN.md §14's schema note in the same PR.
+    #[test]
+    fn session_kind_wire_format_is_pinned() {
+        let cases: [(TraceEvent, &str); 5] = [
+            (
+                TraceEvent {
+                    at_us: 500_000,
+                    node: 2,
+                    phase: Phase::Pdr,
+                    kind: TraceKind::SessionStarted { session: 9 },
+                },
+                "{\"t\":500000,\"node\":2,\"phase\":\"pdr\",\"kind\":\"session_started\",\"session\":9}",
+            ),
+            (
+                TraceEvent {
+                    at_us: 740_250,
+                    node: 2,
+                    phase: Phase::Pdr,
+                    kind: TraceKind::SessionFinished {
+                        session: 9,
+                        delay_us: 240_250,
+                        rounds: 2,
+                        items: 3,
+                    },
+                },
+                "{\"t\":740250,\"node\":2,\"phase\":\"pdr\",\"kind\":\"session_finished\",\"session\":9,\"delay_us\":240250,\"rounds\":2,\"items\":3}",
+            ),
+            (
+                TraceEvent {
+                    at_us: 501_000,
+                    node: 2,
+                    phase: Phase::Pdr,
+                    kind: TraceKind::QuerySent {
+                        query: 18_446_744_073_709_551_615,
+                        session: 9,
+                        seq: 12,
+                    },
+                },
+                "{\"t\":501000,\"node\":2,\"phase\":\"pdr\",\"kind\":\"query_sent\",\"query\":18446744073709551615,\"session\":9,\"seq\":12}",
+            ),
+            (
+                TraceEvent {
+                    at_us: 502_000,
+                    node: 5,
+                    phase: Phase::Pdr,
+                    kind: TraceKind::ResponseSent {
+                        response: 77,
+                        query: 88,
+                        seq: 13,
+                    },
+                },
+                "{\"t\":502000,\"node\":5,\"phase\":\"pdr\",\"kind\":\"response_sent\",\"response\":77,\"query\":88,\"seq\":13}",
+            ),
+            (
+                TraceEvent {
+                    at_us: 502_100,
+                    node: 5,
+                    phase: Phase::Radio,
+                    kind: TraceKind::TxStart {
+                        tx: 41,
+                        origin: 5,
+                        seq: 13,
+                        bytes: 1466,
+                        class: 2,
+                    },
+                },
+                "{\"t\":502100,\"node\":5,\"phase\":\"radio\",\"kind\":\"tx_start\",\"tx\":41,\"origin\":5,\"seq\":13,\"bytes\":1466,\"class\":2}",
+            ),
+        ];
+        for (ev, want) in &cases {
+            assert_eq!(&to_json(ev), want);
+            assert_eq!(&parse_line(want).expect("fixture parses"), ev);
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_phase() -> impl Strategy<Value = Phase> {
+            any::<u64>().prop_map(|i| Phase::ALL[(i % Phase::ALL.len() as u64) as usize])
+        }
+
+        /// Every kind, with payload fields drawn over the full u64/bool
+        /// range, so the codec's integer and bool paths are exhaustively
+        /// fuzzed — not just the hand-picked values in `one_of_each`.
+        fn arb_kind() -> impl Strategy<Value = TraceKind> {
+            let n = any::<u64>;
+            prop_oneof![
+                Just(TraceKind::NodeStart),
+                any::<bool>().prop_map(|deferred| TraceKind::MacTry { deferred }),
+                n().prop_map(|tx| TraceKind::TxEnd { tx }),
+                Just(TraceKind::BucketDrain),
+                n().prop_map(|timer| TraceKind::TimerFired { timer }),
+                n().prop_map(|ctrl| TraceKind::Control { ctrl }),
+                Just(TraceKind::Sweep),
+                n().prop_map(|fault| TraceKind::FaultDeliver { fault }),
+                n().prop_map(|tx| TraceKind::FaultCut { tx }),
+                n().prop_map(|tx| TraceKind::FaultDropped { tx }),
+                n().prop_map(|tx| TraceKind::FaultDelayed { tx }),
+                n().prop_map(|tx| TraceKind::FaultDuplicated { tx }),
+                (n(), n(), n(), n(), n()).prop_map(|(tx, origin, seq, bytes, class)| {
+                    TraceKind::TxStart {
+                        tx,
+                        origin,
+                        seq,
+                        bytes,
+                        class,
+                    }
+                }),
+                (n(), n()).prop_map(|(tx, bytes)| TraceKind::FrameDelivered { tx, bytes }),
+                n().prop_map(|tx| TraceKind::FrameCollided { tx }),
+                n().prop_map(|tx| TraceKind::FrameLostRandom { tx }),
+                n().prop_map(|tx| TraceKind::FrameHalfDuplex { tx }),
+                n().prop_map(|bytes| TraceKind::FrameDroppedOs { bytes }),
+                n().prop_map(|bytes| TraceKind::QueueDepth { bytes }),
+                (n(), n(), n()).prop_map(|(seq, bytes, class)| TraceKind::MessageSent {
+                    seq,
+                    bytes,
+                    class
+                }),
+                (n(), n(), n(), any::<bool>()).prop_map(|(origin, seq, bytes, overheard)| {
+                    TraceKind::MessageDelivered {
+                        origin,
+                        seq,
+                        bytes,
+                        overheard,
+                    }
+                }),
+                n().prop_map(|seq| TraceKind::MessageAcked { seq }),
+                n().prop_map(|seq| TraceKind::MessageFailed { seq }),
+                (n(), n()).prop_map(|(seq, frames)| TraceKind::Retransmit { seq, frames }),
+                (n(), n(), n()).prop_map(|(origin, seq, bytes)| TraceKind::AckSent {
+                    origin,
+                    seq,
+                    bytes
+                }),
+                (n(), n(), n()).prop_map(|(query, session, seq)| TraceKind::QuerySent {
+                    query,
+                    session,
+                    seq
+                }),
+                (n(), n()).prop_map(|(query, from)| TraceKind::QueryReceived { query, from }),
+                (n(), n(), n()).prop_map(|(response, query, seq)| TraceKind::ResponseSent {
+                    response,
+                    query,
+                    seq
+                }),
+                (n(), n())
+                    .prop_map(|(response, from)| TraceKind::ResponseReceived { response, from }),
+                n().prop_map(|session| TraceKind::SessionStarted { session }),
+                (n(), n(), n(), n()).prop_map(|(session, delay_us, rounds, items)| {
+                    TraceKind::SessionFinished {
+                        session,
+                        delay_us,
+                        rounds,
+                        items,
+                    }
+                }),
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn any_event_round_trips(
+                at_us in any::<u64>(),
+                node in any::<u32>(),
+                phase in arb_phase(),
+                kind in arb_kind(),
+            ) {
+                let ev = TraceEvent { at_us, node, phase, kind };
+                let line = to_json(&ev);
+                let back = parse_line(&line).expect("round trip parses");
+                prop_assert_eq!(back, ev);
+            }
+        }
     }
 }

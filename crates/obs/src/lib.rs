@@ -27,7 +27,7 @@
 //!     at_us: 1500,
 //!     node: 3,
 //!     phase: Phase::Radio,
-//!     kind: TraceKind::TxStart { tx: 1, bytes: 1466, class: 1 },
+//!     kind: TraceKind::TxStart { tx: 1, origin: 3, seq: 1, bytes: 1466, class: 1 },
 //! });
 //! let events = sink.events();
 //! assert_eq!(pds_obs::phase_overhead(&events)[&Phase::Pdd].bytes, 1466);
@@ -39,9 +39,11 @@
 
 pub mod analysis;
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod sink;
+pub mod span;
 
 pub use analysis::{
     cdf, first_divergence, message_delays_us, phase_overhead, render_cdf, render_divergence,
@@ -49,6 +51,11 @@ pub use analysis::{
     PhaseOverhead,
 };
 pub use event::{class, Phase, TraceEvent, TraceKind};
+pub use flight::FlightRecorder;
 pub use json::{parse_line, read_trace, read_trace_file, to_json, ParseError};
 pub use metrics::{Histogram, MetricKey, MetricsRegistry};
 pub use sink::{JsonlSink, NullSink, RingSink, TraceSink};
+pub use span::{
+    critical_path, explain, render_critical_path, render_sessions, sessions, DelayBreakdown,
+    DelayComponent, SessionSpan,
+};

@@ -32,14 +32,25 @@ fn ev(at_us: u64, node: u32, phase: Phase, kind: TraceKind) -> TraceEvent {
 fn base_trace() -> Vec<TraceEvent> {
     vec![
         ev(0, 0, Phase::Kernel, TraceKind::NodeStart),
-        ev(10, 0, Phase::Pdd, TraceKind::SessionStarted),
-        ev(10, 0, Phase::Pdd, TraceKind::QuerySent { query: 7 }),
+        ev(10, 0, Phase::Pdd, TraceKind::SessionStarted { session: 1 }),
+        ev(
+            10,
+            0,
+            Phase::Pdd,
+            TraceKind::QuerySent {
+                query: 7,
+                session: 1,
+                seq: 1,
+            },
+        ),
         ev(
             15,
             0,
             Phase::Radio,
             TraceKind::TxStart {
                 tx: 1,
+                origin: 0,
+                seq: 1,
                 bytes: 80,
                 class: 1,
             },
@@ -49,6 +60,7 @@ fn base_trace() -> Vec<TraceEvent> {
             0,
             Phase::Pdd,
             TraceKind::SessionFinished {
+                session: 1,
                 delay_us: 890,
                 rounds: 1,
                 items: 3,
@@ -74,7 +86,16 @@ fn diff_divergent_traces_exits_one_and_pinpoints_event() {
     let left = base_trace();
     let mut right = base_trace();
     // Same prefix, diverging third event: a different query id.
-    right[2] = ev(10, 0, Phase::Pdd, TraceKind::QuerySent { query: 9 });
+    right[2] = ev(
+        10,
+        0,
+        Phase::Pdd,
+        TraceKind::QuerySent {
+            query: 9,
+            session: 1,
+            seq: 1,
+        },
+    );
     let a = write_trace("div-a", &left);
     let b = write_trace("div-b", &right);
     let out = bin().args(["diff"]).arg(&a).arg(&b).output().expect("run");
@@ -83,8 +104,8 @@ fn diff_divergent_traces_exits_one_and_pinpoints_event() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(out.status.code(), Some(1), "divergent traces must exit 1");
     assert!(stdout.contains("first divergence at event #2"), "{stdout}");
-    assert!(stdout.contains("QuerySent { query: 7 }"), "{stdout}");
-    assert!(stdout.contains("QuerySent { query: 9 }"), "{stdout}");
+    assert!(stdout.contains("query: 7"), "{stdout}");
+    assert!(stdout.contains("query: 9"), "{stdout}");
 }
 
 #[test]
@@ -95,6 +116,37 @@ fn summary_renders_phases_and_exits_zero() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success());
     assert!(stdout.contains("pdd"), "{stdout}");
+}
+
+#[test]
+fn sessions_and_critical_path_render_tables() {
+    let a = write_trace("sessions", &base_trace());
+    let out = bin().args(["sessions"]).arg(&a).output().expect("run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(stdout.contains("sessions: 1"), "{stdout}");
+    assert!(stdout.contains("n0"), "{stdout}");
+
+    let out = bin().args(["critical-path"]).arg(&a).output().expect("run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(
+        stdout.contains("critical-path delay decomposition"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("aggregate share by phase"), "{stdout}");
+    std::fs::remove_file(&a).ok();
+}
+
+#[test]
+fn explain_renders_a_narrative() {
+    let a = write_trace("explain", &base_trace());
+    let out = bin().args(["explain"]).arg(&a).output().expect("run");
+    std::fs::remove_file(&a).ok();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(stdout.contains("session n0#1 (pdd)"), "{stdout}");
+    assert!(stdout.contains("narrative"), "{stdout}");
 }
 
 #[test]

@@ -155,6 +155,12 @@ pub struct World {
     /// delivery path at a single branch. Fault decisions consume only the
     /// plan-owned rng, so faultless and no-op-plan runs are bit-identical.
     faults: Option<Box<FaultState>>,
+    /// Kernel events dispatched so far. Always-on (one add per dispatch):
+    /// the denominator of the bench resource accounting's events/sec and
+    /// the natural progress unit for long adversarial runs. Deliberately
+    /// not part of [`Stats`] — it counts kernel work, not protocol
+    /// outcomes.
+    events_dispatched: u64,
     /// Running digest of the dispatched event stream (DESIGN.md §8).
     #[cfg(feature = "replay-digest")]
     digest: crate::digest::ReplayDigest,
@@ -217,6 +223,7 @@ impl World {
             max_airtime,
             sink: None,
             faults: None,
+            events_dispatched: 0,
             #[cfg(feature = "replay-digest")]
             digest: crate::digest::ReplayDigest::default(),
         }
@@ -322,6 +329,12 @@ impl World {
     #[must_use]
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Total kernel events dispatched since construction.
+    #[must_use]
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
     }
 
     /// Traffic counters for one node, if alive.
@@ -525,7 +538,7 @@ impl World {
     /// Runs the event loop until virtual time `horizon` (inclusive); the
     /// clock ends at `horizon` even if the queue drains earlier.
     pub fn run_until(&mut self, horizon: SimTime) {
-        while let Some((at, kind)) = self.queue.pop_until(horizon) {
+        while let Some((at, kind)) = self.pop_event(horizon) {
             self.now = at.max(self.now);
             self.refresh_node_grid();
             self.dispatch(kind);
@@ -534,6 +547,15 @@ impl World {
         // Leave exact buckets behind so post-run queries (scenario code
         // inspecting neighborhoods) need no staleness padding.
         self.refresh_node_grid();
+    }
+
+    /// Pops the next due event off the scheduler. Factored out of
+    /// [`run_until`] so the profiler can charge wheel time separately
+    /// from dispatch time.
+    fn pop_event(&mut self, horizon: SimTime) -> Option<(SimTime, EventKind)> {
+        #[cfg(feature = "prof")]
+        let _t = crate::prof::ScopeTimer::start(crate::prof::SCOPE_WHEEL);
+        self.queue.pop_until(horizon)
     }
 
     /// Re-buckets moving nodes once the grid is older than the configured
@@ -553,6 +575,8 @@ impl World {
         let Self {
             node_grid, nodes, ..
         } = self;
+        #[cfg(feature = "prof")]
+        let _t = crate::prof::ScopeTimer::start(crate::prof::SCOPE_GRID);
         node_grid.rebucket(now, |id| nodes.get(&id).map(|s| s.motion));
     }
 
@@ -563,6 +587,7 @@ impl World {
     }
 
     fn dispatch(&mut self, kind: EventKind) {
+        self.events_dispatched += 1;
         #[cfg(feature = "replay-digest")]
         self.digest.record(self.now, &kind);
         if self.sink.is_some() {
@@ -630,6 +655,8 @@ impl World {
     // ---- application callbacks -------------------------------------------
 
     fn call_app(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Application, &mut Context)) {
+        #[cfg(feature = "prof")]
+        let _t = crate::prof::ScopeTimer::start(crate::prof::SCOPE_ENGINE);
         let now = self.now;
         let next_timer = self.next_timer;
         let trace_on = self.sink.is_some();
@@ -988,6 +1015,16 @@ impl World {
             FrameKind::Ack { .. } => self.stats.ack_bytes_sent += wire,
         }
         let duration = self.config.radio.frame_airtime(frame.wire_bytes);
+        // Message identity of the carried payload, captured before the
+        // frame moves into the transmission table: `origin#seq` is the
+        // correlation key tying this frame to its transport message and —
+        // through the protocol layer's `QuerySent`/`ResponseSent` events —
+        // to the consumer session it serves.
+        let (msg_origin, msg_seq) = match &frame.kind {
+            FrameKind::Data { msg, .. } | FrameKind::Ack { msg, .. } => {
+                (u64::from(msg.origin.0), msg.seq)
+            }
+        };
         let tx_id = self.next_tx;
         self.next_tx += 1;
         self.transmissions.insert(
@@ -1017,6 +1054,8 @@ impl World {
                 Phase::Radio,
                 TraceKind::TxStart {
                     tx: tx_id,
+                    origin: msg_origin,
+                    seq: msg_seq,
                     bytes: wire,
                     class: u64::from(frame_class),
                 },
@@ -1284,6 +1323,8 @@ impl World {
     /// bookkeeping (delivered count, receiver bytes) happens here, at the
     /// actual delivery instant; the receiver may have churned away since.
     fn fault_deliver(&mut self, id: u64) {
+        #[cfg(feature = "prof")]
+        let _t = crate::prof::ScopeTimer::start(crate::prof::SCOPE_FAULT);
         let Some(p) = self.faults.as_mut().and_then(|f| f.pending.remove(&id)) else {
             return;
         };

@@ -103,6 +103,26 @@ fn run_plan(
     traced: bool,
     plan: Option<FaultPlan>,
 ) -> (u64, Stats) {
+    let sink: Option<Box<dyn pds_sim::TraceSink>> = if traced {
+        Some(Box::new(pds_sim::obs::RingSink::new(0)))
+    } else {
+        // CI failure forensics: PDS_TRACE_DIR=<dir> dumps every run's full
+        // event stream as JSONL so `pds-obs diff` can explain a digest
+        // mismatch offline.
+        jsonl_sink_from_env(index, rebucket_ms, seed)
+    };
+    let (digest, stats, _) = run_sinked(index, scheduler, rebucket_ms, seed, sink, plan);
+    (digest, stats)
+}
+
+fn run_sinked(
+    index: SpatialIndex,
+    scheduler: Scheduler,
+    rebucket_ms: u64,
+    seed: u64,
+    sink: Option<Box<dyn pds_sim::TraceSink>>,
+    plan: Option<FaultPlan>,
+) -> (u64, Stats, Option<Box<dyn pds_sim::TraceSink>>) {
     let mut c = SimConfig::default();
     c.radio.baseline_loss = 0.1;
     c.spatial.index = index;
@@ -112,12 +132,7 @@ fn run_plan(
     if let Some(plan) = plan {
         w.install_faults(plan);
     }
-    if traced {
-        w.set_trace_sink(Box::new(pds_sim::obs::RingSink::new(0)));
-    } else if let Some(sink) = jsonl_sink_from_env(index, rebucket_ms, seed) {
-        // CI failure forensics: PDS_TRACE_DIR=<dir> dumps every run's full
-        // event stream as JSONL so `pds-obs diff` can explain a digest
-        // mismatch offline.
+    if let Some(sink) = sink {
         w.set_trace_sink(sink);
     }
     w.add_node(
@@ -145,7 +160,8 @@ fn run_plan(
         w.add_node(Position::new(20.0, 20.0), Box::new(Sink { received: 0 }));
     });
     w.run_until(SimTime::from_secs_f64(8.0));
-    (w.replay_digest(), w.stats().clone())
+    let sink = w.take_trace_sink();
+    (w.replay_digest(), w.stats().clone(), sink)
 }
 
 /// A plan exercising every wire-level fault class against the standard
@@ -191,6 +207,39 @@ fn replay_digest_unchanged_by_tracing() {
     assert!(delivered > 0, "scenario must actually exchange traffic");
     assert_eq!(on, off, "trace sink must not perturb the event stream");
     assert_eq!(delivered_on, delivered);
+}
+
+#[test]
+fn replay_digest_unchanged_by_flight_recorder() {
+    // The always-on black box is observation too: a bounded
+    // `FlightRecorder` (small rings, steady-state overwrites in play)
+    // must leave the dispatched stream bit-identical — same digest pin,
+    // same stats — as no sink at all.
+    let (off, off_stats, _) =
+        run_sinked(SpatialIndex::Grid, Scheduler::default(), 0, 42, None, None);
+    let (on, on_stats, sink) = run_sinked(
+        SpatialIndex::Grid,
+        Scheduler::default(),
+        0,
+        42,
+        Some(Box::new(pds_sim::obs::FlightRecorder::new(256))),
+        None,
+    );
+    assert_eq!(on, off, "flight recorder must not perturb the event stream");
+    assert_eq!(on_stats, off_stats);
+    assert_eq!(on, PINNED_FAULTLESS_DIGEST);
+    let sink = sink.expect("recorder still installed");
+    let recorder = sink
+        .as_any()
+        .downcast_ref::<pds_sim::obs::FlightRecorder>()
+        .expect("flight recorder");
+    assert!(recorder.recorded() > 0, "black box recorded nothing");
+    // When CI is capturing digest forensics, park the flight dump next to
+    // the JSONL traces so the black box rides the same artifact.
+    if let Some(dir) = std::env::var_os("PDS_TRACE_DIR") {
+        let path = std::path::Path::new(&dir).join("flight-grid-seed42.trace.jsonl");
+        recorder.dump_to_file(&path).expect("write flight dump");
+    }
 }
 
 #[test]

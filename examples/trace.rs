@@ -11,7 +11,9 @@
 //! 1. an event census (what kinds of events, how many),
 //! 2. the per-phase overhead table (whose bytes were PDD vs PDR),
 //! 3. the message-delay CDF,
-//! 4. the session reports extracted from `session_finished` events.
+//! 4. the session reports extracted from `session_finished` events,
+//! 5. the causal critical-path decomposition of each session's delay
+//!    (queueing / contention / airtime / retransmission / processing).
 //!
 //! Run with: `cargo run --example trace [-- <trace.jsonl>]`
 //! The trace path defaults to `pds-trace.jsonl` in the temp directory;
@@ -20,7 +22,8 @@
 use bytes::Bytes;
 use pds::core::{ChunkId, DataDescriptor, PdsConfig, PdsNode, QueryFilter};
 use pds::obs::{
-    cdf, message_delays_us, read_trace_file, render_cdf, render_overhead, JsonlSink, TraceKind,
+    cdf, message_delays_us, read_trace_file, render_cdf, render_critical_path, render_overhead,
+    JsonlSink, TraceKind,
 };
 use pds::sim::{Position, SimConfig, SimTime, World};
 use std::collections::BTreeMap;
@@ -109,6 +112,7 @@ fn main() {
             delay_us,
             rounds,
             items,
+            ..
         } = ev.kind
         {
             println!(
@@ -121,8 +125,14 @@ fn main() {
             );
         }
     }
+    // -- 7. Where did the time go? The causal critical path ----------------
+    // Sessions are reconstructed across nodes (the consumer's query, the
+    // relay's forward, the producer's response) and every inter-event gap
+    // is charged to queueing, contention, airtime, retransmission or
+    // processing — the components sum exactly to the session delay.
+    println!("\n{}", render_critical_path(&events));
     println!(
-        "\ninspect the full trace with: pds-obs summary {}",
+        "inspect the full trace with: pds-obs summary {}",
         trace_path.display()
     );
 }

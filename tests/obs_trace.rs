@@ -8,8 +8,8 @@
 use bytes::Bytes;
 use pds_core::{DataDescriptor, PdsConfig, PdsNode, QueryFilter};
 use pds_obs::{
-    first_divergence, phase_overhead, read_trace_file, render_divergence, JsonlSink, Phase,
-    RingSink, TraceEvent, TraceKind, TraceSink,
+    critical_path, first_divergence, phase_overhead, read_trace_file, render_divergence, sessions,
+    DelayComponent, FlightRecorder, JsonlSink, Phase, RingSink, TraceEvent, TraceKind, TraceSink,
 };
 use pds_sim::{Position, SimConfig, SimTime, Stats, World};
 
@@ -129,6 +129,78 @@ fn jsonl_file_round_trips_the_ring_trace() {
     let from_file = read_trace_file(&path).expect("parse trace file");
     std::fs::remove_file(&path).ok();
     assert_eq!(from_file, ring, "JSONL round trip must be lossless");
+}
+
+/// ISSUE 8 acceptance: the critical-path analysis decomposes each
+/// session's end-to-end delay into the five named components, and the
+/// components sum *exactly* (not just within rounding) to the session
+/// delay — every inter-event gap is attributed to exactly one component.
+#[test]
+fn critical_path_components_sum_to_session_delay() {
+    let events = traced_events(42);
+    let spans = sessions(&events);
+    assert!(!spans.is_empty(), "scenario must yield sessions");
+    assert!(
+        DelayComponent::ALL.len() >= 4,
+        "decomposition must name at least four components"
+    );
+    let mut finished = 0;
+    for span in &spans {
+        if span.finish_us.is_none() {
+            continue;
+        }
+        finished += 1;
+        let breakdown = critical_path(span);
+        assert_eq!(
+            breakdown.total_us(),
+            span.span_us(),
+            "components must sum to the end-to-end delay of n{}#{} ({:?})",
+            span.node,
+            span.session,
+            span.phase
+        );
+    }
+    assert!(finished > 0, "at least one session must finish");
+
+    // The PDR retrieval session specifically: a two-hop chunk fetch has
+    // real airtime and processing, so the decomposition is non-trivial.
+    let pdr = spans
+        .iter()
+        .find(|s| s.phase == Phase::Pdr && s.finish_us.is_some())
+        .expect("the retrieval session must finish");
+    let breakdown = critical_path(pdr);
+    assert!(pdr.span_us() > 0, "retrieval cannot be instantaneous");
+    let nonzero = DelayComponent::ALL
+        .iter()
+        .filter(|c| breakdown.get(**c) > 0)
+        .count();
+    assert!(
+        nonzero >= 2,
+        "retrieval delay must split across components: {breakdown:?}"
+    );
+}
+
+/// The always-on flight recorder is a bounded tail of the same stream
+/// the unbounded ring sees: with capacity above the scenario's per-node
+/// event count, the dump reproduces the full trace in emission order,
+/// and recording does not perturb the simulation.
+#[test]
+fn flight_recorder_dump_matches_full_trace() {
+    let ring = traced_events(42);
+    let (mut world, stats) = run(42, Some(Box::new(FlightRecorder::new(1 << 20))));
+    let sink = world.take_trace_sink().expect("sink installed");
+    let recorder = sink
+        .as_any()
+        .downcast_ref::<FlightRecorder>()
+        .expect("flight recorder");
+    assert_eq!(recorder.dropped(), 0, "capacity must cover the scenario");
+    assert_eq!(
+        recorder.dump(),
+        ring,
+        "flight dump must reproduce the trace in emission order"
+    );
+    let (_, untraced) = run(42, None);
+    assert_eq!(stats, untraced, "flight recording must be observation-only");
 }
 
 #[test]
