@@ -1,0 +1,140 @@
+//! Temporary review probe (not part of the PR).
+
+use bytes::Bytes;
+use pds_core::{DataDescriptor, PdsConfig, PdsNode, QueryFilter};
+use pds_obs::{sessions, Phase, RingSink, TraceKind, TraceSink};
+use pds_sim::{Position, SimConfig, SimTime, World};
+
+fn entry(n: u32) -> DataDescriptor {
+    DataDescriptor::builder()
+        .attr("type", "no2")
+        .attr("seq", i64::from(n))
+        .build()
+}
+
+fn video(total: u32) -> DataDescriptor {
+    DataDescriptor::builder()
+        .attr("type", "video")
+        .attr("name", "clip")
+        .attr("total_chunks", i64::from(total))
+        .build()
+}
+
+#[test]
+fn probe_order_and_joins() {
+    let mut world = World::new(SimConfig::default(), 42);
+    world.set_trace_sink(Box::new(RingSink::new(0)));
+    let chunk = |c: u32| Bytes::from(vec![c as u8; 4 * 1024]);
+    let mut provider = PdsNode::new(PdsConfig::default(), 1)
+        .with_chunk(video(3), pds_core::ChunkId(0), chunk(0))
+        .with_chunk(video(3), pds_core::ChunkId(1), chunk(1))
+        .with_chunk(video(3), pds_core::ChunkId(2), chunk(2));
+    for k in 0..4u32 {
+        provider = provider.with_metadata(entry(k), None);
+    }
+    world.add_node(Position::new(0.0, 0.0), Box::new(provider));
+    world.add_node(
+        Position::new(60.0, 0.0),
+        Box::new(PdsNode::new(PdsConfig::default(), 2).with_metadata(entry(10), None)),
+    );
+    let consumer = world.add_node(
+        Position::new(120.0, 0.0),
+        Box::new(PdsNode::new(PdsConfig::default(), 3)),
+    );
+    world.run_until(SimTime::from_secs_f64(0.5));
+    world.with_app::<PdsNode, _>(consumer, |node, ctx| {
+        node.start_discovery(ctx, QueryFilter::match_all());
+    });
+    world.schedule(SimTime::from_secs_f64(8.0), move |w| {
+        w.with_app::<PdsNode, _>(consumer, |node, ctx| {
+            node.start_retrieval(ctx, video(3));
+        });
+    });
+    world.run_until(SimTime::from_secs_f64(30.0));
+    let sink = world.take_trace_sink().expect("sink");
+    let events = sink
+        .as_any()
+        .downcast_ref::<RingSink>()
+        .expect("ring")
+        .events();
+
+    // 1) For each (node, seq): does MessageSent precede QuerySent/ResponseSent?
+    let mut msg_sent_before = 0usize;
+    let mut msg_sent_after = 0usize;
+    let mut proto_seen: std::collections::HashSet<(u32, u64)> = Default::default();
+    let mut total_msg_sent = 0usize;
+    for ev in &events {
+        match &ev.kind {
+            TraceKind::QuerySent { seq, .. } | TraceKind::ResponseSent { seq, .. } => {
+                proto_seen.insert((ev.node, *seq));
+            }
+            TraceKind::MessageSent { seq, .. } => {
+                total_msg_sent += 1;
+                if proto_seen.contains(&(ev.node, *seq)) {
+                    msg_sent_after += 1;
+                } else {
+                    msg_sent_before += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    eprintln!(
+        "MessageSent total={total_msg_sent} before-proto={msg_sent_before} after-proto={msg_sent_after}"
+    );
+
+    // 2) Do session spans contain any MessageSent events?
+    let spans = sessions(&events);
+    let mut joined_msg_sent = 0usize;
+    let mut joined_txstart = 0usize;
+    let mut joined_total = 0usize;
+    for s in &spans {
+        for ev in &s.events {
+            joined_total += 1;
+            match ev.kind {
+                TraceKind::MessageSent { .. } => joined_msg_sent += 1,
+                TraceKind::TxStart { .. } => joined_txstart += 1,
+                _ => {}
+            }
+        }
+    }
+    eprintln!(
+        "spans={} joined_total={joined_total} joined MessageSent={joined_msg_sent} joined TxStart={joined_txstart}",
+        spans.len()
+    );
+
+    // 3) TxStart relative order vs QuerySent for same (origin, seq).
+    let mut tx_before = 0usize;
+    let mut tx_after = 0usize;
+    let mut proto_seen2: std::collections::HashSet<(u64, u64)> = Default::default();
+    for ev in &events {
+        match &ev.kind {
+            TraceKind::QuerySent { seq, .. } | TraceKind::ResponseSent { seq, .. } => {
+                proto_seen2.insert((u64::from(ev.node), *seq));
+            }
+            TraceKind::TxStart { origin, seq, .. } => {
+                if proto_seen2.contains(&(*origin, *seq)) {
+                    tx_after += 1;
+                } else {
+                    tx_before += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    eprintln!("TxStart before-proto={tx_before} after-proto={tx_after}");
+    // Count Phase::Pdd QuerySent with session field != 0
+    let mut own = 0;
+    let mut relay = 0;
+    for ev in &events {
+        if let TraceKind::QuerySent { session, .. } = ev.kind {
+            if session != 0 {
+                own += 1;
+            } else {
+                relay += 1;
+            }
+        }
+    }
+    eprintln!("QuerySent own-session={own} relay={relay}");
+    let _ = Phase::Pdd;
+}
