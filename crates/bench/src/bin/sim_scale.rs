@@ -39,10 +39,22 @@
 //! wall overhead within the same 110% budget (DESIGN.md §14). A
 //! `"resources"` block always records kernel events dispatched, event
 //! throughput, and (under the `count-alloc` feature) peak heap bytes per
-//! node count. `--check-baseline [path]` finally compares the fresh
+//! node count.
+//!
+//! `--shards N` (default 4; env fallback `PDS_SIM_SHARDS`) sets the shard
+//! count for the `"shards"` block: the grid scenario stepped sequentially
+//! (`shards = 1`) and through the shard verdict executor (DESIGN.md §15)
+//! at each shard node count — up to n = 2000, where the ISSUE 9 speedup
+//! criterion applies — with identical statistics asserted and the
+//! speedup recorded. Every check block carries the host `cores` so
+//! readers and the baseline check can tell a real speedup from a
+//! single-core run.
+//!
+//! `--check-baseline [path]` finally compares the fresh
 //! record against the committed one — deterministic counters exactly,
-//! speedups with 25% tolerance, wall times never — and exits nonzero on
-//! regression (see `pds_bench::baseline`).
+//! speedups with 25% tolerance (shard and sweep speedups skipped entirely
+//! when either record ran on one core), wall times never — and exits
+//! nonzero on regression (see `pds_bench::baseline`).
 
 use pds_bench::{SweepRunner, WallClock};
 use pds_sim::{
@@ -154,9 +166,20 @@ impl Application for Chatter {
 /// out on a square grid at constant cluster density (so area grows with
 /// `n`), with a fraction of the nodes walking.
 fn build_world(n: usize, index: SpatialIndex, scheduler: Scheduler, seed: u64) -> World {
+    build_world_sharded(n, index, scheduler, seed, 1)
+}
+
+fn build_world_sharded(
+    n: usize,
+    index: SpatialIndex,
+    scheduler: Scheduler,
+    seed: u64,
+    shards: u32,
+) -> World {
     let mut config = SimConfig::default();
     config.spatial.index = index;
     config.scheduler = scheduler;
+    config.shards = shards;
     // Large-area scenario knobs (identical in both modes, so the runs stay
     // comparable): a 4-range interference horizon — at the default
     // path-loss exponent a transmitter that far away contributes under 2%
@@ -531,6 +554,64 @@ fn scheduler_bench(horizon: SimTime) -> Vec<SchedulerRow> {
     rows
 }
 
+/// One row of the shard-scaling comparison: the grid scenario stepped
+/// sequentially (`shards = 1`) and through the shard verdict executor.
+struct ShardRow {
+    n: usize,
+    seq_wall_s: f64,
+    sharded_wall_s: f64,
+    speedup: f64,
+    stats_equal: bool,
+}
+
+/// Node counts for the shard-scaling section. These extend past the main
+/// grid at 2000 because the ISSUE 9 speedup criterion is stated at
+/// n ≥ 2000, where per-round verdict work dominates merge overhead.
+const SHARD_NODE_COUNTS: [usize; 3] = [500, 1000, 2000];
+
+/// Sequential vs sharded stepping at every shard node count. Like every
+/// other section, the executor is an index, not an approximation: the two
+/// runs must produce identical statistics or the benchmark aborts. The
+/// speedup is only meaningful on multi-core hosts — the baseline check
+/// skips it when either record ran with `cores == 1`.
+fn shards_bench(horizon: SimTime, shards: u32) -> Vec<ShardRow> {
+    let mut rows = Vec::new();
+    for &n in &SHARD_NODE_COUNTS {
+        let run = |shards: u32| -> ModeRun {
+            let mut world =
+                build_world_sharded(n, SpatialIndex::Grid, Scheduler::default(), 42, shards);
+            let start = WallClock::start();
+            world.run_until(horizon);
+            ModeRun {
+                wall_s: start.elapsed_s(),
+                stats: world.stats().clone(),
+            }
+        };
+        let seq = run(1);
+        let sharded = run(shards);
+        let stats_equal = seq.stats == sharded.stats;
+        let speedup = seq.wall_s / sharded.wall_s.max(1e-9);
+        println!(
+            "shards n={n:>5}  seq {:>8.3}s  sharded({shards}) {:>8.3}s  speedup {speedup:>6.2}x  \
+             stats_equal={stats_equal}",
+            seq.wall_s, sharded.wall_s
+        );
+        assert!(
+            stats_equal,
+            "sharded stepping diverged from sequential at n={n}, shards={shards}: {:?} vs {:?}",
+            seq.stats, sharded.stats
+        );
+        rows.push(ShardRow {
+            n,
+            seq_wall_s: seq.wall_s,
+            sharded_wall_s: sharded.wall_s,
+            speedup,
+            stats_equal,
+        });
+    }
+    rows
+}
+
 fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -554,6 +635,20 @@ fn main() -> std::process::ExitCode {
         pds_bench::sweep::set_jobs(n);
     }
     let jobs = pds_bench::sweep::jobs();
+    // `--shards N` (env fallback `PDS_SIM_SHARDS`, default 4): shard count
+    // for the shard-scaling section below.
+    let shards = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u32>().ok())
+        .or_else(|| {
+            std::env::var("PDS_SIM_SHARDS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .unwrap_or(4)
+        .max(1);
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -588,6 +683,8 @@ fn main() -> std::process::ExitCode {
 
     let sched_rows = scheduler_bench(horizon);
 
+    let shard_rows = shards_bench(horizon, shards);
+
     // Both trace-check arms are single runs on the main thread (jobs = 1
     // semantics), so the 110% budget always compares like-for-like even
     // when the sweep above ran wide.
@@ -612,6 +709,7 @@ fn main() -> std::process::ExitCode {
     let _ = writeln!(json, "  \"bench\": \"sim_scale\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"sim_seconds\": {sim_seconds},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
     let _ = writeln!(json, "  \"stats_equal\": {all_equal},");
     let _ = writeln!(
         json,
@@ -626,21 +724,24 @@ fn main() -> std::process::ExitCode {
     if let Some((off_s, on_s, ratio)) = traced {
         let _ = writeln!(
             json,
-            "  \"trace_check\": {{\"jobs\": 1, \"untraced_wall_s\": {off_s:.6}, \
+            "  \"trace_check\": {{\"jobs\": 1, \"cores\": {cores}, \
+             \"untraced_wall_s\": {off_s:.6}, \
              \"traced_wall_s\": {on_s:.6}, \"overhead_ratio\": {ratio:.4}}},"
         );
     }
     if let Some((off_s, on_s, ratio)) = faulted {
         let _ = writeln!(
             json,
-            "  \"fault_check\": {{\"jobs\": 1, \"plain_wall_s\": {off_s:.6}, \
+            "  \"fault_check\": {{\"jobs\": 1, \"cores\": {cores}, \
+             \"plain_wall_s\": {off_s:.6}, \
              \"noop_plan_wall_s\": {on_s:.6}, \"overhead_ratio\": {ratio:.4}}},"
         );
     }
     if let Some((bare_s, traced_s, on_s, ratio)) = flight {
         let _ = writeln!(
             json,
-            "  \"flight_check\": {{\"jobs\": 1, \"bare_wall_s\": {bare_s:.6}, \
+            "  \"flight_check\": {{\"jobs\": 1, \"cores\": {cores}, \
+             \"bare_wall_s\": {bare_s:.6}, \
              \"traced_wall_s\": {traced_s:.6}, \"recorded_wall_s\": {on_s:.6}, \
              \"overhead_ratio\": {ratio:.4}}},"
         );
@@ -675,6 +776,18 @@ fn main() -> std::process::ExitCode {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"shards\": {{\"count\": {shards}, \"rows\": [");
+    let shard_last = shard_rows.len() - 1;
+    for (i, row) in shard_rows.iter().enumerate() {
+        let comma = if i == shard_last { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"seq_wall_s\": {:.6}, \"sharded_wall_s\": {:.6}, \
+             \"speedup\": {:.3}, \"stats_equal\": {}}}{comma}",
+            row.n, row.seq_wall_s, row.sharded_wall_s, row.speedup, row.stats_equal
+        );
+    }
+    let _ = writeln!(json, "  ]}},");
     let _ = writeln!(json, "  \"results\": [");
     let last = rows.len() - 1;
     for (i, (n, grid, brute, speedup, equal)) in rows.iter().enumerate() {

@@ -257,7 +257,7 @@ impl Default for Scheduler {
 }
 
 /// Complete simulator configuration.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Physical/MAC parameters.
     pub radio: RadioConfig,
@@ -269,6 +269,29 @@ pub struct SimConfig {
     pub spatial: SpatialConfig,
     /// Event-queue implementation selection.
     pub scheduler: Scheduler,
+    /// Number of spatial shards for intra-run parallel stepping.
+    ///
+    /// `1` (the default) is the exact sequential path with zero overhead.
+    /// Values > 1 precompute physical receive verdicts for transmissions
+    /// ending inside a conservative lookahead window on a scoped thread
+    /// pool; every RNG draw still happens on the sequential commit path,
+    /// so the replay digest and `Stats` are bit-identical for any shard
+    /// count (gated in CI the same way grid/brute and wheel/heap are).
+    /// `0` is normalized to `1` at `World::new`.
+    pub shards: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            radio: RadioConfig::default(),
+            sender: SenderMode::default(),
+            ack: AckConfig::default(),
+            spatial: SpatialConfig::default(),
+            scheduler: Scheduler::default(),
+            shards: 1,
+        }
+    }
 }
 
 impl SimConfig {
@@ -353,6 +376,12 @@ mod tests {
         assert_eq!(s.index, SpatialIndex::Grid);
         assert!((s.cell_factor - 1.0).abs() < 1e-12);
         assert_eq!(s.rebucket_interval, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn default_shards_is_the_sequential_path() {
+        assert_eq!(SimConfig::default().shards, 1);
+        assert_eq!(SimConfig::paper_multi_hop().shards, 1);
     }
 
     #[test]

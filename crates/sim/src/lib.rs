@@ -65,6 +65,7 @@ mod digest;
 mod events;
 mod fault;
 mod radio;
+mod shard;
 mod spatial;
 mod stats;
 mod transport;

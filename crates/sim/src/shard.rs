@@ -1,0 +1,329 @@
+//! Spatial sharding: deterministic intra-run parallel stepping.
+//!
+//! Sweeps already parallelize across runs; this module parallelizes
+//! *within* one run without touching the replay contract. The arena is
+//! partitioned into shards by striping the [`NodeGrid`] cell x-coordinate
+//! of each transmission's start position. Within a conservative lookahead
+//! window (one maximum frame airtime — no transmission that starts after
+//! `now` can end before `now + max_airtime`, and radio propagation is
+//! instantaneous, so the window bounds everything the physical layer can
+//! still learn about), a scoped worker pool precomputes, per transmission
+//! ending inside the window, the **physical receive verdict** of every
+//! in-range receiver: half-duplex, collided, or survivor.
+//!
+//! The verdict function [`phys_verdicts`] is pure over world state that
+//! is frozen for the window unless an invalidating action occurs (node
+//! add/remove/move/teleport, or a new transmission starting nearby).
+//! [`World`](crate::World) tags each cached verdict with a state
+//! fingerprint (motion epoch, transmission-start log mark, drift pad) and
+//! recomputes inline whenever the fingerprint no longer holds — so a
+//! cached verdict is used only when it is provably equal to what the
+//! sequential path would compute.
+//!
+//! Every random draw — baseline loss, fault rolls, MAC defers, ACK jitter
+//! — stays on the sequential commit path in ascending-receiver order, and
+//! shard workers never touch the event queue, stats, rng, or trace sink.
+//! Replay digests and [`Stats`](crate::Stats) are therefore bit-identical
+//! for any shard count, by construction rather than by synchronization:
+//! cross-shard radio events need no boundary merge because their commit
+//! order *is* the sequential `(time, seq)` dispatch order.
+
+use crate::config::{RadioConfig, SimConfig, SpatialIndex};
+use crate::radio::{Motion, Position, Transmission};
+use crate::spatial::{cell_of, NodeGrid, TxEntry, TxGrid};
+use pds_core::{NodeId, SimDuration};
+use pds_det::DetMap;
+use std::collections::BTreeMap;
+
+/// Physical receive verdict for one in-range receiver of a transmission.
+/// Everything that consumes randomness (baseline loss, fault rolls)
+/// happens later, on the sequential commit path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PhysOutcome {
+    /// The receiver was transmitting an overlapping frame of its own.
+    HalfDuplex,
+    /// Interference beat the capture threshold at this receiver.
+    Collided,
+    /// Survived the physical layer; loss and fault rolls decide the rest.
+    Survivor,
+}
+
+/// Borrowed, `Sync` view of exactly the world state [`phys_verdicts`]
+/// reads. Constructible both from `&World` (inline recompute) and from a
+/// disjoint-field destructure (shard rounds, where the remaining `World`
+/// fields hold non-`Sync` application boxes).
+#[derive(Clone, Copy)]
+pub(crate) struct PhysArgs<'a> {
+    pub config: &'a SimConfig,
+    /// Motions of all alive nodes, keyed identically to the node table.
+    pub motions: &'a BTreeMap<NodeId, Motion>,
+    pub transmissions: &'a BTreeMap<u64, Transmission>,
+    pub tx_by_sender: &'a DetMap<NodeId, Vec<u64>>,
+    pub node_grid: &'a NodeGrid,
+    pub tx_grid: &'a TxGrid,
+}
+
+/// Reusable candidate buffers for [`phys_verdicts`] — hot-path
+/// allocations otherwise. Each worker owns one; the world keeps one for
+/// inline recomputes.
+#[derive(Debug, Default)]
+pub(crate) struct PhysScratch {
+    /// Receiver candidates from the node grid.
+    pub cands_nodes: Vec<(NodeId, Motion)>,
+    /// Interferer candidates from the transmission grid.
+    pub cands_tx: Vec<TxEntry>,
+    /// Deduplicated receivers with evaluated positions.
+    pub receivers: Vec<(NodeId, Position)>,
+    /// Deduplicated interferers with start positions.
+    pub interferers: Vec<(NodeId, Position)>,
+}
+
+/// A verdict list precomputed by a shard round, plus the fingerprint of
+/// the world state it was computed against.
+#[derive(Debug)]
+pub(crate) struct CachedVerdict {
+    /// [`World::motion_epoch`](crate::World) at the round; any node
+    /// add/remove/move/teleport since then invalidates the entry.
+    pub epoch: u64,
+    /// Absolute index into the transmission-start log at the round; log
+    /// entries at or past this mark are the transmissions that started
+    /// after the verdict was computed and must be checked for overlap.
+    pub log_mark: u64,
+    /// Maximum distance any in-flight walker can have drifted over the
+    /// lookahead window (`max_speed × lookahead`), used to pad the
+    /// half-duplex invalidation radius.
+    pub pad_m: f64,
+    /// In-range receivers in ascending id order with their outcomes.
+    pub verdicts: Vec<(NodeId, PhysOutcome)>,
+}
+
+/// The conservative lookahead window: the airtime of the largest frame.
+/// A transmission that starts at or after `now` occupies the air for at
+/// most this long, so precomputing only ends within `(now, now + Δ]`
+/// bounds how much any yet-unseen transmission can invalidate.
+pub(crate) fn lookahead(radio: &RadioConfig) -> SimDuration {
+    radio.frame_airtime(radio.max_frame_bytes)
+}
+
+/// Shard owning position `pos`: stripes of node-grid columns, assigned
+/// round-robin by cell x-coordinate. Striping (rather than block
+/// partitioning) balances clustered layouts without knowing arena bounds.
+pub(crate) fn shard_of(pos: Position, cell_m: f64, shards: u32) -> u32 {
+    let (cx, _) = cell_of(pos, cell_m);
+    let n = i64::from(shards.max(1));
+    // rem_euclid keeps negative columns in range.
+    (cx.rem_euclid(n)) as u32
+}
+
+/// Computes the physical receive verdicts of `tx`, evaluated at its end
+/// time, into `out` in ascending receiver-id order.
+///
+/// This is a pure transcription of the sequential `tx_end` decision
+/// logic: same candidate enumeration per [`SpatialIndex`] mode, same
+/// sort/dedup, same exact-range filters, and the same f64 interference
+/// summation order — so two calls over equal state produce bit-identical
+/// verdicts no matter which thread runs them.
+pub(crate) fn phys_verdicts(
+    a: &PhysArgs<'_>,
+    tx: &Transmission,
+    out: &mut Vec<(NodeId, PhysOutcome)>,
+    scratch: &mut PhysScratch,
+) {
+    // `tx_end` dispatches exactly at the transmission's end time, so every
+    // position below is evaluated at `tx.end`.
+    let at = tx.end;
+    let radio = &a.config.radio;
+    let range = radio.range_m;
+    let tx_pos = tx.start_pos;
+    // Candidates must come out ascending by id in both index modes: the
+    // per-receiver rng rolls at commit consume the shared stream, so
+    // receiver *order* is part of the replay contract.
+    let receivers = &mut scratch.receivers;
+    receivers.clear();
+    match a.config.spatial.index {
+        SpatialIndex::BruteForce => receivers.extend(
+            a.motions
+                .iter()
+                .filter(|(&r, _)| r != tx.sender)
+                .map(|(&r, m)| (r, m.position(at))),
+        ),
+        SpatialIndex::Grid => {
+            let cands = &mut scratch.cands_nodes;
+            cands.clear();
+            a.node_grid.query_into(tx_pos, range, at, cands);
+            cands.sort_unstable_by_key(|&(r, _)| r);
+            cands.dedup_by_key(|&mut (r, _)| r);
+            receivers.extend(
+                cands
+                    .iter()
+                    .filter(|&&(r, _)| r != tx.sender)
+                    .map(|&(r, m)| (r, m.position(at))),
+            );
+        }
+    }
+    let path_loss = radio.path_loss_exp;
+    let capture = radio.capture_sinr;
+    let trunc = range * radio.interference_range_factor;
+    // Received power at distance d, with a 1 m reference floor.
+    let power = |d: f64| d.max(1.0).powf(-path_loss);
+    // Everything that could interfere with this frame at *some* receiver,
+    // in ascending id order (f64 addition is not associative; the exact
+    // per-receiver sum order is part of the replay contract).
+    let keep =
+        |t: &Transmission| t.id != tx.id && t.sender != tx.sender && t.overlaps(tx.start, tx.end);
+    let interferers = &mut scratch.interferers;
+    interferers.clear();
+    if a.config.spatial.index == SpatialIndex::Grid && trunc.is_finite() {
+        let cands = &mut scratch.cands_tx;
+        cands.clear();
+        a.tx_grid.query_into(tx_pos, trunc + range, cands);
+        cands.sort_unstable_by_key(|t| t.id);
+        cands.dedup_by_key(|t| t.id);
+        interferers.extend(
+            cands
+                .iter()
+                .filter(|t| {
+                    t.id != tx.id && t.sender != tx.sender && t.start < tx.end && tx.start < t.end
+                })
+                .map(|t| (t.sender, t.pos)),
+        );
+    } else {
+        interferers.extend(
+            a.transmissions
+                .values()
+                .filter(|t| keep(t))
+                .map(|t| (t.sender, t.start_pos)),
+        );
+    }
+    for &(r, rpos) in scratch.receivers.iter() {
+        if tx_pos.distance(&rpos) > range {
+            continue;
+        }
+        let half_duplex = a.tx_by_sender.get(&r).is_some_and(|ids| {
+            ids.iter().any(|tid| {
+                a.transmissions
+                    .get(tid)
+                    .is_some_and(|t| t.overlaps(tx.start, tx.end))
+            })
+        });
+        if half_duplex {
+            out.push((r, PhysOutcome::HalfDuplex));
+            continue;
+        }
+        let interference: f64 = scratch
+            .interferers
+            .iter()
+            .filter(|&&(s, _)| s != r)
+            .map(|&(_, p)| p.distance(&rpos))
+            .filter(|&d| d <= trunc)
+            .map(power)
+            .sum();
+        if interference > 0.0 && power(tx_pos.distance(&rpos)) < capture * interference {
+            out.push((r, PhysOutcome::Collided));
+            continue;
+        }
+        out.push((r, PhysOutcome::Survivor));
+    }
+}
+
+/// One precomputed result: the transmission id and its ordered
+/// per-receiver verdict list.
+pub(crate) type TxVerdicts = (u64, Vec<(NodeId, PhysOutcome)>);
+
+/// Runs one shard round: each worker computes the verdict lists for its
+/// stripe of pending transmissions. Workers are observation-only — they
+/// read the shared [`PhysArgs`] snapshot and return data; the caller
+/// inserts results into the cache on the main thread, so cross-thread
+/// scheduling can never reorder anything observable.
+pub(crate) fn compute_sharded(a: &PhysArgs<'_>, work: &[Vec<u64>]) -> Vec<Vec<TxVerdicts>> {
+    // The determinism lint bans threads in the simulation kernel; this is
+    // the audited exception it names. Scoped workers only evaluate the
+    // pure `phys_verdicts` function over a frozen `Sync` snapshot — no
+    // rng, stats, queue, or trace access — so results are independent of
+    // thread scheduling and the join order below is fixed by shard index.
+    // lint: allow(thread-pool) -- audited shard executor: workers run the pure verdict function over a frozen snapshot and results merge in fixed shard order; see DESIGN.md §15.
+    std::thread::scope(|s| {
+        let handles: Vec<_> = work
+            .iter()
+            .map(|ids| {
+                s.spawn(move || {
+                    let mut scratch = PhysScratch::default();
+                    let mut done = Vec::with_capacity(ids.len());
+                    for id in ids {
+                        let Some(tx) = a.transmissions.get(id) else {
+                            continue;
+                        };
+                        let mut out = Vec::new();
+                        phys_verdicts(a, tx, &mut out, &mut scratch);
+                        done.push((*id, out));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookahead_is_the_largest_frame_airtime() {
+        let r = RadioConfig::default();
+        // 1500 B at 12 Mbps = 1 ms, plus 0.3 ms overhead.
+        assert_eq!(lookahead(&r).as_micros(), 1300);
+        assert_eq!(lookahead(&r), r.frame_airtime(r.max_frame_bytes));
+    }
+
+    #[test]
+    fn shard_assignment_stripes_by_cell_column() {
+        let cell = 75.0;
+        // Same column, different rows: same shard.
+        let a = shard_of(Position { x: 10.0, y: 0.0 }, cell, 4);
+        let b = shard_of(Position { x: 10.0, y: 500.0 }, cell, 4);
+        assert_eq!(a, b);
+        // Adjacent columns go to adjacent shards.
+        let c = shard_of(
+            Position {
+                x: 10.0 + cell,
+                y: 0.0,
+            },
+            cell,
+            4,
+        );
+        assert_eq!(c, (a + 1) % 4);
+    }
+
+    #[test]
+    fn shard_assignment_at_cell_boundaries() {
+        let cell = 75.0;
+        // x = cell_m is the first point of column 1, not column 0 —
+        // matching `cell_of`'s floor semantics exactly.
+        let s0 = shard_of(Position { x: 74.999, y: 0.0 }, cell, 2);
+        let s1 = shard_of(Position { x: 75.0, y: 0.0 }, cell, 2);
+        assert_ne!(s0, s1);
+        // Negative columns stay in range (rem_euclid, not %).
+        for shards in [1u32, 2, 3, 4, 8] {
+            for x in [-1000.0, -75.0, -0.001, 0.0, 74.999, 75.0, 1000.0] {
+                let s = shard_of(Position { x, y: 0.0 }, cell, shards);
+                assert!(s < shards, "shard {s} out of range for {shards} shards");
+            }
+        }
+        // x = -0.001 is column -1 → last shard; x = 0.0 is column 0.
+        assert_eq!(shard_of(Position { x: -0.001, y: 0.0 }, cell, 4), 3);
+        assert_eq!(shard_of(Position { x: 0.0, y: 0.0 }, cell, 4), 0);
+    }
+
+    #[test]
+    fn zero_shards_is_treated_as_one() {
+        assert_eq!(shard_of(Position { x: 300.0, y: 0.0 }, 75.0, 0), 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: the audited shard verdict executor — scoped threads inside
+//! the simulation crate justified by a `thread-pool` pragma. The audit
+//! argument after `--` is what the ratchet pins: workers only evaluate a
+//! pure function over a frozen snapshot, so scheduling cannot reorder
+//! anything observable.
+
+fn round(work: &[Vec<u64>]) -> Vec<Vec<u64>> {
+    // lint: allow(thread-pool) -- audited shard executor: workers run a pure verdict function over a frozen snapshot; results merge in fixed shard order
+    std::thread::scope(|s| {
+        let handles: Vec<_> = work
+            .iter()
+            .map(|ids| s.spawn(move || ids.iter().map(|i| i * 2).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    })
+}

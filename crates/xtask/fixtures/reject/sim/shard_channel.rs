@@ -1,0 +1,16 @@
+//! Fixture: a shard-executor-shaped worker pool WITHOUT the audit pragma
+//! must still be rejected — the exemption is per-site, not a blanket
+//! license for threads in the kernel. Channels are caught too: mpsc
+//! receive order depends on host scheduling.
+
+fn round(work: &[Vec<u64>]) -> Vec<u64> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::scope(|s| {
+        for ids in work {
+            let tx = tx.clone();
+            s.spawn(move || tx.send(ids.len() as u64));
+        }
+    });
+    drop(tx);
+    rx.iter().collect()
+}

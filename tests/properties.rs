@@ -591,6 +591,125 @@ proptest! {
     }
 }
 
+// ---- sharded stepping equivalence -----------------------------------------
+//
+// `SimConfig::shards` partitions the arena into grid-column stripes whose
+// physical verdicts are precomputed concurrently within a conservative
+// lookahead window (DESIGN.md §15). Like the spatial grid and the timer
+// wheel, the shard executor is an *index*, not an approximation: for any
+// shard count the statistics (and, under the `replay-digest` feature, the
+// event-stream digest) must be bit-identical to the sequential path —
+// including under motion, churn, and an installed fault plan.
+
+/// Runs a random scenario at a given shard count and returns everything
+/// observable: aggregate stats, per-node stats in id order, and the replay
+/// digest when the feature is on (`None` otherwise, so comparisons stay
+/// vacuously true rather than silently weaker).
+fn sharded_run(
+    plans: &[NodePlan],
+    seed: u64,
+    shards: u32,
+    plan: Option<pds_sim::FaultPlan>,
+) -> (pds_sim::Stats, Vec<pds_sim::NodeStats>, Option<u64>) {
+    let mut config = SimConfig::default();
+    config.radio.baseline_loss = 0.05;
+    config.radio.interference_range_factor = 4.0;
+    config.shards = shards;
+    let mut w = World::new(config, seed);
+    if let Some(plan) = plan {
+        w.install_faults(plan);
+    }
+    let ids: Vec<_> = plans
+        .iter()
+        .map(|&((x, y), _, _, _, period)| {
+            w.add_node(
+                Position::new(x, y),
+                Box::new(SimChatter { period_ms: period }),
+            )
+        })
+        .collect();
+    for (&(_, (dx, dy), speed, flags, _), &id) in plans.iter().zip(&ids) {
+        if flags & 1 != 0 {
+            w.move_node(id, Position::new(dx, dy), speed);
+        }
+    }
+    w.run_until(SimTime::from_secs_f64(0.8));
+    // Churn the flagged nodes out mid-run: cache invalidation must track
+    // the epoch bump, not just positions.
+    for (&(_, _, _, flags, _), &id) in plans.iter().zip(&ids) {
+        if flags & 2 != 0 {
+            w.remove_node(id);
+        }
+    }
+    w.run_until(SimTime::from_secs_f64(1.6));
+    let per_node = ids
+        .iter()
+        .filter_map(|&id| w.node_stats(id))
+        .collect::<Vec<_>>();
+    #[cfg(feature = "replay-digest")]
+    let digest = Some(w.replay_digest());
+    #[cfg(not(feature = "replay-digest"))]
+    let digest = None;
+    (w.stats().clone(), per_node, digest)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any random scenario stepped at shards ∈ {2, 4, 8} must be
+    /// observationally identical to the sequential path (shards = 1).
+    #[test]
+    fn shard_count_never_changes_simulation_results(
+        seed in any::<u64>(),
+        plans in node_plans(14),
+    ) {
+        let base = sharded_run(&plans, seed, 1, None);
+        for shards in [2u32, 4, 8] {
+            let run = sharded_run(&plans, seed, shards, None);
+            prop_assert_eq!(&run, &base, "shards={} diverged", shards);
+        }
+    }
+
+    /// Same property with a biting fault plan installed: probabilistic
+    /// drops/dups/delays draw from the plan's own rng stream, and a
+    /// partition plus a silence window cut deliveries mid-flight. The
+    /// shard executor must not perturb any of those draws' order.
+    #[test]
+    fn shard_count_never_changes_faulty_runs(
+        seed in any::<u64>(),
+        plan_seed in any::<u64>(),
+        plans in node_plans(10),
+        drop_ppm in 0u32..150_001,
+        dup_ppm in 0u32..80_001,
+        delay_ppm in 0u32..80_001,
+        boundary in 1u32..6,
+    ) {
+        let plan = pds_sim::FaultPlan {
+            seed: plan_seed,
+            drop_prob: f64::from(drop_ppm) / 1e6,
+            dup_prob: f64::from(dup_ppm) / 1e6,
+            delay_prob: f64::from(delay_ppm) / 1e6,
+            delay_max: SimDuration::from_millis(120),
+            partitions: vec![pds_sim::PartitionWindow {
+                from: SimTime::from_micros(200_000),
+                until: SimTime::from_micros(700_000),
+                boundary,
+            }],
+            silences: vec![pds_sim::SilenceWindow {
+                node: 0,
+                from: SimTime::from_micros(900_000),
+                until: SimTime::from_micros(1_200_000),
+            }],
+            storms: Vec::new(),
+        };
+        let base = sharded_run(&plans, seed, 1, Some(plan.clone()));
+        for shards in [2u32, 4, 8] {
+            let run = sharded_run(&plans, seed, shards, Some(plan.clone()));
+            prop_assert_eq!(&run, &base, "shards={} diverged under faults", shards);
+        }
+    }
+}
+
 // ---- dst fault plans --------------------------------------------------------
 
 proptest! {
