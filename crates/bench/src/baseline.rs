@@ -11,8 +11,19 @@
 //!   in the fresh record;
 //! - **speedups** tolerate 25% degradation — they divide two wall times,
 //!   so runner noise partially cancels but does not vanish;
+//! - **event throughput** (`events_per_sec`, in the `resources` and
+//!   `city` blocks) tolerates 50% degradation and is compared only when
+//!   both records ran on hosts of the same core count — an absolute rate
+//!   on different hardware is a different experiment;
+//! - **peak heap per node** (`bytes_per_node`) may grow at most 25%, and
+//!   only counts when both records measured a nonzero peak (both built
+//!   with `count-alloc`) — the memory diet must not quietly un-diet;
 //! - **absolute wall times** are never compared — CI runners differ too
 //!   much for an absolute gate to stay honest.
+//!
+//! The `city` block is additionally gated on both records having run the
+//! same city node count and horizon (nightly runs 50k against a committed
+//! 10k record: `stats_equal` is still enforced, counters are not).
 //!
 //! The sweep speedup is additionally skipped when either record ran with
 //! more jobs than the host had cores (`sweep.cores < sweep.jobs`): an
@@ -33,6 +44,19 @@ use std::fmt;
 /// Fraction of the baseline speedup the fresh run may lose before the
 /// check fails (one-sided: running faster is never a regression).
 pub const SPEEDUP_TOLERANCE: f64 = 0.25;
+
+/// Fraction of the baseline event throughput (`events_per_sec`) the fresh
+/// run may lose before the check fails. Wider than the speedup tolerance
+/// because throughput is an absolute host-dependent rate, not a ratio of
+/// two same-host wall times — it is only compared at all when both
+/// records ran on hosts of the same width.
+pub const THROUGHPUT_TOLERANCE: f64 = 0.5;
+
+/// Fractional growth in per-node peak heap (`bytes_per_node`) the fresh
+/// run may show before the check fails (one-sided: using less memory is
+/// never a regression). Compared only when both records measured a
+/// nonzero peak, i.e. both were built with `count-alloc`.
+pub const BYTES_PER_NODE_TOLERANCE: f64 = 0.25;
 
 /// A parsed JSON value (subset: no `null`, no string escapes beyond `\"`
 /// and `\\` — `sim_scale` emits neither).
@@ -86,6 +110,15 @@ impl Value {
     pub fn as_arr(&self) -> Option<&[Value]> {
         match self {
             Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string value, if any.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
             _ => None,
         }
     }
@@ -408,6 +441,122 @@ pub fn check(baseline_json: &str, current_json: &str) -> Result<Verdict, String>
             .and_then(|s| s.get("count"))
             .and_then(Value::as_f64)
     };
+    // Resource metrics are compared under their own gates: event
+    // throughput only across hosts of the same width (an absolute rate on
+    // a narrower host is a different experiment, not a regression), peak
+    // heap per node only when both records measured one (`count-alloc`).
+    let cores_match = host_cores(&base).is_some() && host_cores(&base) == host_cores(&cur);
+    let mut throughputs: Vec<(String, f64, f64)> = Vec::new();
+    let mut byte_loads: Vec<(String, f64, f64)> = Vec::new();
+    let mut resource_pair = |what: &str, brow: &Value, crow: &Value| {
+        if cores_match {
+            if let (Some(b), Some(c)) = (
+                brow.get("events_per_sec").and_then(Value::as_f64),
+                crow.get("events_per_sec").and_then(Value::as_f64),
+            ) {
+                throughputs.push((format!("{what}.events_per_sec"), b, c));
+            }
+        }
+        if let (Some(b), Some(c)) = (
+            brow.get("bytes_per_node").and_then(Value::as_f64),
+            crow.get("bytes_per_node").and_then(Value::as_f64),
+        ) {
+            if b > 0.0 && c > 0.0 {
+                byte_loads.push((format!("{what}.bytes_per_node"), b, c));
+            }
+        }
+    };
+    {
+        let base_rows = rows(&base, "resources");
+        let cur_rows = rows(&cur, "resources");
+        for brow in &base_rows {
+            let Some(n) = brow.get("n").and_then(Value::as_f64) else {
+                continue;
+            };
+            if let Some(crow) = find_n(&cur_rows, n) {
+                resource_pair(&format!("resources[n={n}]"), brow, &crow);
+            }
+        }
+    }
+
+    // City block: rows are matched by scenario key. Deterministic event
+    // counts (and the resource metrics above) are comparable only when
+    // both records ran the same node count on the same horizon — nightly
+    // 50k vs committed 10k is a different experiment — but a false
+    // `stats_equal` in the fresh record is a determinism break at any n.
+    let city_rows = |root: &Value| -> Vec<Value> {
+        root.get("city")
+            .and_then(|c| c.get("rows"))
+            .and_then(Value::as_arr)
+            .map(<[Value]>::to_vec)
+            .unwrap_or_default()
+    };
+    let cur_city_rows = city_rows(&cur);
+    for crow in &cur_city_rows {
+        let scenario = crow
+            .get("scenario")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_owned();
+        if crow.get("stats_equal").and_then(Value::as_bool) == Some(false) {
+            regressions.push(Regression {
+                what: format!("city.rows[{scenario}].stats_equal is false"),
+                baseline: 1.0,
+                current: 0.0,
+            });
+        }
+    }
+    let city_setting = |root: &Value, key: &str| -> Option<f64> {
+        root.get("city").and_then(|c| c.get(key)).and_then(Value::as_f64)
+    };
+    let city_comparable = city_setting(&base, "n").is_some()
+        && city_setting(&base, "n") == city_setting(&cur, "n")
+        && city_setting(&base, "sim_seconds") == city_setting(&cur, "sim_seconds");
+    if city_comparable {
+        for brow in city_rows(&base) {
+            let Some(scenario) = brow.get("scenario").and_then(Value::as_str) else {
+                continue;
+            };
+            let Some(crow) = cur_city_rows
+                .iter()
+                .find(|r| r.get("scenario").and_then(Value::as_str) == Some(scenario))
+            else {
+                regressions.push(Regression {
+                    what: format!("city.rows[{scenario}] missing from current record"),
+                    baseline: 1.0,
+                    current: f64::NAN,
+                });
+                continue;
+            };
+            exact(
+                &mut regressions,
+                format!("city.rows[{scenario}].events"),
+                brow.get("events").and_then(Value::as_f64),
+                crow.get("events").and_then(Value::as_f64),
+            );
+            resource_pair(&format!("city.rows[{scenario}]"), &brow, crow);
+        }
+    }
+
+    for (what, b, c) in throughputs {
+        if b > 0.0 && c < b * (1.0 - THROUGHPUT_TOLERANCE) {
+            regressions.push(Regression {
+                what,
+                baseline: b,
+                current: c,
+            });
+        }
+    }
+    for (what, b, c) in byte_loads {
+        if c > b * (1.0 + BYTES_PER_NODE_TOLERANCE) {
+            regressions.push(Regression {
+                what,
+                baseline: b,
+                current: c,
+            });
+        }
+    }
+
     let shards_comparable =
         multi_core && shard_count(&base).is_some() && shard_count(&base) == shard_count(&cur);
     let cur_shard_rows = shard_rows(&cur);
@@ -650,6 +799,130 @@ mod tests {
         let b = record(1000, 5000, 2.0, 4, 8)
             .replace("\"speedup\": 5.0", "\"grid_wall_s\": 9.0, \"speedup\": 5.0");
         assert!(regressions(check(&a, &b).unwrap()).is_empty());
+    }
+
+    fn city_record(n: u64, events: u64, eps: u64, bpn: u64, cores: u64, equal: bool) -> String {
+        format!(
+            "{{\"bench\": \"sim_scale\", \"quick\": true, \"sim_seconds\": 2, \
+             \"cores\": {cores},\n\
+             \"sweep\": {{\"jobs\": 1, \"cores\": {cores}, \"speedup\": 1.0, \
+             \"results_equal\": true}},\n\
+             \"city\": {{\"n\": {n}, \"sim_seconds\": 2, \"budget_bytes_per_node\": 32768, \
+             \"rows\": [{{\"scenario\": \"stadium_exit\", \"n\": {n}, \"events\": {events}, \
+             \"events_per_sec\": {eps}, \"peak_alloc_bytes\": 1, \"bytes_per_node\": {bpn}, \
+             \"stats_equal\": {equal}}}]}},\n\
+             \"results\": []}}"
+        )
+    }
+
+    #[test]
+    fn city_event_drift_is_exact_regression() {
+        let found = regressions(
+            check(
+                &city_record(10_000, 350_000, 300_000, 10_000, 4, true),
+                &city_record(10_000, 350_001, 300_000, 10_000, 4, true),
+            )
+            .unwrap(),
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].what.contains("city.rows[stadium_exit].events"), "{}", found[0]);
+    }
+
+    #[test]
+    fn city_blocks_at_different_n_compare_nothing_but_stats_equal() {
+        // Nightly (50k) against the committed 10k record: counters and
+        // rates are different experiments, but a determinism break in the
+        // fresh record still fails.
+        let found = regressions(
+            check(
+                &city_record(10_000, 350_000, 300_000, 10_000, 4, true),
+                &city_record(50_000, 999_999, 50_000, 30_000, 4, true),
+            )
+            .unwrap(),
+        );
+        assert!(found.is_empty(), "{found:?}");
+        let found = regressions(
+            check(
+                &city_record(10_000, 350_000, 300_000, 10_000, 4, true),
+                &city_record(50_000, 999_999, 50_000, 30_000, 4, false),
+            )
+            .unwrap(),
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].what.contains("stats_equal"), "{}", found[0]);
+    }
+
+    #[test]
+    fn throughput_collapse_is_a_regression_on_matching_hosts() {
+        let found = regressions(
+            check(
+                &city_record(10_000, 350_000, 300_000, 10_000, 4, true),
+                &city_record(10_000, 350_000, 100_000, 10_000, 4, true),
+            )
+            .unwrap(),
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].what.contains("events_per_sec"), "{}", found[0]);
+        // Same collapse across hosts of different widths: skipped.
+        let found = regressions(
+            check(
+                &city_record(10_000, 350_000, 300_000, 10_000, 8, true),
+                &city_record(10_000, 350_000, 100_000, 10_000, 4, true),
+            )
+            .unwrap(),
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn per_node_heap_growth_is_a_regression() {
+        let found = regressions(
+            check(
+                &city_record(10_000, 350_000, 300_000, 10_000, 4, true),
+                &city_record(10_000, 350_000, 300_000, 20_000, 4, true),
+            )
+            .unwrap(),
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].what.contains("bytes_per_node"), "{}", found[0]);
+        // Within tolerance: 10000 → 12000 is +20% < 25%.
+        let found = regressions(
+            check(
+                &city_record(10_000, 350_000, 300_000, 10_000, 4, true),
+                &city_record(10_000, 350_000, 300_000, 12_000, 4, true),
+            )
+            .unwrap(),
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn unmeasured_heap_is_skipped_not_failed() {
+        // bytes_per_node == 0 means the record was built without
+        // `count-alloc`; comparing against it would punish measuring.
+        let found = regressions(
+            check(
+                &city_record(10_000, 350_000, 300_000, 0, 4, true),
+                &city_record(10_000, 350_000, 300_000, 20_000, 4, true),
+            )
+            .unwrap(),
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn baseline_without_city_block_still_compares() {
+        let old = format!(
+            "{{\"bench\": \"sim_scale\", \"quick\": true, \"sim_seconds\": 2, \
+             \"cores\": 8,\n\
+             \"sweep\": {{\"jobs\": 1, \"cores\": 8, \"speedup\": 1.0, \
+             \"results_equal\": true}},\n\
+             \"results\": []}}"
+        );
+        let new = city_record(10_000, 350_000, 300_000, 10_000, 8, true);
+        // Neither direction may error or regress on the missing block.
+        assert!(regressions(check(&old, &new).unwrap()).is_empty());
+        assert!(regressions(check(&new, &old).unwrap()).is_empty());
     }
 
     #[test]

@@ -50,13 +50,26 @@
 //! readers and the baseline check can tell a real speedup from a
 //! single-core run.
 //!
+//! `--city-n N` (env fallback `PDS_CITY_N`, default 10000) sets the node
+//! count for the `"city"` block: the city-scale scenario family
+//! (`pds_bench::city` — stadium exit, vehicular corridor, disaster
+//! relief) run on a fixed 2-second horizon, each scenario twice with the
+//! same seed (identical statistics asserted), recording events/sec and
+//! peak heap bytes per node. Under `count-alloc` at n ≥ 10000 the
+//! ≤ 32 KB/node budget of the slab/SoA memory diet is asserted outright.
+//! Blocks whose baseline assertions are gated on host parallelism or
+//! measurement features carry a `skipped_reason` member saying why the
+//! recorded numbers were not asserted.
+//!
 //! `--check-baseline [path]` finally compares the fresh
 //! record against the committed one — deterministic counters exactly,
 //! speedups with 25% tolerance (shard and sweep speedups skipped entirely
-//! when either record ran on one core), wall times never — and exits
-//! nonzero on regression (see `pds_bench::baseline`).
+//! when either record ran on one core), event throughput and per-node
+//! heap with their own tolerances when the hosts are comparable, wall
+//! times never — and exits nonzero on regression (see
+//! `pds_bench::baseline`).
 
-use pds_bench::{SweepRunner, WallClock};
+use pds_bench::{CityScenario, SweepRunner, WallClock, CITY_BYTES_PER_NODE_BUDGET};
 use pds_sim::{
     Application, Context, FaultPlan, MessageMeta, Position, Scheduler, SimConfig, SimDuration,
     SimTime, SpatialIndex, World,
@@ -612,6 +625,80 @@ fn shards_bench(horizon: SimTime, shards: u32) -> Vec<ShardRow> {
     rows
 }
 
+/// Simulated horizon for the city family, independent of `--quick`: the
+/// city block stays comparable between quick and full records, and the
+/// disaster-relief partition window ([0.5 s, 1.2 s)) always falls inside
+/// the run.
+const CITY_SIM_SECONDS: f64 = 2.0;
+
+/// One row of the city-scale report (`pds_bench::city`): a scenario run
+/// twice with the same seed — statistics must match exactly — with peak
+/// heap and event throughput from the first run. The event count is a
+/// pure function of `(scenario, n, seed)`; the baseline check compares it
+/// exactly when the records ran the same `n`.
+struct CityRow {
+    scenario: &'static str,
+    events: u64,
+    wall_s: f64,
+    events_per_sec: f64,
+    peak_alloc_bytes: usize,
+    stats_equal: bool,
+}
+
+/// Runs the whole city family at one node count. Asserts same-seed
+/// reproducibility per scenario and — when the `count-alloc` feature is
+/// measuring and `n` is at least the 10k floor the budget is stated at —
+/// the ≤ 32 KB/node peak-heap budget of the slab/SoA diet (DESIGN.md §16).
+fn city_bench(n: usize) -> Vec<CityRow> {
+    let horizon = SimTime::from_secs_f64(CITY_SIM_SECONDS);
+    CityScenario::ALL
+        .iter()
+        .map(|&scenario| {
+            heap_track::reset_peak();
+            let mut world = scenario.build(n, 42);
+            let start = WallClock::start();
+            world.run_until(horizon);
+            let wall_s = start.elapsed_s();
+            let peak_alloc_bytes = heap_track::peak();
+            let events = world.events_dispatched();
+            let first_stats = world.stats().clone();
+            drop(world);
+            let mut world = scenario.build(n, 42);
+            world.run_until(horizon);
+            let stats_equal = *world.stats() == first_stats;
+            assert!(
+                stats_equal,
+                "city {} diverged between same-seed runs at n={n}",
+                scenario.key()
+            );
+            let events_per_sec = events as f64 / wall_s.max(1e-9);
+            let bytes_per_node = peak_alloc_bytes as f64 / n as f64;
+            println!(
+                "city {:<20} n={n:>6}  events={events:>9}  {events_per_sec:>12.0} ev/s  \
+                 peak_heap={peak_alloc_bytes} B  ({bytes_per_node:.0} B/node)  \
+                 stats_equal={stats_equal}",
+                scenario.key()
+            );
+            if peak_alloc_bytes > 0 && n >= 10_000 {
+                assert!(
+                    bytes_per_node <= CITY_BYTES_PER_NODE_BUDGET as f64,
+                    "city {} blew the per-node heap budget at n={n}: \
+                     {bytes_per_node:.0} B/node > {CITY_BYTES_PER_NODE_BUDGET} B/node",
+                    scenario.key()
+                );
+            }
+            CityRow {
+                scenario: scenario.key(),
+                events,
+                wall_s,
+                events_per_sec,
+                peak_alloc_bytes,
+                stats_equal,
+            }
+        })
+        .collect()
+}
+
 fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -648,6 +735,21 @@ fn main() -> std::process::ExitCode {
                 .and_then(|s| s.parse().ok())
         })
         .unwrap_or(4)
+        .max(1);
+    // `--city-n N` (env fallback `PDS_CITY_N`, default 10000): node count
+    // for the city-scale scenario family. The quick CI run keeps the
+    // default; nightly CI sets 50000; 100000 is for manual capacity runs.
+    let city_n = args
+        .iter()
+        .position(|a| a == "--city-n")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+        .or_else(|| {
+            std::env::var("PDS_CITY_N")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .unwrap_or(10_000)
         .max(1);
     let out_path = args
         .iter()
@@ -699,6 +801,8 @@ fn main() -> std::process::ExitCode {
 
     let resources = resources_bench(horizon);
 
+    let city_rows = city_bench(city_n);
+
     // Honest-speedup context for the sweep block: a parallel run with
     // more jobs than cores measures scheduling pressure, not the
     // executor, so readers (and the baseline check) need the host width.
@@ -711,10 +815,16 @@ fn main() -> std::process::ExitCode {
     let _ = writeln!(json, "  \"sim_seconds\": {sim_seconds},");
     let _ = writeln!(json, "  \"cores\": {cores},");
     let _ = writeln!(json, "  \"stats_equal\": {all_equal},");
+    // Blocks whose baseline assertions are cores-gated say so in the
+    // record itself, so a reader of a single-core JSON knows the speedup
+    // numbers were recorded but never asserted.
+    let cores_skip = (cores == 1)
+        .then_some(", \"skipped_reason\": \"single-core host: speedup not asserted\"")
+        .unwrap_or("");
     let _ = writeln!(
         json,
         "  \"sweep\": {{\"jobs\": {}, \"cores\": {cores}, \"sequential_wall_s\": {:.6}, \
-         \"parallel_wall_s\": {:.6}, \"speedup\": {:.3}, \"results_equal\": {}}},",
+         \"parallel_wall_s\": {:.6}, \"speedup\": {:.3}, \"results_equal\": {}{cores_skip}}},",
         sweep.jobs,
         sweep.sequential_wall_s,
         sweep.parallel_wall_s,
@@ -776,7 +886,38 @@ fn main() -> std::process::ExitCode {
         );
     }
     let _ = writeln!(json, "  ],");
-    let _ = writeln!(json, "  \"shards\": {{\"count\": {shards}, \"rows\": [");
+    let _ = writeln!(
+        json,
+        "  \"city\": {{\"n\": {city_n}, \"sim_seconds\": {CITY_SIM_SECONDS}, \
+         \"budget_bytes_per_node\": {CITY_BYTES_PER_NODE_BUDGET}{}, \"rows\": [",
+        if cfg!(feature = "count-alloc") {
+            ""
+        } else {
+            ", \"skipped_reason\": \"count-alloc feature off: byte budget not measured\""
+        }
+    );
+    let city_last = city_rows.len() - 1;
+    for (i, row) in city_rows.iter().enumerate() {
+        let comma = if i == city_last { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"scenario\": \"{}\", \"n\": {city_n}, \"events\": {}, \"wall_s\": {:.6}, \
+             \"events_per_sec\": {:.0}, \"peak_alloc_bytes\": {}, \"bytes_per_node\": {:.0}, \
+             \"stats_equal\": {}}}{comma}",
+            row.scenario,
+            row.events,
+            row.wall_s,
+            row.events_per_sec,
+            row.peak_alloc_bytes,
+            row.peak_alloc_bytes as f64 / city_n as f64,
+            row.stats_equal
+        );
+    }
+    let _ = writeln!(json, "  ]}},");
+    let _ = writeln!(
+        json,
+        "  \"shards\": {{\"count\": {shards}{cores_skip}, \"rows\": ["
+    );
     let shard_last = shard_rows.len() - 1;
     for (i, row) in shard_rows.iter().enumerate() {
         let comma = if i == shard_last { "" } else { "," };

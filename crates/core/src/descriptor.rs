@@ -3,7 +3,7 @@
 use crate::ids::{ChunkId, ItemName};
 use crate::value::AttrValue;
 use bytes::Buf;
-use std::collections::BTreeMap;
+use std::cmp::Ordering;
 use std::fmt;
 
 /// Well-known attribute names.
@@ -20,6 +20,90 @@ pub mod attrs {
     pub const CHUNK_ID: &str = "chunk_id";
     /// Generation time.
     pub const TIME: &str = "time";
+}
+
+/// An interned attribute name: the six well-known names every descriptor
+/// in the system uses are enum atoms (no heap allocation, one byte),
+/// and only genuinely custom names pay for an owned string.
+///
+/// A city-scale world holds millions of descriptor attributes — almost
+/// all of them named `ns`/`type`/`name`/`time`/`chunk_id`/`total_chunks`.
+/// As `String` keys those cost ~24 bytes of struct plus a heap block
+/// each; as atoms they cost nothing. Ordering and equality are defined
+/// by the *name string* (see [`AttrName::as_str`]), so sorted iteration,
+/// canonical encodings and [`EntryKey`]s are byte-identical to the
+/// string-keyed representation this replaces.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AttrName {
+    /// `chunk_id`
+    ChunkId,
+    /// `name`
+    Name,
+    /// `ns`
+    Ns,
+    /// `time`
+    Time,
+    /// `total_chunks`
+    TotalChunks,
+    /// `type`
+    Type,
+    /// Any other attribute name.
+    Other(Box<str>),
+}
+
+impl AttrName {
+    /// The name as a string slice — the canonical form that defines
+    /// ordering, equality and the wire encoding.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        match self {
+            AttrName::ChunkId => attrs::CHUNK_ID,
+            AttrName::Name => attrs::NAME,
+            AttrName::Ns => attrs::NAMESPACE,
+            AttrName::Time => attrs::TIME,
+            AttrName::TotalChunks => attrs::TOTAL_CHUNKS,
+            AttrName::Type => attrs::TYPE,
+            AttrName::Other(s) => s,
+        }
+    }
+}
+
+impl From<&str> for AttrName {
+    fn from(s: &str) -> Self {
+        match s {
+            attrs::CHUNK_ID => AttrName::ChunkId,
+            attrs::NAME => AttrName::Name,
+            attrs::NAMESPACE => AttrName::Ns,
+            attrs::TIME => AttrName::Time,
+            attrs::TOTAL_CHUNKS => AttrName::TotalChunks,
+            attrs::TYPE => AttrName::Type,
+            other => AttrName::Other(other.into()),
+        }
+    }
+}
+
+impl From<String> for AttrName {
+    fn from(s: String) -> Self {
+        AttrName::from(s.as_str())
+    }
+}
+
+impl PartialOrd for AttrName {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for AttrName {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl fmt::Display for AttrName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// Canonical identity of a metadata entry: the byte encoding of its
@@ -57,7 +141,10 @@ impl EntryKey {
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct DataDescriptor {
-    attrs: BTreeMap<String, AttrValue>,
+    /// Sorted by name, unique — a flat vec, not a tree: descriptors have
+    /// a handful of attributes, and one contiguous allocation (with
+    /// interned [`AttrName`] atoms) replaces a B-tree node per map.
+    attrs: Vec<(AttrName, AttrValue)>,
 }
 
 impl DataDescriptor {
@@ -70,7 +157,10 @@ impl DataDescriptor {
     /// Looks up an attribute by name.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<&AttrValue> {
-        self.attrs.get(name)
+        self.attrs
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .ok()
+            .and_then(|i| self.attrs.get(i).map(|(_, v)| v))
     }
 
     /// Iterates attributes in name order.
@@ -124,7 +214,7 @@ impl DataDescriptor {
     #[must_use]
     pub fn chunk_descriptor(&self, id: ChunkId) -> DataDescriptor {
         let mut attrs = self.attrs.clone();
-        attrs.insert(attrs::CHUNK_ID.to_owned(), AttrValue::Int(i64::from(id.0)));
+        insert_sorted(&mut attrs, AttrName::ChunkId, AttrValue::Int(i64::from(id.0)));
         DataDescriptor { attrs }
     }
 
@@ -133,7 +223,7 @@ impl DataDescriptor {
     #[must_use]
     pub fn item_descriptor(&self) -> DataDescriptor {
         let mut attrs = self.attrs.clone();
-        attrs.remove(attrs::CHUNK_ID);
+        attrs.retain(|(k, _)| !matches!(k, AttrName::ChunkId));
         DataDescriptor { attrs }
     }
 
@@ -149,6 +239,7 @@ impl DataDescriptor {
         let mut out = Vec::with_capacity(self.encoded_len());
         out.push(self.attrs.len() as u8);
         for (k, v) in &self.attrs {
+            let k = k.as_str();
             out.push(k.len() as u8);
             out.extend_from_slice(k.as_bytes());
             v.encode(&mut out);
@@ -162,7 +253,7 @@ impl DataDescriptor {
         1 + self
             .attrs
             .iter()
-            .map(|(k, v)| 1 + k.len() + v.encoded_len())
+            .map(|(k, v)| 1 + k.as_str().len() + v.encoded_len())
             .sum::<usize>()
     }
 
@@ -174,7 +265,7 @@ impl DataDescriptor {
             return None;
         }
         let n = buf.get_u8() as usize;
-        let mut attrs = BTreeMap::new();
+        let mut attrs = Vec::with_capacity(n);
         for _ in 0..n {
             if buf.remaining() < 1 {
                 return None;
@@ -187,7 +278,7 @@ impl DataDescriptor {
             buf.copy_to_slice(&mut kb);
             let key = String::from_utf8(kb).ok()?;
             let value = AttrValue::decode(buf)?;
-            attrs.insert(key, value);
+            insert_sorted(&mut attrs, AttrName::from(key), value);
         }
         Some(DataDescriptor { attrs })
     }
@@ -206,10 +297,22 @@ impl fmt::Display for DataDescriptor {
     }
 }
 
+/// Inserts (or replaces) `name` in a name-sorted attribute vec.
+fn insert_sorted(attrs: &mut Vec<(AttrName, AttrValue)>, name: AttrName, value: AttrValue) {
+    match attrs.binary_search_by(|(k, _)| k.as_str().cmp(name.as_str())) {
+        Ok(i) => {
+            if let Some(slot) = attrs.get_mut(i) {
+                slot.1 = value;
+            }
+        }
+        Err(i) => attrs.insert(i, (name, value)),
+    }
+}
+
 /// Incremental builder for [`DataDescriptor`].
 #[derive(Debug, Default)]
 pub struct DescriptorBuilder {
-    attrs: BTreeMap<String, AttrValue>,
+    attrs: Vec<(AttrName, AttrValue)>,
 }
 
 impl DescriptorBuilder {
@@ -230,7 +333,7 @@ impl DescriptorBuilder {
         if let AttrValue::Float(f) = value {
             assert!(!f.is_nan(), "attribute value must not be NaN");
         }
-        self.attrs.insert(name, value);
+        insert_sorted(&mut self.attrs, AttrName::from(name), value);
         self
     }
 

@@ -193,11 +193,12 @@ impl PdsEngine {
     pub fn new(id: NodeId, config: PdsConfig, seed: u64) -> Self {
         let mut store = DataStore::new();
         store.set_chunk_cache(config.chunk_cache);
+        let lqt_budget = config.lqt_byte_budget;
         Self {
             id,
             config,
             store,
-            lqt: LingeringQueryTable::new(),
+            lqt: LingeringQueryTable::with_budget(lqt_budget),
             cdi: CdiTable::new(),
             recent_responses: DetMap::default(),
             pending_chunk: DetMap::default(),

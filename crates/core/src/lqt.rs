@@ -12,7 +12,7 @@ use crate::message::{QueryKind, QueryMessage};
 use crate::{NodeId, SimTime};
 use pds_bloom::BloomFilter;
 use pds_det::DetMap;
-use std::collections::BTreeSet;
+use std::collections::VecDeque;
 
 /// Canonical Bloom-filter / dedup key for a chunk of an item (used by MDR
 /// redundancy detection and consumer-side chunk tracking).
@@ -23,6 +23,89 @@ pub fn chunk_key(item: &ItemName, chunk: ChunkId) -> Vec<u8> {
     k.push(0);
     k.extend_from_slice(&chunk.0.to_le_bytes());
     k
+}
+
+/// A dense bitset of chunk ids. Chunk ids are small and dense
+/// (`0..total_chunks`), so one bit per chunk replaces a `BTreeSet` node
+/// per chunk — a ~100× shrink for the outstanding-chunk tracking every
+/// directed chunk query carries, which is what the per-node LQT byte
+/// budget counts at city scale.
+#[derive(Debug, Clone, Default)]
+pub struct ChunkSet {
+    words: Vec<u64>,
+    len: u32,
+}
+
+impl ChunkSet {
+    /// Adds a chunk; returns `true` if newly added.
+    pub fn insert(&mut self, c: ChunkId) -> bool {
+        let (w, b) = (c.0 as usize / 64, c.0 % 64);
+        if self.words.len() <= w {
+            self.words.resize(w + 1, 0);
+        }
+        let Some(word) = self.words.get_mut(w) else {
+            return false;
+        };
+        let mask = 1u64 << b;
+        if *word & mask == 0 {
+            *word |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes a chunk; returns `true` if it was present.
+    pub fn remove(&mut self, c: &ChunkId) -> bool {
+        let (w, b) = (c.0 as usize / 64, c.0 % 64);
+        let Some(word) = self.words.get_mut(w) else {
+            return false;
+        };
+        let mask = 1u64 << b;
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether a chunk is present.
+    #[must_use]
+    pub fn contains(&self, c: &ChunkId) -> bool {
+        let (w, b) = (c.0 as usize / 64, c.0 % 64);
+        self.words.get(w).is_some_and(|word| word & (1u64 << b) != 0)
+    }
+
+    /// Number of chunks present.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate heap footprint in bytes.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+}
+
+impl FromIterator<ChunkId> for ChunkSet {
+    fn from_iter<I: IntoIterator<Item = ChunkId>>(iter: I) -> Self {
+        let mut s = ChunkSet::default();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
 }
 
 /// One lingering query and its mutable en-route state.
@@ -36,7 +119,7 @@ pub struct Lingering {
     pub bloom: Option<BloomFilter>,
     /// For [`QueryKind::Chunks`]: chunks still owed upstream; relaying a
     /// chunk removes it so later copies are not re-relayed.
-    pub remaining_chunks: BTreeSet<ChunkId>,
+    pub remaining_chunks: ChunkSet,
     /// For [`QueryKind::Cdi`]: best hop count already reported upstream per
     /// chunk; only improvements are forwarded.
     pub reported_cdi: DetMap<ChunkId, u32>,
@@ -63,6 +146,32 @@ impl Lingering {
         if let Some(b) = &mut self.bloom {
             b.insert(key);
         }
+    }
+
+    /// Approximate resident bytes of this entry: struct plus the heap
+    /// behind it (cached Bloom bits, outstanding-chunk bitset, reported-CDI
+    /// map, and the query's own allocations). Drives the table's byte
+    /// budget; an estimate, not an exact accounting.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        let bloom = self
+            .bloom
+            .as_ref()
+            .map_or(0, |b| b.params().byte_len() + 32);
+        let query = self.query.bloom.as_ref().map_or(0, Vec::capacity)
+            + match &self.query.kind {
+                QueryKind::Cdi { descriptor } => descriptor.encoded_len() * 2,
+                QueryKind::Chunks { item, chunks } => {
+                    item.as_str().len() + chunks.capacity() * size_of::<ChunkId>()
+                }
+                QueryKind::MdrChunks { item, .. } => item.as_str().len(),
+                QueryKind::Metadata | QueryKind::SmallData => 0,
+            };
+        size_of::<Self>()
+            + bloom
+            + query
+            + self.remaining_chunks.approx_bytes()
+            + self.reported_cdi.capacity() * (size_of::<ChunkId>() + size_of::<u32>() + 8)
     }
 }
 
@@ -91,9 +200,26 @@ impl Lingering {
 /// assert!(lqt.seen(QueryId(1)), "redundant copies are detected");
 /// assert_eq!(lqt.match_metadata(SimTime::ZERO).len(), 1);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LingeringQueryTable {
     entries: DetMap<QueryId, Lingering>,
+    /// Insertion order, for byte-budget eviction (oldest first). Ids whose
+    /// entries were removed through `remove`/`gc` are skipped lazily.
+    order: VecDeque<QueryId>,
+    /// Per-node cap on the table's approximate resident bytes
+    /// ([`LingeringQueryTable::approx_bytes`]); inserting past it evicts
+    /// the oldest entries. `usize::MAX` = unbounded.
+    byte_budget: usize,
+}
+
+impl Default for LingeringQueryTable {
+    fn default() -> Self {
+        Self {
+            entries: DetMap::default(),
+            order: VecDeque::new(),
+            byte_budget: usize::MAX,
+        }
+    }
 }
 
 impl LingeringQueryTable {
@@ -101,6 +227,23 @@ impl LingeringQueryTable {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty table that evicts oldest queries once its
+    /// approximate footprint exceeds `byte_budget` bytes (the city-scale
+    /// per-node memory knob; see `PdsConfig::lqt_byte_budget`).
+    #[must_use]
+    pub fn with_budget(byte_budget: usize) -> Self {
+        Self {
+            byte_budget,
+            ..Self::default()
+        }
+    }
+
+    /// Approximate resident bytes across all held entries.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.entries.values().map(Lingering::approx_bytes).sum()
     }
 
     /// Whether a query with this id has been received (and is still held).
@@ -120,6 +263,15 @@ impl LingeringQueryTable {
         if self.entries.contains_key(&query.id) {
             return false;
         }
+        // A finite byte budget also bounds the capacity of blooms this
+        // node synthesizes for bloom-less queries (decoded wire blooms are
+        // kept verbatim): there is no point provisioning a 4096-entry
+        // filter per query when the whole table must fit tens of KB.
+        let cap_limit = if self.byte_budget == usize::MAX {
+            usize::MAX
+        } else {
+            (self.byte_budget / 16).max(64)
+        };
         let bloom = query
             .bloom
             .as_deref()
@@ -133,15 +285,19 @@ impl LingeringQueryTable {
                     _ => None,
                 };
                 capacity.map(|n| {
-                    BloomFilter::with_round(pds_bloom::BloomParams::optimal(n, 0.01), query.round)
+                    BloomFilter::with_round(
+                        pds_bloom::BloomParams::optimal(n.min(cap_limit), 0.01),
+                        query.round,
+                    )
                 })
             });
-        let remaining_chunks = match &query.kind {
+        let remaining_chunks: ChunkSet = match &query.kind {
             QueryKind::Chunks { chunks, .. } => chunks.iter().copied().collect(),
-            _ => BTreeSet::new(),
+            _ => ChunkSet::default(),
         };
+        let id = query.id;
         self.entries.insert(
-            query.id,
+            id,
             Lingering {
                 query,
                 upstream,
@@ -151,7 +307,37 @@ impl LingeringQueryTable {
                 exhausted: false,
             },
         );
+        // A removed-then-reinserted id must not leave a stale front-of-queue
+        // occurrence that would evict the live entry early.
+        self.order.retain(|&q| q != id);
+        self.order.push_back(id);
+        self.enforce_budget(id);
         true
+    }
+
+    /// Evicts oldest entries (insertion order) until the approximate
+    /// footprint fits the byte budget. The entry just inserted (`keep`) is
+    /// never evicted: a budget too small for one query would otherwise
+    /// make the table reject everything, and dropping the *newest* state
+    /// is the one behavior change callers could observe immediately.
+    fn enforce_budget(&mut self, keep: QueryId) {
+        if self.byte_budget == usize::MAX {
+            return;
+        }
+        let mut total = self.approx_bytes();
+        while total > self.byte_budget && self.entries.len() > 1 {
+            // Pop lazily past ids already removed via `remove`/`gc`.
+            let Some(oldest) = self.order.front().copied() else {
+                return;
+            };
+            if oldest == keep {
+                return;
+            }
+            self.order.pop_front();
+            if let Some(evicted) = self.entries.remove(&oldest) {
+                total = total.saturating_sub(evicted.approx_bytes());
+            }
+        }
     }
 
     /// Mutable access to one entry.
@@ -230,6 +416,8 @@ impl LingeringQueryTable {
     /// Drops expired queries.
     pub fn gc(&mut self, now: SimTime) {
         self.entries.retain(|_, l| l.unexpired(now));
+        let entries = &self.entries;
+        self.order.retain(|q| entries.contains_key(q));
     }
 
     /// Number of held queries.
@@ -429,6 +617,48 @@ mod tests {
             lqt.get(QueryId(3)).expect("q3").bloom.is_none(),
             "directed chunk queries dedup via remaining_chunks instead"
         );
+    }
+
+    #[test]
+    fn chunk_set_tracks_membership_like_a_btreeset() {
+        let mut s: ChunkSet = [ChunkId(0), ChunkId(3), ChunkId(130)].into_iter().collect();
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(&ChunkId(0)) && s.contains(&ChunkId(130)));
+        assert!(!s.contains(&ChunkId(1)) && !s.contains(&ChunkId(999)));
+        assert!(s.remove(&ChunkId(3)));
+        assert!(!s.remove(&ChunkId(3)), "double remove is a no-op");
+        assert!(!s.insert(ChunkId(0)), "duplicate insert is a no-op");
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        // 131 chunks fit in three words: the whole set is ~24 heap bytes.
+        assert!(s.approx_bytes() <= 64);
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_queries() {
+        let budget = 8 * 1024;
+        let mut lqt = LingeringQueryTable::with_budget(budget);
+        for i in 0..64 {
+            lqt.insert(query(i, QueryKind::Metadata, 10.0), NodeId(2));
+        }
+        assert!(
+            lqt.approx_bytes() <= budget,
+            "footprint {} exceeds budget {budget}",
+            lqt.approx_bytes()
+        );
+        assert!(!lqt.seen(QueryId(0)), "oldest evicted first");
+        assert!(lqt.seen(QueryId(63)), "newest always kept");
+        assert!(lqt.len() >= 1 && lqt.len() < 64);
+    }
+
+    #[test]
+    fn unbounded_table_never_evicts() {
+        let mut lqt = LingeringQueryTable::new();
+        for i in 0..64 {
+            lqt.insert(query(i, QueryKind::Metadata, 10.0), NodeId(2));
+        }
+        assert_eq!(lqt.len(), 64);
+        assert!(lqt.seen(QueryId(0)));
     }
 
     #[test]

@@ -12,6 +12,28 @@ use pds_sim::{ChurnStorm, FaultPlan, PartitionWindow, SilenceWindow, SimDuration
 /// One part-per-million as a probability.
 pub const PPM: f64 = 1e-6;
 
+/// `count` evenly spaced partition-and-heal windows over the middle half
+/// of a `horizon_s`-second run, each a tenth of the horizon long — always
+/// healed well before the end — splitting the id space at `boundary`.
+///
+/// This is the canonical partition schedule shape shared by the DST
+/// sweep ([`CaseSpec::fault_plan`]) and city-scale disaster scenarios:
+/// placement is pure arithmetic over `(horizon_s, count)` — no rng — so
+/// a minimized case replays its surviving windows bit-for-bit.
+#[must_use]
+pub fn partition_windows(horizon_s: f64, count: u32, boundary: u32) -> Vec<PartitionWindow> {
+    (0..count)
+        .map(|i| {
+            let start = horizon_s * (0.25 + 0.5 * f64::from(i) / f64::from(count.max(1)));
+            PartitionWindow {
+                from: SimTime::from_secs_f64(start),
+                until: SimTime::from_secs_f64(start + horizon_s * 0.1),
+                boundary,
+            }
+        })
+        .collect()
+}
+
 /// Which scenario family a case runs (see `scenario`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
@@ -94,16 +116,7 @@ impl CaseSpec {
         plan.delay_prob = f64::from(self.delay_ppm) * PPM;
         plan.delay_max = SimDuration::from_millis(u64::from(self.delay_max_ms.max(1)));
         let horizon_s = f64::from(self.horizon_ds) / 10.0;
-        // Windows occupy the middle half of the run, evenly spaced, each a
-        // tenth of the horizon long — always healed well before the end.
-        for i in 0..self.partitions {
-            let start = horizon_s * (0.25 + 0.5 * f64::from(i) / f64::from(self.partitions.max(1)));
-            plan.partitions.push(PartitionWindow {
-                from: SimTime::from_secs_f64(start),
-                until: SimTime::from_secs_f64(start + horizon_s * 0.1),
-                boundary: self.node_count() / 2,
-            });
-        }
+        plan.partitions = partition_windows(horizon_s, self.partitions, self.node_count() / 2);
         for i in 0..self.silences {
             let start = horizon_s * (0.3 + 0.5 * f64::from(i) / f64::from(self.silences.max(1)));
             plan.silences.push(SilenceWindow {
@@ -345,6 +358,19 @@ mod tests {
             assert!(w.until < spec.horizon());
         }
         assert_eq!(plan.storms.len(), 1);
+    }
+
+    #[test]
+    fn partition_windows_stay_inside_the_middle_of_the_run() {
+        let five = partition_windows(60.0, 5, 8);
+        assert_eq!(five.len(), 5);
+        for w in &five {
+            assert!(w.from < w.until);
+            assert!(w.from >= SimTime::from_secs_f64(60.0 * 0.25));
+            assert!(w.until <= SimTime::from_secs_f64(60.0 * 0.85));
+            assert_eq!(w.boundary, 8);
+        }
+        assert!(partition_windows(60.0, 0, 8).is_empty());
     }
 
     #[test]

@@ -32,22 +32,45 @@ impl ObservationParams {
     }
 }
 
-impl MobilityTrace {
-    /// Generates a trace of length `duration` from `params`, with every rate
-    /// scaled by `multiplier` (the paper sweeps 0.5×–2×). Deterministic in
-    /// `seed`.
-    ///
-    /// The initial `population` people are placed uniformly at random; join,
-    /// leave and move events then arrive as independent Poisson processes.
-    /// Leaves and moves pick a uniformly random present person; a leave when
-    /// nobody is present is skipped (and likewise moves), which keeps the
-    /// trace valid by construction.
+/// A streaming, seeded mobility event source: the same Poisson merge that
+/// [`MobilityTrace::generate`] materializes, pulled one [`TraceEvent`] at
+/// a time.
+///
+/// Memory is O(people currently present) regardless of duration — this is
+/// the primitive city-scale scenarios install directly (see
+/// `StreamInstaller`), where an hours-long trace for 100k people would
+/// otherwise materialize millions of events up front. `generate` is
+/// defined as "collect this stream", so the two are equal for the same
+/// seed by construction (and a property test holds them to it).
+#[derive(Debug)]
+pub struct TraceStream {
+    params: ObservationParams,
+    multiplier: f64,
+    /// Trace horizon in seconds; events past it end the stream.
+    horizon: f64,
+    rng: SimRng,
+    next_person: u32,
+    initial: Vec<(PersonId, Position)>,
+    present: Vec<PersonId>,
+    t_join: f64,
+    t_leave: f64,
+    t_move: f64,
+}
+
+impl TraceStream {
+    /// Opens a stream over `duration` from `params`, rates scaled by
+    /// `multiplier`, deterministic in `seed`. The initial `population`
+    /// people are placed immediately (available via
+    /// [`TraceStream::initial_people`]); join/leave/move events then
+    /// arrive as independent Poisson processes. Leaves and moves pick a
+    /// uniformly random present person; with nobody present the arrival
+    /// is skipped, keeping the stream valid by construction.
     ///
     /// # Panics
     ///
     /// Panics if `multiplier` is negative or not finite.
     #[must_use]
-    pub fn generate(
+    pub fn new(
         params: &ObservationParams,
         duration: SimDuration,
         multiplier: f64,
@@ -59,76 +82,149 @@ impl MobilityTrace {
         );
         let mut rng = SimRng::new(seed ^ 0x6d6f_6269_6c69_7479);
         let mut next_person = 0u32;
-        let fresh = |n: &mut u32| {
-            let p = PersonId(*n);
-            *n += 1;
-            p
-        };
-
         let initial: Vec<(PersonId, Position)> = (0..params.population)
-            .map(|_| (fresh(&mut next_person), params.random_pos(&mut rng)))
+            .map(|_| {
+                let p = PersonId(next_person);
+                next_person += 1;
+                (p, params.random_pos(&mut rng))
+            })
             .collect();
-        let mut present: Vec<PersonId> = initial.iter().map(|&(p, _)| p).collect();
+        let present: Vec<PersonId> = initial.iter().map(|&(p, _)| p).collect();
 
-        // Merge three Poisson processes by drawing each next arrival.
-        let horizon = duration.as_secs_f64();
-        let rate = |per_min: f64| per_min * multiplier / 60.0; // events per second
-        let mut events = Vec::new();
-        let draw_next = |rng: &mut SimRng, r: f64, from: f64| -> f64 {
-            if r <= 0.0 {
-                f64::INFINITY
-            } else {
-                from + rng.exponential(1.0 / r)
-            }
-        };
-        let mut t_join = draw_next(&mut rng, rate(params.joins_per_min), 0.0);
-        let mut t_leave = draw_next(&mut rng, rate(params.leaves_per_min), 0.0);
-        let mut t_move = draw_next(&mut rng, rate(params.moves_per_min), 0.0);
+        let multiplier_rate = |per_min: f64| per_min * multiplier / 60.0;
+        let t_join = draw_next(&mut rng, multiplier_rate(params.joins_per_min), 0.0);
+        let t_leave = draw_next(&mut rng, multiplier_rate(params.leaves_per_min), 0.0);
+        let t_move = draw_next(&mut rng, multiplier_rate(params.moves_per_min), 0.0);
+        Self {
+            params: *params,
+            multiplier,
+            horizon: duration.as_secs_f64(),
+            rng,
+            next_person,
+            initial,
+            present,
+            t_join,
+            t_leave,
+            t_move,
+        }
+    }
 
+    /// The initially placed people and their positions.
+    #[must_use]
+    pub fn initial_people(&self) -> &[(PersonId, Position)] {
+        &self.initial
+    }
+
+    /// People currently present (as of the last event pulled).
+    #[must_use]
+    pub fn present_count(&self) -> usize {
+        self.present.len()
+    }
+
+    fn rate(&self, per_min: f64) -> f64 {
+        per_min * self.multiplier / 60.0
+    }
+}
+
+fn draw_next(rng: &mut SimRng, r: f64, from: f64) -> f64 {
+    if r <= 0.0 {
+        f64::INFINITY
+    } else {
+        from + rng.exponential(1.0 / r)
+    }
+}
+
+impl Iterator for TraceStream {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        // Merge three Poisson processes by drawing each next arrival. A
+        // leave/move arrival with nobody present consumes its timer (and
+        // rng draw) without emitting, exactly as the materializing
+        // generator skipped it.
         loop {
-            let t = t_join.min(t_leave).min(t_move);
-            if t > horizon {
-                break;
+            let t = self.t_join.min(self.t_leave).min(self.t_move);
+            if t > self.horizon {
+                return None;
             }
             let at = SimTime::from_secs_f64(t);
-            if t == t_join {
-                let person = fresh(&mut next_person);
-                present.push(person);
-                events.push(TraceEvent {
+            if t == self.t_join {
+                let person = PersonId(self.next_person);
+                self.next_person += 1;
+                self.present.push(person);
+                let pos = self.params.random_pos(&mut self.rng);
+                let r = self.rate(self.params.joins_per_min);
+                self.t_join = draw_next(&mut self.rng, r, t);
+                return Some(TraceEvent {
                     at,
                     person,
-                    action: TraceAction::Join {
-                        pos: params.random_pos(&mut rng),
-                    },
+                    action: TraceAction::Join { pos },
                 });
-                t_join = draw_next(&mut rng, rate(params.joins_per_min), t);
-            } else if t == t_leave {
-                if !present.is_empty() {
-                    let idx = rng.range_u64(0, present.len() as u64) as usize;
-                    let person = present.swap_remove(idx);
-                    events.push(TraceEvent {
+            } else if t == self.t_leave {
+                let ev = if self.present.is_empty() {
+                    None
+                } else {
+                    let idx = self.rng.range_u64(0, self.present.len() as u64) as usize;
+                    let person = self.present.swap_remove(idx);
+                    Some(TraceEvent {
                         at,
                         person,
                         action: TraceAction::Leave,
-                    });
+                    })
+                };
+                let r = self.rate(self.params.leaves_per_min);
+                self.t_leave = draw_next(&mut self.rng, r, t);
+                if let Some(ev) = ev {
+                    return Some(ev);
                 }
-                t_leave = draw_next(&mut rng, rate(params.leaves_per_min), t);
             } else {
-                if !present.is_empty() {
-                    let idx = rng.range_u64(0, present.len() as u64) as usize;
-                    let person = present[idx];
-                    events.push(TraceEvent {
+                let ev = if self.present.is_empty() {
+                    None
+                } else {
+                    let idx = self.rng.range_u64(0, self.present.len() as u64) as usize;
+                    let person = *self.present.get(idx)?;
+                    Some(TraceEvent {
                         at,
                         person,
                         action: TraceAction::Move {
-                            dest: params.random_pos(&mut rng),
-                            speed_mps: params.speed_mps,
+                            dest: self.params.random_pos(&mut self.rng),
+                            speed_mps: self.params.speed_mps,
                         },
-                    });
+                    })
+                };
+                let r = self.rate(self.params.moves_per_min);
+                self.t_move = draw_next(&mut self.rng, r, t);
+                if let Some(ev) = ev {
+                    return Some(ev);
                 }
-                t_move = draw_next(&mut rng, rate(params.moves_per_min), t);
             }
         }
+    }
+}
+
+impl MobilityTrace {
+    /// Generates a trace of length `duration` from `params`, with every rate
+    /// scaled by `multiplier` (the paper sweeps 0.5×–2×). Deterministic in
+    /// `seed`.
+    ///
+    /// Defined as collecting a [`TraceStream`] with the same arguments —
+    /// the materialized and streaming forms are interchangeable for the
+    /// same seed. Prefer the stream for long or large scenarios; memory
+    /// here is O(events).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier` is negative or not finite.
+    #[must_use]
+    pub fn generate(
+        params: &ObservationParams,
+        duration: SimDuration,
+        multiplier: f64,
+        seed: u64,
+    ) -> Self {
+        let mut stream = TraceStream::new(params, duration, multiplier, seed);
+        let initial = stream.initial_people().to_vec();
+        let events: Vec<TraceEvent> = stream.by_ref().collect();
         Self::from_parts(initial, events)
     }
 }
@@ -209,5 +305,34 @@ mod tests {
     #[should_panic(expected = "multiplier")]
     fn negative_multiplier_panics() {
         let _ = MobilityTrace::generate(&presets::classroom(), hour(), -1.0, 1);
+    }
+
+    #[test]
+    fn stream_matches_materialized_trace() {
+        for seed in [0, 1, 7, 42, 9999] {
+            let p = presets::student_center();
+            let trace = MobilityTrace::generate(&p, hour(), 1.3, seed);
+            let mut stream = TraceStream::new(&p, hour(), 1.3, seed);
+            assert_eq!(stream.initial_people(), trace.initial_people());
+            let streamed: Vec<TraceEvent> = stream.by_ref().collect();
+            assert_eq!(streamed.as_slice(), trace.events());
+            // Exhausted stream stays exhausted.
+            assert_eq!(stream.next(), None);
+        }
+    }
+
+    #[test]
+    fn stream_present_count_tracks_population() {
+        let p = presets::student_center();
+        let mut stream = TraceStream::new(&p, hour(), 1.0, 5);
+        let mut expected = stream.initial_people().len();
+        while let Some(ev) = stream.next() {
+            match ev.action {
+                TraceAction::Join { .. } => expected += 1,
+                TraceAction::Leave => expected -= 1,
+                TraceAction::Move { .. } => {}
+            }
+            assert_eq!(stream.present_count(), expected);
+        }
     }
 }

@@ -12,8 +12,11 @@
 //! * [`ObservationParams`] / [`MobilityTrace`] — Poisson-process trace
 //!   generation matched to the published rates, with the 0.5×–2× mobility
 //!   multiplier used in Figs. 9, 10 and 12;
-//! * [`TraceInstaller`] — applies a trace to a [`pds_sim::World`], creating
-//!   and removing protocol nodes as people come and go.
+//! * [`TraceStream`] — the same generator as a lazy iterator: memory stays
+//!   O(people present) instead of O(events), for city-scale scenarios;
+//! * [`TraceInstaller`] / [`StreamInstaller`] — apply a trace (materialized
+//!   or streaming) to a [`pds_sim::World`], creating and removing protocol
+//!   nodes as people come and go.
 //!
 //! # Examples
 //!
@@ -35,8 +38,8 @@ pub mod grid;
 mod install;
 mod trace;
 
-pub use generator::ObservationParams;
-pub use install::TraceInstaller;
+pub use generator::{ObservationParams, TraceStream};
+pub use install::{StreamInstaller, TraceInstaller};
 pub use trace::{InvalidTrace, MobilityTrace, PersonId, TraceAction, TraceEvent};
 
 /// Observation-derived presets for the paper's two venues.

@@ -23,13 +23,17 @@ use std::any::Any;
 use std::io::{self, Write};
 use std::path::Path;
 
-/// Default per-node ring capacity: enough for the last several protocol
-/// rounds per node while keeping a 1000-node recorder's working set
-/// around ~20 MB. Capacity is the recorder's one real cost knob: the
-/// steady-state overwrite is a write into the node's ring, so once the
-/// rings outgrow the cache every recorded event pays a miss — 1024
-/// slots/node measures ~2.6× the record cost of 256 on a 1000-node run.
-pub const DEFAULT_NODE_CAPACITY: usize = 256;
+/// Default per-node ring capacity: enough for the last couple of protocol
+/// rounds per node while keeping a 1000-node recorder's working set under
+/// ~5 MB. Capacity is the recorder's one real cost knob: the steady-state
+/// overwrite is a write into the node's ring, so once the rings outgrow
+/// the cache every recorded event pays a miss — 1024 slots/node measures
+/// ~2.6× the record cost of 256 on a 1000-node run. The default was 256
+/// until the slab/SoA kernel diet (DESIGN.md §16) made the bare event
+/// loop ~2.4× faster, which turned those misses into the dominant cost of
+/// an instrumented run; at 64 the rings are mostly cache-resident and the
+/// recorder fits the `--flight-check` 10% overhead budget again.
+pub const DEFAULT_NODE_CAPACITY: usize = 64;
 
 /// One node's bounded ring: events tagged with the global record sequence
 /// at which they were captured.

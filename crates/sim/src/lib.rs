@@ -66,6 +66,7 @@ mod events;
 mod fault;
 mod radio;
 mod shard;
+mod slab;
 mod spatial;
 mod stats;
 mod transport;

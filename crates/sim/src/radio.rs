@@ -155,7 +155,11 @@ impl FragSet {
         self.count >= frag_count
     }
 
-    #[cfg(test)]
+    /// A set with every fragment bit up to `frag_count` present. The
+    /// transport's delivered-message tombstones rebuild their (complete)
+    /// ack bitmap with this instead of retaining one per message; the
+    /// wire size (`byte_len`) depends only on `frag_count`, so the
+    /// rebuilt ack frame is byte-identical to the retained one.
     pub fn full(frag_count: u32) -> Self {
         let mut s = Self::new(frag_count);
         for i in 0..frag_count {

@@ -30,10 +30,9 @@
 
 use crate::config::{RadioConfig, SimConfig, SpatialIndex};
 use crate::radio::{Motion, Position, Transmission};
+use crate::slab::{DenseTable, SeqSlab};
 use crate::spatial::{cell_of, NodeGrid, TxEntry, TxGrid};
 use pds_core::{NodeId, SimDuration};
-use pds_det::DetMap;
-use std::collections::BTreeMap;
 
 /// Physical receive verdict for one in-range receiver of a transmission.
 /// Everything that consumes randomness (baseline loss, fault rolls)
@@ -56,9 +55,11 @@ pub(crate) enum PhysOutcome {
 pub(crate) struct PhysArgs<'a> {
     pub config: &'a SimConfig,
     /// Motions of all alive nodes, keyed identically to the node table.
-    pub motions: &'a BTreeMap<NodeId, Motion>,
-    pub transmissions: &'a BTreeMap<u64, Transmission>,
-    pub tx_by_sender: &'a DetMap<NodeId, Vec<u64>>,
+    pub motions: &'a DenseTable<Motion>,
+    pub transmissions: &'a SeqSlab<Transmission>,
+    /// Live transmission ids per sender, indexed by raw node id (empty
+    /// lists for nodes that are not transmitting).
+    pub tx_by_sender: &'a [Vec<u64>],
     pub node_grid: &'a NodeGrid,
     pub tx_grid: &'a TxGrid,
 }
@@ -144,8 +145,8 @@ pub(crate) fn phys_verdicts(
         SpatialIndex::BruteForce => receivers.extend(
             a.motions
                 .iter()
-                .filter(|(&r, _)| r != tx.sender)
-                .map(|(&r, m)| (r, m.position(at))),
+                .filter(|&(r, _)| r != tx.sender)
+                .map(|(r, m)| (r, m.position(at))),
         ),
         SpatialIndex::Grid => {
             let cands = &mut scratch.cands_nodes;
@@ -199,7 +200,7 @@ pub(crate) fn phys_verdicts(
         if tx_pos.distance(&rpos) > range {
             continue;
         }
-        let half_duplex = a.tx_by_sender.get(&r).is_some_and(|ids| {
+        let half_duplex = a.tx_by_sender.get(r.0 as usize).is_some_and(|ids| {
             ids.iter().any(|tid| {
                 a.transmissions
                     .get(tid)

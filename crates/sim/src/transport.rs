@@ -84,8 +84,36 @@ impl Outgoing {
     }
 }
 
+/// Receive-side reassembly state for one message.
+///
+/// Two-phase by design (the kernel memory diet): while fragments are
+/// still arriving the entry holds the full assembly state — shared
+/// payload, fragment bitmap, receiver list. The moment the message is
+/// delivered, all of that collapses into the small [`Incoming::Done`]
+/// tombstone. This is what bounds receive-side memory at city scale:
+/// delivered messages linger for `DELIVERED_HORIZON` (a minute) purely
+/// for duplicate suppression and re-acking, and without the collapse
+/// every one of them would pin its payload `Bytes` (keeping the sender's
+/// buffer alive through the refcount) plus a map entry of ~10 words.
 #[derive(Debug)]
-struct Incoming {
+enum Incoming {
+    /// Fragments still arriving. Boxed: the common steady-state entry is
+    /// a delivered tombstone, so the enum is sized for `Done` and the
+    /// assembling state pays one extra indirection instead.
+    Assembling(Box<Assembling>),
+    /// Delivered. Everything duplicate suppression and re-acking need —
+    /// and nothing else. The complete ack bitmap is rebuilt on demand
+    /// from `frag_count` ([`FragSet::full`]), byte-identical on the wire.
+    Done {
+        frag_count: u32,
+        intended_me: bool,
+        ack_timer_pending: bool,
+        last_activity: SimTime,
+    },
+}
+
+#[derive(Debug)]
+struct Assembling {
     /// The whole message payload, shared with every data frame of the
     /// message (DESIGN.md §11): reassembly only tracks *which* fragments
     /// arrived in `received`; their bytes are already here, so delivery is
@@ -97,7 +125,6 @@ struct Incoming {
     intended: Arc<[NodeId]>,
     intended_me: bool,
     msg_wire_bytes: u32,
-    delivered: bool,
     ack_timer_pending: bool,
     last_activity: SimTime,
 }
@@ -261,55 +288,96 @@ impl Transport {
         ack_delay: SimDuration,
         now: SimTime,
     ) -> DataPlan {
-        let entry = self.incoming.entry(msg).or_insert_with(|| Incoming {
-            payload: payload.clone(),
-            received: FragSet::new(frag_count),
-            frag_count,
-            from,
-            intended: Arc::clone(intended),
-            intended_me: intended.contains(&me),
-            msg_wire_bytes,
-            delivered: false,
-            ack_timer_pending: false,
-            last_activity: now,
+        let entry = self.incoming.entry(msg).or_insert_with(|| {
+            Incoming::Assembling(Box::new(Assembling {
+                payload: payload.clone(),
+                received: FragSet::new(frag_count),
+                frag_count,
+                from,
+                intended: Arc::clone(intended),
+                intended_me: intended.contains(&me),
+                msg_wire_bytes,
+                ack_timer_pending: false,
+                last_activity: now,
+            }))
         });
-        entry.last_activity = now;
-        entry.from = from;
-        // Retransmissions may narrow the intended list to lagging receivers;
-        // remember whether we were *ever* intended so re-acks keep flowing.
-        if intended.contains(&me) {
-            entry.intended_me = true;
-        }
 
         let mut deliver = None;
-        if !entry.delivered && frag < entry.frag_count {
-            entry.received.set(frag);
-            if entry.received.is_complete(entry.frag_count) {
-                entry.delivered = true;
-                deliver = Some(DeliverPlan {
-                    from,
-                    intended: entry.intended.to_vec(),
-                    overheard: !entry.intended_me,
-                    wire_bytes: entry.msg_wire_bytes as usize,
-                    // Zero-copy: every fragment carried the same shared
-                    // message payload; delivery hands it over.
-                    payload: entry.payload.clone(),
-                });
+        let schedule_ack;
+        // (frag_count, intended_me, ack_timer_pending) of a newly
+        // completed assembly, to collapse into a tombstone below.
+        let mut done: Option<(u32, bool, bool)> = None;
+        match entry {
+            Incoming::Assembling(asm) => {
+                asm.last_activity = now;
+                asm.from = from;
+                // Retransmissions may narrow the intended list to lagging
+                // receivers; remember whether we were *ever* intended so
+                // re-acks keep flowing.
+                if intended.contains(&me) {
+                    asm.intended_me = true;
+                }
+                if frag < asm.frag_count {
+                    asm.received.set(frag);
+                    if asm.received.is_complete(asm.frag_count) {
+                        deliver = Some(DeliverPlan {
+                            from,
+                            intended: asm.intended.to_vec(),
+                            overheard: !asm.intended_me,
+                            wire_bytes: asm.msg_wire_bytes as usize,
+                            // Zero-copy: every fragment carried the same
+                            // shared message payload; delivery hands it over.
+                            payload: asm.payload.clone(),
+                        });
+                    }
+                }
+                let complete = asm.received.is_complete(asm.frag_count);
+                schedule_ack = if ack_enabled && asm.intended_me && !asm.ack_timer_pending {
+                    asm.ack_timer_pending = true;
+                    // Complete messages ack promptly (short jitter applied
+                    // by the kernel); incomplete ones wait for stragglers.
+                    Some(if complete {
+                        SimDuration::ZERO
+                    } else {
+                        ack_delay
+                    })
+                } else {
+                    None
+                };
+                if complete {
+                    done = Some((asm.frag_count, asm.intended_me, asm.ack_timer_pending));
+                }
+            }
+            Incoming::Done {
+                intended_me,
+                ack_timer_pending,
+                last_activity,
+                ..
+            } => {
+                *last_activity = now;
+                if intended.contains(&me) {
+                    *intended_me = true;
+                }
+                // Already delivered and reassembled: duplicates never
+                // redeliver, and a complete entry always acks promptly.
+                schedule_ack = if ack_enabled && *intended_me && !*ack_timer_pending {
+                    *ack_timer_pending = true;
+                    Some(SimDuration::ZERO)
+                } else {
+                    None
+                };
             }
         }
-
-        let schedule_ack = if ack_enabled && entry.intended_me && !entry.ack_timer_pending {
-            entry.ack_timer_pending = true;
-            // Complete messages ack promptly (short jitter applied by the
-            // kernel); incomplete ones wait for stragglers.
-            Some(if entry.received.is_complete(entry.frag_count) {
-                SimDuration::ZERO
-            } else {
-                ack_delay
-            })
-        } else {
-            None
-        };
+        if let Some((frag_count, intended_me, ack_timer_pending)) = done {
+            // Delivered: collapse the assembly state (payload refcount,
+            // bitmap, receiver list) into the tombstone.
+            *entry = Incoming::Done {
+                frag_count,
+                intended_me,
+                ack_timer_pending,
+                last_activity: now,
+            };
+        }
 
         DataPlan {
             deliver,
@@ -319,9 +387,23 @@ impl Transport {
 
     /// Builds the ack frame for `msg` when its ack timer fires.
     pub fn make_ack(&mut self, me: NodeId, msg: MessageId) -> Option<Frame> {
-        let entry = self.incoming.get_mut(&msg)?;
-        entry.ack_timer_pending = false;
-        let received = entry.received.clone();
+        let received = match self.incoming.get_mut(&msg)? {
+            Incoming::Assembling(asm) => {
+                asm.ack_timer_pending = false;
+                asm.received.clone()
+            }
+            Incoming::Done {
+                frag_count,
+                ack_timer_pending,
+                ..
+            } => {
+                *ack_timer_pending = false;
+                // The tombstone dropped its bitmap at delivery; a delivered
+                // message's bitmap is complete by definition, and the wire
+                // size depends only on the fragment count.
+                FragSet::full(*frag_count)
+            }
+        };
         let wire = ACK_HEADER_BASE + received.byte_len();
         Some(Frame {
             sender: me,
@@ -431,12 +513,10 @@ impl Transport {
         delivered_horizon: SimDuration,
         stale_horizon: SimDuration,
     ) {
-        self.incoming.retain(|_, inc| {
-            let idle = now.since(inc.last_activity);
-            if inc.delivered {
-                idle < delivered_horizon
-            } else {
-                idle < stale_horizon
+        self.incoming.retain(|_, inc| match inc {
+            Incoming::Assembling(asm) => now.since(asm.last_activity) < stale_horizon,
+            Incoming::Done { last_activity, .. } => {
+                now.since(*last_activity) < delivered_horizon
             }
         });
     }

@@ -6,6 +6,9 @@ use crate::events::{EventKind, EventQueue};
 use crate::fault::{FaultPlan, FaultState};
 use crate::radio::{Frame, FrameKind, Motion, Position, Transmission};
 use crate::shard::{self, CachedVerdict, PhysArgs, PhysOutcome, PhysScratch};
+use crate::slab::{
+    DenseTable, NodeTable, SeqSlab, FLAG_BUCKET_SCHEDULED, FLAG_MAC_SCHEDULED, FLAG_TRANSMITTING,
+};
 use crate::spatial::{NodeGrid, TxEntry, TxGrid};
 use crate::stats::{NodeStats, Stats};
 use crate::transport::{MessageId, RetrPlan, Transport};
@@ -17,7 +20,7 @@ use pds_core::{SimDuration, SimTime};
 use pds_det::DetMap;
 use pds_obs::{Phase, TraceEvent, TraceKind, TraceSink};
 use std::any::Any;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Interval between transport garbage-collection sweeps.
 const SWEEP_INTERVAL: SimDuration = SimDuration::from_secs(5);
@@ -48,6 +51,11 @@ enum TimerKind {
     AckSend(MessageId),
 }
 
+/// Cold per-node state, stored inline in the node slab. The hot
+/// radio-phase bools (`transmitting`, `mac_scheduled`, `bucket_scheduled`)
+/// live in the slab's parallel flags array ([`NodeTable`]) — the
+/// struct-of-arrays split that keeps per-dispatch MAC checks on a compact
+/// byte array instead of this struct.
 struct NodeState {
     app: Box<dyn Application>,
     transport: Transport,
@@ -55,12 +63,9 @@ struct NodeState {
     bucket_queue: VecDeque<Frame>,
     bucket_tokens: f64,
     bucket_last: SimTime,
-    bucket_scheduled: bool,
     // OS UDP send buffer + MAC.
     os_buffer: VecDeque<Frame>,
     os_used: usize,
-    transmitting: bool,
-    mac_scheduled: bool,
     timers: DetMap<TimerId, TimerKind>,
     msg_seq: u64,
     rng: SimRng,
@@ -75,11 +80,8 @@ impl NodeState {
             bucket_queue: VecDeque::new(),
             bucket_tokens: bucket_capacity,
             bucket_last: now,
-            bucket_scheduled: false,
             os_buffer: VecDeque::new(),
             os_used: 0,
-            transmitting: false,
-            mac_scheduled: false,
             timers: DetMap::default(),
             msg_seq: 0,
             rng,
@@ -104,23 +106,30 @@ pub struct World {
     config: SimConfig,
     now: SimTime,
     queue: EventQueue,
-    nodes: BTreeMap<NodeId, NodeState>,
+    /// Dense node slab indexed by [`NodeId`], with the hot radio-phase
+    /// flags split into a parallel byte array (DESIGN.md §16). Iterates
+    /// ascending by id, exactly like the `BTreeMap` it replaced.
+    nodes: NodeTable<NodeState>,
     /// Motions of all alive nodes, keyed identically to `nodes`. Kept
     /// outside [`NodeState`] so shard workers can borrow positions as a
     /// `Sync` snapshot while the (non-`Sync`) application boxes stay
-    /// behind. `BTreeMap` so brute-force receiver enumeration iterates in
-    /// the same ascending-id order as the node table.
-    motions: BTreeMap<NodeId, Motion>,
-    /// Active (and recently finished) transmissions by id. Ordered so
-    /// that interference sums iterate identically in grid and brute-force
-    /// modes — f64 addition order must not depend on the index choice.
-    transmissions: BTreeMap<u64, Transmission>,
+    /// behind. Dense and ascending, so brute-force receiver enumeration
+    /// iterates in the same ascending-id order as the node table.
+    motions: DenseTable<Motion>,
+    /// Active (and recently finished) transmissions, keyed by monotone tx
+    /// id in a base-offset slab sized to the live window. Iterates in
+    /// ascending id order so interference sums fold identically in grid
+    /// and brute-force modes — f64 addition order must not depend on the
+    /// index choice.
+    transmissions: SeqSlab<Transmission>,
     /// Spatial index over node positions (receiver/neighbor queries).
     node_grid: NodeGrid,
     /// Spatial index over transmission start positions (carrier sense).
     tx_grid: TxGrid,
-    /// Transmission ids per sender, for O(1)-ish half-duplex checks.
-    tx_by_sender: DetMap<NodeId, Vec<u64>>,
+    /// Live transmission ids per sender, indexed by raw node id, for O(1)
+    /// half-duplex checks. Entries outlive their node (pruning still needs
+    /// them) and empty lists cost nothing.
+    tx_by_sender: Vec<Vec<u64>>,
     /// Transmission end times, for amortized-O(1) pruning instead of map
     /// sweeps. Same wheel primitive as the event queue (DESIGN.md §11);
     /// pop order equals the old `BinaryHeap<Reverse<(end, tx_id)>>` because
@@ -136,6 +145,10 @@ pub struct World {
     dl_scratch: Vec<NodeId>,
     /// Reusable leaky-bucket release buffer.
     rel_scratch: Vec<Frame>,
+    /// Reusable neighbor-query result buffer ([`World::neighbors`]).
+    nbr_scratch: Vec<NodeId>,
+    /// Reusable neighbor-query candidate buffer (grid mode).
+    nbr_cands: Vec<(NodeId, Motion)>,
     /// Reusable fragmentation buffer, recycled through
     /// [`Transport::send_message`] so large sends stop allocating a fresh
     /// `Vec<Frame>` per message.
@@ -146,7 +159,9 @@ pub struct World {
     next_tx: u64,
     next_timer: u64,
     next_ctrl: u64,
-    controls: DetMap<u64, ControlFn>,
+    /// Scheduled control closures, keyed by monotone id in a base-offset
+    /// slab (they fire roughly in issue order, so the window stays small).
+    controls: SeqSlab<ControlFn>,
     rng: SimRng,
     stats: Stats,
     max_airtime: SimDuration,
@@ -234,25 +249,27 @@ impl World {
             config,
             now: SimTime::ZERO,
             queue,
-            nodes: BTreeMap::new(),
-            motions: BTreeMap::new(),
-            transmissions: BTreeMap::new(),
+            nodes: NodeTable::default(),
+            motions: DenseTable::default(),
+            transmissions: SeqSlab::default(),
             node_grid: NodeGrid::new(cell_m, SimTime::ZERO),
             tx_grid: TxGrid::new(tx_cell_m),
-            tx_by_sender: DetMap::default(),
+            tx_by_sender: Vec::new(),
             tx_prune: TimerWheel::new(),
             cs_scratch: Vec::new(),
             phys_scratch: PhysScratch::default(),
             vd_scratch: Vec::new(),
             dl_scratch: Vec::new(),
             rel_scratch: Vec::new(),
+            nbr_scratch: Vec::new(),
+            nbr_cands: Vec::new(),
             frame_scratch: Vec::new(),
             cmd_scratch: Vec::new(),
             next_node: 0,
             next_tx: 0,
             next_timer: 0,
             next_ctrl: 0,
-            controls: DetMap::default(),
+            controls: SeqSlab::default(),
             rng: SimRng::new(seed),
             stats: Stats::default(),
             max_airtime,
@@ -415,6 +432,15 @@ impl World {
             .map(|n| (n.bucket_queue.iter().map(|f| f.wire_bytes).sum(), n.os_used))
     }
 
+    /// Pre-sizes the node slabs for `n` nodes. Purely an allocation hint:
+    /// city-scale scenario builders call this before their `add_node`
+    /// storm so the slabs do not pay repeated doubling copies (and their
+    /// transient peak-heap spikes). Never changes behavior.
+    pub fn reserve_nodes(&mut self, n: usize) {
+        self.nodes.reserve(n);
+        self.motions.reserve(n);
+    }
+
     /// Adds a node at `pos` running `app`; `on_start` fires at the current
     /// time. Returns the new node's id.
     pub fn add_node(&mut self, pos: Position, app: Box<dyn Application>) -> NodeId {
@@ -452,10 +478,19 @@ impl World {
         self.nodes.contains_key(&id)
     }
 
-    /// Ids of all alive nodes, ascending.
+    /// Ids of all alive nodes, ascending. Returns an iterator rather than
+    /// a collected `Vec`: at city scale this is called on hot paths and a
+    /// per-call allocation of 10k–100k ids would dominate. Collect at the
+    /// call site when a snapshot is genuinely needed (e.g. to mutate the
+    /// world while walking it).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys()
+    }
+
+    /// Number of alive nodes.
     #[must_use]
-    pub fn node_ids(&self) -> Vec<NodeId> {
-        self.nodes.keys().copied().collect()
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
     }
 
     /// Starts `id` walking toward `dest` at `speed_mps` (pedestrian speeds
@@ -497,38 +532,40 @@ impl World {
 
     /// Alive nodes currently within radio range of `id` (excluding itself),
     /// ascending by id.
-    #[must_use]
-    pub fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
+    ///
+    /// Returns a borrow of an internal scratch buffer that is overwritten
+    /// by the next `neighbors` call — copy it out (`.to_vec()`) if you need
+    /// the result to survive. The scratch reuse kills the per-call
+    /// allocation this query used to pay, which matters at city scale
+    /// where protocol layers poll neighborhoods every dispatch.
+    pub fn neighbors(&mut self, id: NodeId) -> &[NodeId] {
+        self.nbr_scratch.clear();
         let Some(pos) = self.position(id) else {
-            return Vec::new();
+            return &self.nbr_scratch;
         };
         let range = self.config.radio.range_m;
-        let in_range = |other: NodeId| {
-            other != id
-                && self
-                    .motions
-                    .get(&other)
-                    .is_some_and(|m| m.position(self.now).distance(&pos) <= range)
-        };
         match self.config.spatial.index {
-            SpatialIndex::BruteForce => self
-                .motions
-                .keys()
-                .copied()
-                .filter(|&other| in_range(other))
-                .collect(),
+            SpatialIndex::BruteForce => {
+                for (other, m) in self.motions.iter() {
+                    if other != id && m.position(self.now).distance(&pos) <= range {
+                        self.nbr_scratch.push(other);
+                    }
+                }
+            }
             SpatialIndex::Grid => {
-                let mut cands = Vec::new();
-                self.node_grid.query_into(pos, range, self.now, &mut cands);
-                cands.sort_unstable_by_key(|&(r, _)| r);
-                cands.dedup_by_key(|&mut (r, _)| r);
-                cands
-                    .iter()
-                    .filter(|&&(r, m)| r != id && m.position(self.now).distance(&pos) <= range)
-                    .map(|&(r, _)| r)
-                    .collect()
+                self.nbr_cands.clear();
+                self.node_grid
+                    .query_into(pos, range, self.now, &mut self.nbr_cands);
+                self.nbr_cands.sort_unstable_by_key(|&(r, _)| r);
+                self.nbr_cands.dedup_by_key(|&mut (r, _)| r);
+                for &(r, m) in &self.nbr_cands {
+                    if r != id && m.position(self.now).distance(&pos) <= range {
+                        self.nbr_scratch.push(r);
+                    }
+                }
             }
         }
+        &self.nbr_scratch
     }
 
     /// Schedules `f` to run at time `at` with full mutable access to the
@@ -713,7 +750,7 @@ impl World {
             config,
             motions,
             transmissions,
-            tx_by_sender,
+            tx_by_sender: tx_by_sender.as_slice(),
             node_grid,
             tx_grid,
         };
@@ -821,9 +858,7 @@ impl World {
             EventKind::MacTry { node, deferred } => self.mac_try(node, deferred),
             EventKind::TxEnd(tx) => self.tx_end(tx),
             EventKind::BucketDrain(node) => {
-                if let Some(state) = self.nodes.get_mut(&node) {
-                    state.bucket_scheduled = false;
-                }
+                self.nodes.set_flag(&node, FLAG_BUCKET_SCHEDULED, false);
                 self.drain_bucket(node);
             }
             EventKind::Timer { node, id } => self.fire_timer(node, id),
@@ -996,7 +1031,7 @@ impl World {
         release.clear();
         let mut schedule_in: Option<SimDuration> = None;
         {
-            let Some(state) = self.nodes.get_mut(&id) else {
+            let Some((state, flags)) = self.nodes.parts_mut(&id) else {
                 return;
             };
             let dt = now.since(state.bucket_last).as_secs_f64();
@@ -1021,9 +1056,9 @@ impl World {
                         release.push(frame);
                     }
                 } else {
-                    if !state.bucket_scheduled {
+                    if *flags & FLAG_BUCKET_SCHEDULED == 0 {
                         let wait = (need - state.bucket_tokens) / rate_bytes;
-                        state.bucket_scheduled = true;
+                        *flags |= FLAG_BUCKET_SCHEDULED;
                         schedule_in = Some(SimDuration::from_secs_f64(wait.max(1e-6)));
                     }
                     break;
@@ -1047,7 +1082,7 @@ impl World {
         let mut queued_depth = None;
         let mut schedule_mac = false;
         {
-            let Some(state) = self.nodes.get_mut(&id) else {
+            let Some((state, flags)) = self.nodes.parts_mut(&id) else {
                 return;
             };
             if state.os_used + frame.wire_bytes > cap {
@@ -1065,8 +1100,8 @@ impl World {
                 } else {
                     state.os_buffer.push_back(frame);
                 }
-                if !state.transmitting && !state.mac_scheduled {
-                    state.mac_scheduled = true;
+                if *flags & (FLAG_TRANSMITTING | FLAG_MAC_SCHEDULED) == 0 {
+                    *flags |= FLAG_MAC_SCHEDULED;
                     schedule_mac = true;
                 }
             }
@@ -1100,11 +1135,11 @@ impl World {
         let cs_range = self.config.radio.range_m * self.config.radio.cs_range_factor;
         let sense_delay = self.config.radio.sense_delay;
         let backoff_max = self.config.radio.backoff_max.as_micros();
-        let Some(state) = self.nodes.get_mut(&id) else {
+        let Some((state, flags)) = self.nodes.parts_mut(&id) else {
             return;
         };
-        if state.transmitting || state.os_buffer.is_empty() {
-            state.mac_scheduled = false;
+        if *flags & FLAG_TRANSMITTING != 0 || state.os_buffer.is_empty() {
+            *flags &= !FLAG_MAC_SCHEDULED;
             return;
         }
         let Some(pos) = self.motions.get(&id).map(|m| m.position(now)) else {
@@ -1176,22 +1211,21 @@ impl World {
             return;
         }
         // Transmit.
-        let Some(state) = self.nodes.get_mut(&id) else {
+        let Some((state, flags)) = self.nodes.parts_mut(&id) else {
             return;
         };
         let Some(frame) = state.os_buffer.pop_front() else {
-            state.mac_scheduled = false;
+            *flags &= !FLAG_MAC_SCHEDULED;
             return;
         };
         state.os_used = state.os_used.saturating_sub(frame.wire_bytes);
         // The OS buffer drained: wake a backpressured leaky bucket.
-        let wake_bucket = !state.bucket_queue.is_empty() && !state.bucket_scheduled;
+        let wake_bucket = !state.bucket_queue.is_empty() && *flags & FLAG_BUCKET_SCHEDULED == 0;
         if wake_bucket {
-            state.bucket_scheduled = true;
+            *flags |= FLAG_BUCKET_SCHEDULED;
             self.queue.push(now, EventKind::BucketDrain(id));
         }
-        state.transmitting = true;
-        state.mac_scheduled = false;
+        *flags = (*flags | FLAG_TRANSMITTING) & !FLAG_MAC_SCHEDULED;
         state.stats.frames_sent += 1;
         state.stats.bytes_sent += frame.wire_bytes as u64;
         self.stats.frames_sent += 1;
@@ -1238,7 +1272,13 @@ impl World {
             start: now,
             end: now + duration,
         });
-        self.tx_by_sender.entry(id).or_default().push(tx_id);
+        let sender_ix = id.0 as usize;
+        if sender_ix >= self.tx_by_sender.len() {
+            self.tx_by_sender.resize_with(sender_ix + 1, Vec::new);
+        }
+        if let Some(ids) = self.tx_by_sender.get_mut(sender_ix) {
+            ids.push(tx_id);
+        }
         self.tx_prune.push(now + duration, tx_id);
         self.queue.push(now + duration, EventKind::TxEnd(tx_id));
         if self.config.shards > 1 {
@@ -1272,10 +1312,10 @@ impl World {
 
         // Sender-side: radio is free again.
         let mut resume_mac = false;
-        if let Some(state) = self.nodes.get_mut(&tx.sender) {
-            state.transmitting = false;
-            if !state.os_buffer.is_empty() && !state.mac_scheduled {
-                state.mac_scheduled = true;
+        if let Some((state, flags)) = self.nodes.parts_mut(&tx.sender) {
+            *flags &= !FLAG_TRANSMITTING;
+            if !state.os_buffer.is_empty() && *flags & FLAG_MAC_SCHEDULED == 0 {
+                *flags |= FLAG_MAC_SCHEDULED;
                 resume_mac = true;
             }
         }
@@ -1412,14 +1452,11 @@ impl World {
                 continue;
             };
             self.tx_grid.remove(id);
-            let drained = if let Some(ids) = self.tx_by_sender.get_mut(&t.sender) {
+            // Empty per-sender vecs stay in place: the slot is the
+            // sender's identity, and the capacity is reused by its next
+            // transmission.
+            if let Some(ids) = self.tx_by_sender.get_mut(t.sender.0 as usize) {
                 ids.retain(|&x| x != id);
-                ids.is_empty()
-            } else {
-                false
-            };
-            if drained {
-                self.tx_by_sender.remove(&t.sender);
             }
         }
     }
@@ -1991,11 +2028,11 @@ mod tests {
         let a = w.add_node(Position::new(0.0, 0.0), Box::new(Sink::new()));
         let b = w.add_node(Position::new(50.0, 0.0), Box::new(Sink::new()));
         let c = w.add_node(Position::new(200.0, 0.0), Box::new(Sink::new()));
-        assert_eq!(w.neighbors(a), vec![b]);
+        assert_eq!(w.neighbors(a), [b]);
         w.set_position(c, Position::new(60.0, 0.0));
-        let mut n = w.neighbors(a);
-        n.sort();
-        assert_eq!(n, vec![b, c]);
+        // Already ascending by id — the scratch slice is sorted by
+        // construction in both spatial-index modes.
+        assert_eq!(w.neighbors(a), [b, c]);
     }
 
     #[test]

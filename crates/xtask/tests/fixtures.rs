@@ -235,6 +235,16 @@ fn audited_shard_executor_pragma_becomes_a_ratcheted_exemption() {
 }
 
 #[test]
+fn slab_fixture_needs_no_exemptions() {
+    // The memory-diet slab idiom (checked `.get()` access, `?`-chained
+    // SoA borrows — DESIGN.md §16) lints clean without a single audited
+    // pragma: it is panic-free by construction, not by exemption.
+    let (findings, exemptions) = lint_fixture(Path::new("accept/sim/slab_table.rs"));
+    assert!(errors(&findings).is_empty(), "{findings:#?}");
+    assert!(exemptions.is_empty(), "{exemptions:#?}");
+}
+
+#[test]
 fn unsafe_fixture_flags_missing_forbid_and_missing_safety() {
     let (findings, _) = lint_fixture(Path::new("reject/unsafe/src/lib.rs"));
     let errs = errors(&findings);

@@ -710,6 +710,60 @@ proptest! {
     }
 }
 
+// ---- city-scale slab digest pin ---------------------------------------------
+//
+// PR 10 replaces the kernel's `BTreeMap<NodeId, NodeState>` world storage
+// with a dense slab + SoA split and puts the transport's reassembly state
+// on a memory diet. The digest below was captured from the *pre-diet*
+// kernel on the scenario in `slab_world_replays_pre_diet_digest_at_n1000`;
+// the slab-backed world must reproduce it bit-for-bit, sequentially and
+// sharded, or the refactor changed observable behavior.
+
+/// Pre-diet replay digest of the n=1000 cluster-pair scenario, captured
+/// before the slab/SoA world refactor.
+#[cfg(feature = "replay-digest")]
+const PRE_DIET_N1000_DIGEST: u64 = 0x6597_973c_eb0f_b20d;
+
+#[cfg(feature = "replay-digest")]
+#[test]
+fn slab_world_replays_pre_diet_digest_at_n1000() {
+    let run = |shards: u32| {
+        let mut config = SimConfig::default();
+        config.radio.baseline_loss = 0.02;
+        config.shards = shards;
+        let mut w = World::new(config, 42);
+        // 500 cluster pairs strung along x, far enough apart that clusters
+        // never interfere: throughput scales linearly, contention stays
+        // local, and the event stream still exercises MAC, acks and
+        // carrier sense inside every pair.
+        for i in 0..500u32 {
+            let x = f64::from(i) * 400.0;
+            w.add_node(
+                Position::new(x, 0.0),
+                Box::new(SimChatter { period_ms: 50 }),
+            );
+            w.add_node(
+                Position::new(x + 25.0, 0.0),
+                Box::new(SimChatter { period_ms: 50 }),
+            );
+        }
+        w.run_until(SimTime::from_secs_f64(0.3));
+        (w.replay_digest(), w.stats().clone())
+    };
+    let (digest, stats) = run(1);
+    assert!(stats.frames_delivered > 0, "scenario must carry traffic");
+    assert_eq!(
+        digest, PRE_DIET_N1000_DIGEST,
+        "sequential digest drifted: got 0x{digest:016x}"
+    );
+    let (sharded_digest, sharded_stats) = run(4);
+    assert_eq!(
+        sharded_digest, PRE_DIET_N1000_DIGEST,
+        "sharded digest drifted: got 0x{sharded_digest:016x}"
+    );
+    assert_eq!(sharded_stats, stats, "shards=4 changed outcomes");
+}
+
 // ---- dst fault plans --------------------------------------------------------
 
 proptest! {
@@ -761,5 +815,38 @@ proptest! {
         let h = pds_dst::scenario::run_case_with_scheduler(&spec, Scheduler::BinaryHeap);
         prop_assert_eq!(&a.stats, &h.stats, "wheel vs heap: stats diverged");
         prop_assert!(a.violations.is_empty(), "invariants must hold in-envelope: {:?}", a.violations);
+    }
+}
+
+// ---- streaming mobility -----------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The streaming mobility generator emits exactly the sequence the
+    /// materializing generator records, for any seed, venue, multiplier
+    /// and duration: `MobilityTrace::generate` is defined as collecting a
+    /// `TraceStream`, and this pins that contract against the stream's
+    /// internal state machine drifting (rng draw order, skipped empty-
+    /// present arrivals, person numbering).
+    #[test]
+    fn streaming_mobility_matches_materialized_trace(
+        seed in any::<u64>(),
+        venue in 0u8..2,
+        multiplier in 0.0f64..3.0,
+        secs in 1u32..1800,
+    ) {
+        let params = if venue == 0 {
+            pds_mobility::presets::student_center()
+        } else {
+            pds_mobility::presets::classroom()
+        };
+        let dur = pds_sim::SimDuration::from_secs(u64::from(secs));
+        let trace = pds_mobility::MobilityTrace::generate(&params, dur, multiplier, seed);
+        let mut stream = pds_mobility::TraceStream::new(&params, dur, multiplier, seed);
+        prop_assert_eq!(stream.initial_people(), trace.initial_people());
+        let streamed: Vec<pds_mobility::TraceEvent> = stream.by_ref().collect();
+        prop_assert_eq!(streamed.as_slice(), trace.events());
+        prop_assert_eq!(stream.next(), None, "exhausted stream must stay exhausted");
     }
 }
